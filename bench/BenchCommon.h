@@ -1,0 +1,81 @@
+//===- BenchCommon.h - Shared benchmark-harness configuration ---*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Every table/figure binary reads the same environment knobs, mirroring
+// the artifact's RUNTIME / FUZZING_WINDOW_ORIG variables:
+//
+//   REPRO_RUNS      runs per (subject, fuzzer) pair   (default 3;
+//                   the paper uses 10)
+//   REPRO_EXECS     execution budget per run          (default 20000;
+//                   the paper uses 48 hours)
+//   REPRO_SUBJECTS  comma-separated subject subset    (default: all 18)
+//   REPRO_SEED      base seed                         (default 7)
+//   REPRO_LONG      multiply the budget by 8 (the "1-week campaign")
+//   REPRO_VERBOSE   progress lines on stderr
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_BENCH_BENCHCOMMON_H
+#define PATHFUZZ_BENCH_BENCHCOMMON_H
+
+#include "strategy/Evaluation.h"
+#include "support/Env.h"
+#include "support/Hashing.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+#include "targets/Targets.h"
+
+#include <cstdio>
+
+namespace pathfuzz {
+namespace bench {
+
+struct BenchConfig {
+  uint32_t Runs;
+  uint64_t Execs;
+  uint64_t Seed;
+  bool Verbose;
+  std::vector<strategy::Subject> Subjects;
+
+  static BenchConfig fromEnv() {
+    BenchConfig C;
+    C.Runs = static_cast<uint32_t>(envU64("REPRO_RUNS", 3));
+    C.Execs = envU64("REPRO_EXECS", 20000);
+    if (envU64("REPRO_LONG", 0))
+      C.Execs *= 8;
+    C.Seed = envU64("REPRO_SEED", 7);
+    C.Verbose = envU64("REPRO_VERBOSE", 0) != 0;
+    C.Subjects = targets::subjectsFromEnv();
+    return C;
+  }
+
+  strategy::CampaignOptions campaignOptions() const {
+    strategy::CampaignOptions Opts;
+    Opts.ExecBudget = Execs;
+    Opts.Seed = Seed;
+    return Opts;
+  }
+
+  void printHeader(const char *What) const {
+    std::printf("=== %s ===\n", What);
+    std::printf("(%u run(s) x %llu execs per <subject, fuzzer>; "
+                "REPRO_RUNS/REPRO_EXECS/REPRO_SUBJECTS scale this)\n\n",
+                Runs, static_cast<unsigned long long>(Execs));
+  }
+};
+
+/// Run the standard evaluation for this binary's fuzzers.
+inline strategy::Evaluation
+runEvaluation(const BenchConfig &C,
+              const std::vector<strategy::FuzzerKind> &Kinds) {
+  return strategy::evaluate(C.Subjects, Kinds, C.Runs, C.campaignOptions(),
+                            C.Verbose);
+}
+
+} // namespace bench
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_BENCH_BENCHCOMMON_H

@@ -1,0 +1,50 @@
+//===- table1_queue_growth.cpp - Table I reproduction -------------------------===//
+//
+// Part of the pathfuzz project.
+//
+// Reproduces Table I: per-subject function counts and the queue sizes an
+// edge-feedback and a path-feedback fuzzer accumulate over one campaign.
+// Expected shape: the path queue is a multiple of the edge queue, with
+// extreme blowups on the branchy state-machine subjects (infotocap, lame
+// in the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "lang/Compile.h"
+
+using namespace pathfuzz;
+using namespace pathfuzz::bench;
+using namespace pathfuzz::strategy;
+
+int main() {
+  BenchConfig C = BenchConfig::fromEnv();
+  C.printHeader("Table I: queue items after an edge vs path campaign");
+
+  Table T;
+  T.setHeader({"Benchmark", "Functions", "Queue (edge)", "Queue (path)",
+               "path/edge"});
+
+  std::vector<double> Ratios;
+  for (const Subject &S : C.Subjects) {
+    lang::CompileResult CR = lang::compileSource(S.Source, S.Name);
+    uint64_t Functions = CR.ok() ? CR.Mod->Funcs.size() : 0;
+
+    CampaignOptions Opts = C.campaignOptions();
+    Opts.Kind = FuzzerKind::Pcguard;
+    CampaignResult Edge = runCampaign(S, Opts);
+    Opts.Kind = FuzzerKind::Path;
+    CampaignResult Path = runCampaign(S, Opts);
+
+    double Ratio = Edge.FinalQueueSize
+                       ? double(Path.FinalQueueSize) / Edge.FinalQueueSize
+                       : 0.0;
+    Ratios.push_back(Ratio);
+    T.addRow({S.Name, Table::num(Functions), Table::num(Edge.FinalQueueSize),
+              Table::num(Path.FinalQueueSize), Table::fixed(Ratio)});
+  }
+  T.addRow({"GEOMEAN", "", "", "", Table::fixed(geomean(Ratios))});
+  T.print();
+  return 0;
+}

@@ -1,0 +1,132 @@
+//===- motivating_example.cpp - The paper's Fig. 1, end to end -----------------===//
+//
+// Part of the pathfuzz project.
+//
+// Reproduces Section II-B's motivating example: the function `foo` with a
+// heap overflow that only triggers when execution reaches the write
+// through the rare (len % 4 == 0 && len > 39) path AND the input starts
+// with 'h'. The example:
+//
+//   1. compiles `foo` and shows its MIR CFG,
+//   2. runs the Ball-Larus analysis, listing every acyclic path with its
+//      ID and block sequence (Fig. 1's right-hand side),
+//   3. shows which path ID the bug-triggering execution takes,
+//   4. demonstrates the feedback difference: an input that takes the rare
+//      path *without* crashing is path-novel but edge-stale.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bl/BallLarus.h"
+#include "cov/CoverageMap.h"
+#include "instrument/Instrument.h"
+#include "lang/Compile.h"
+#include "mir/Printer.h"
+#include "vm/Vm.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace pathfuzz;
+
+// Fig. 1 of the paper, in MiniLang. N = 54; arr has N + 2 cells so the
+// early length check admits exactly the lengths the paper intends.
+static const char *Fig1 = R"ml(
+global arr[56];
+
+fn main() {
+  var n = len();
+  if (n - 2 > 54 || n < 3) { return 0; }
+  var j;
+  if (n % 4 == 0 && n > 39) {
+    j = 3;               // rare to reach
+  } else {
+    j = -2;
+  }
+  var c = in(0);
+  if (c == 'h') {
+    arr[n + j] = 7;      // buffer overflow via the rare block, n == 56
+  } else {
+    if (j < 0) { j = -j; }
+    arr[j] = 0;
+  }
+  return 0;
+}
+)ml";
+
+static std::vector<uint8_t> inputOfLen(size_t N, char First) {
+  std::vector<uint8_t> In(N, 'x');
+  if (N)
+    In[0] = static_cast<uint8_t>(First);
+  return In;
+}
+
+int main() {
+  lang::CompileResult CR = lang::compileSource(Fig1, "fig1");
+  if (!CR.ok()) {
+    std::fprintf(stderr, "compile failed:\n%s", CR.message().c_str());
+    return 1;
+  }
+  mir::Module M = std::move(*CR.Mod);
+  const mir::Function &F = M.Funcs[static_cast<size_t>(M.findFunction("main"))];
+
+  std::printf("== The function under test (MIR) ==\n%s\n",
+              mir::printFunction(F, &M).c_str());
+
+  cfg::CfgView G(F);
+  auto Dag = bl::BLDag::build(G);
+  std::printf("== Ball-Larus analysis ==\n");
+  std::printf("acyclic paths: %llu\n",
+              static_cast<unsigned long long>(Dag->numPaths()));
+  for (uint64_t Id = 0; Id < Dag->numPaths(); ++Id) {
+    std::printf("  path %2llu: ", static_cast<unsigned long long>(Id));
+    for (uint32_t B : Dag->reconstruct(Id))
+      std::printf("%s ", F.Blocks[B].Name.c_str());
+    std::printf("\n");
+  }
+
+  // Instrument with path probes and observe which IDs real executions hit
+  // (zero function keys => map index == path ID).
+  mir::Module Inst = M;
+  instr::InstrumentOptions IO;
+  IO.Mode = instr::Feedback::Path;
+  instr::instrumentModule(Inst, IO);
+
+  vm::Vm Machine(Inst);
+  cov::CoverageMap Map(16);
+  auto pathIdsOf = [&](const std::vector<uint8_t> &In) {
+    Map.reset();
+    vm::FeedbackContext Fb;
+    Fb.Map = Map.data();
+    Fb.MapMask = Map.mask();
+    vm::ExecOptions EO;
+    vm::ExecResult R = Machine.run(In.data(), In.size(), EO, &Fb);
+    std::string Ids;
+    for (uint32_t I = 0; I < Map.size(); ++I)
+      if (Map.data()[I])
+        Ids += std::to_string(I) + " ";
+    return std::make_pair(Ids, R.crashed());
+  };
+
+  std::printf("\n== Executions ==\n");
+  struct Case {
+    const char *Desc;
+    std::vector<uint8_t> In;
+  } Cases[] = {
+      {"len 20, starts 'x' (common path, no crash)     ", inputOfLen(20, 'x')},
+      {"len 20, starts 'h' (reaches write, j = -2, ok) ", inputOfLen(20, 'h')},
+      {"len 56, starts 'x' (RARE path, benign)         ", inputOfLen(56, 'x')},
+      {"len 56, starts 'h' (RARE path + 'h': the bug)  ", inputOfLen(56, 'h')},
+  };
+  for (const Case &C : Cases) {
+    auto [Ids, Crashed] = pathIdsOf(C.In);
+    std::printf("  %s -> path IDs { %s} %s\n", C.Desc, Ids.c_str(),
+                Crashed ? "CRASH" : "");
+  }
+
+  std::printf(
+      "\nThe third execution traverses a path ID no earlier execution\n"
+      "produced, even though every CFG edge it takes was already seen:\n"
+      "an edge-coverage fuzzer discards it, a path-aware fuzzer retains\n"
+      "it, and one byte mutation ('x' -> 'h') later triggers the bug.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- quickstart.cpp - End-to-end tour of the public API ---------------------===//
+//
+// Part of the pathfuzz project.
+//
+// Quickstart: compile a MiniLang program, instrument it with the paper's
+// path-aware feedback and with AFL++-style edge coverage, fuzz both for a
+// small budget, and compare what they find. The planted bug is the Fig. 1
+// shape: a heap overflow that only triggers when a rare intra-procedural
+// path combines with a byte check.
+//
+// Run: ./quickstart [exec_budget]
+//
+//===----------------------------------------------------------------------===//
+
+#include "strategy/Campaign.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pathfuzz;
+
+static const char *Program = R"ml(
+// A tiny chunk parser with a path-gated overflow.
+global table[14];
+
+fn handle(ntok, first) {
+  var j;
+  if (ntok % 4 == 0 && ntok > 9) {
+    j = 3;                  // rare path
+  } else {
+    j = -2;
+  }
+  if (first == 'h') {
+    table[ntok + j] = 7;    // overflow iff j == 3 and ntok == 12
+  } else {
+    if (j < 0) { j = -j; }
+    table[j] = 1;
+  }
+  return j;
+}
+
+fn main() {
+  if (len() < 2) { return 0; }
+  var ntok = 0;
+  var i = 0;
+  while (i < len()) {
+    var c = in(i);
+    if (c == ';') {
+      if (ntok > 0 && ntok <= 12) { handle(ntok, in(0)); }
+      ntok = 0;
+    } else if (c > ' ') {
+      ntok = ntok + 1;
+    }
+    i = i + 1;
+  }
+  return ntok;
+}
+)ml";
+
+int main(int argc, char **argv) {
+  uint64_t Budget = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 30000;
+
+  strategy::Subject S;
+  S.Name = "quickstart";
+  S.Source = Program;
+  const char *SeedText = "hello world; ab cd ef;";
+  S.Seeds = {fuzz::Input(SeedText, SeedText + 22)};
+
+  std::printf("Fuzzing the quickstart subject for %llu executions...\n\n",
+              static_cast<unsigned long long>(Budget));
+
+  for (strategy::FuzzerKind Kind :
+       {strategy::FuzzerKind::Pcguard, strategy::FuzzerKind::Path}) {
+    strategy::CampaignOptions Opts;
+    Opts.Kind = Kind;
+    Opts.ExecBudget = Budget;
+    Opts.Seed = 42;
+    strategy::CampaignResult R = strategy::runCampaign(S, Opts);
+    std::printf("%-8s queue=%-6llu unique-crashes=%-4zu unique-bugs=%zu "
+                "edges=%u\n",
+                strategy::fuzzerKindName(Kind),
+                static_cast<unsigned long long>(R.FinalQueueSize),
+                R.CrashHashes.size(), R.BugIds.size(), R.edgesCovered());
+  }
+
+  std::printf("\nThe path-aware fuzzer retains inputs that traverse the rare\n"
+              "(j = 3) path even when every edge was already seen, so the\n"
+              "combination with the 'h' check is reached by later byte\n"
+              "mutations (Section II-B of the paper).\n");
+  return 0;
+}

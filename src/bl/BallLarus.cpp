@@ -1,0 +1,314 @@
+//===- BallLarus.cpp - Ball-Larus acyclic path profiling ---------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bl/BallLarus.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pathfuzz {
+namespace bl {
+
+namespace {
+
+/// Minimal union-find for the spanning-tree construction.
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N) {
+    for (size_t I = 0; I < N; ++I)
+      Parent[I] = static_cast<uint32_t>(I);
+  }
+
+  uint32_t find(uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Returns true if the union merged two distinct components.
+  bool unite(uint32_t A, uint32_t B) {
+    uint32_t Ra = find(A), Rb = find(B);
+    if (Ra == Rb)
+      return false;
+    Parent[Ra] = Rb;
+    return true;
+  }
+
+private:
+  std::vector<uint32_t> Parent;
+};
+
+} // namespace
+
+std::optional<BLDag> BLDag::build(const cfg::CfgView &G, uint64_t MaxPaths) {
+  BLDag D;
+  D.NumBlocks = G.numBlocks();
+  D.EntryNode = D.NumBlocks;
+  D.ExitNode = D.NumBlocks + 1;
+  D.Out.assign(D.NumBlocks + 2, {});
+  D.Potential.assign(D.NumBlocks + 2, 0);
+
+  auto addEdge = [&](uint32_t Src, uint32_t Dst, DagEdgeKind Kind,
+                     uint32_t CfgEdgeIndex) {
+    DagEdge E;
+    E.Src = Src;
+    E.Dst = Dst;
+    E.Kind = Kind;
+    E.CfgEdgeIndex = CfgEdgeIndex;
+    uint32_t Index = static_cast<uint32_t>(D.Edges.size());
+    D.Edges.push_back(E);
+    D.Out[Src].push_back(Index);
+  };
+
+  // ENTRY's first out-edge is the one to the function entry block, so the
+  // path register's initial value is 0 in Simple placement (Val of the
+  // first out-edge is always 0).
+  addEdge(D.EntryNode, 0, DagEdgeKind::EntryToFirst, UINT32_MAX);
+  for (uint32_t EdgeIndex = 0; EdgeIndex < G.edges().size(); ++EdgeIndex) {
+    if (!G.isBackEdge(EdgeIndex))
+      continue;
+    addEdge(D.EntryNode, G.edges()[EdgeIndex].Dst, DagEdgeKind::EntryDummy,
+            EdgeIndex);
+  }
+
+  for (uint32_t B = 0; B < D.NumBlocks; ++B) {
+    if (!G.isReachable(B))
+      continue;
+    for (uint32_t EdgeIndex : G.succEdges(B)) {
+      const cfg::Edge &E = G.edges()[EdgeIndex];
+      if (G.isBackEdge(EdgeIndex))
+        addEdge(B, D.ExitNode, DagEdgeKind::ExitDummy, EdgeIndex);
+      else
+        addEdge(B, E.Dst, DagEdgeKind::Real, EdgeIndex);
+    }
+    if (G.isExitBlock(B))
+      addEdge(B, D.ExitNode, DagEdgeKind::RetToExit, UINT32_MAX);
+  }
+
+  // NumPaths in reverse topological order, assigning Val as the running
+  // prefix sum over each node's out-edges.
+  D.NumPathsPerNode.assign(D.NumBlocks + 2, 0);
+  D.NumPathsPerNode[D.ExitNode] = 1;
+
+  auto sumNode = [&](uint32_t Node) -> bool {
+    unsigned __int128 Sum = 0;
+    for (uint32_t EdgeIndex : D.Out[Node]) {
+      DagEdge &E = D.Edges[EdgeIndex];
+      E.Val = static_cast<uint64_t>(Sum);
+      Sum += D.NumPathsPerNode[E.Dst];
+      if (Sum > MaxPaths)
+        return false;
+    }
+    D.NumPathsPerNode[Node] = static_cast<uint64_t>(Sum);
+    return true;
+  };
+
+  const std::vector<uint32_t> &Topo = G.topoOrder();
+  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It)
+    if (!sumNode(*It))
+      return std::nullopt;
+  if (!sumNode(D.EntryNode))
+    return std::nullopt;
+
+  return D;
+}
+
+void BLDag::computeChordIncrements() {
+  if (ChordsComputed)
+    return;
+  ChordsComputed = true;
+
+  // Spanning tree over {blocks, ENTRY, EXIT}: the virtual EXIT--ENTRY edge
+  // is forced onto the tree (it pins potential(ENTRY) == potential(EXIT)),
+  // dummy edges are forced off it (back edges always carry probes), and
+  // the remaining edges are tree candidates in deterministic order.
+  UnionFind UF(NumBlocks + 2);
+  UF.unite(ExitNode, EntryNode);
+
+  for (uint32_t EdgeIndex = 0; EdgeIndex < Edges.size(); ++EdgeIndex) {
+    DagEdge &E = Edges[EdgeIndex];
+    if (E.Kind == DagEdgeKind::EntryDummy || E.Kind == DagEdgeKind::ExitDummy)
+      continue;
+    if (UF.unite(E.Src, E.Dst))
+      E.OnTree = true;
+  }
+
+  // Potentials: walk the tree from ENTRY (potential 0); traversing a tree
+  // edge u->v forward sets f(v) = f(u) + Val, backward f(u) = f(v) - Val.
+  // EXIT is pinned to 0 through the virtual edge.
+  std::vector<std::vector<std::pair<uint32_t, bool>>> Adj(NumBlocks + 2);
+  for (uint32_t EdgeIndex = 0; EdgeIndex < Edges.size(); ++EdgeIndex) {
+    const DagEdge &E = Edges[EdgeIndex];
+    if (!E.OnTree)
+      continue;
+    Adj[E.Src].push_back({EdgeIndex, true});
+    Adj[E.Dst].push_back({EdgeIndex, false});
+  }
+
+  std::fill(Potential.begin(), Potential.end(), 0);
+  std::vector<bool> Visited(NumBlocks + 2, false);
+  std::vector<uint32_t> Work;
+  Visited[EntryNode] = true;
+  Visited[ExitNode] = true; // pinned by the virtual edge
+  Work.push_back(EntryNode);
+  Work.push_back(ExitNode);
+  while (!Work.empty()) {
+    uint32_t U = Work.back();
+    Work.pop_back();
+    for (auto [EdgeIndex, Forward] : Adj[U]) {
+      const DagEdge &E = Edges[EdgeIndex];
+      uint32_t V = Forward ? E.Dst : E.Src;
+      if (Visited[V])
+        continue;
+      Visited[V] = true;
+      int64_t Val = static_cast<int64_t>(E.Val);
+      Potential[V] = Forward ? Potential[U] + Val : Potential[U] - Val;
+      Work.push_back(V);
+    }
+  }
+
+  // Chord increments; tree edges come out 0 by construction.
+  for (DagEdge &E : Edges) {
+    E.Inc = static_cast<int64_t>(E.Val) + Potential[E.Src] - Potential[E.Dst];
+    assert((!E.OnTree || E.Inc == 0) && "tree edge with nonzero increment");
+  }
+}
+
+PathProbePlan BLDag::makePlan(PlacementMode Mode) {
+  if (Mode == PlacementMode::SpanningTree)
+    computeChordIncrements();
+
+  auto planInc = [&](const DagEdge &E) -> int64_t {
+    return Mode == PlacementMode::Simple ? static_cast<int64_t>(E.Val) : E.Inc;
+  };
+
+  PathProbePlan Plan;
+  Plan.NumPaths = numPaths();
+
+  // Pair up each back edge's dummy edges.
+  struct BackPair {
+    int64_t FlushAdd = 0;
+    int64_t Reset = 0;
+    bool SawExit = false, SawEntry = false;
+  };
+  std::vector<std::pair<uint32_t, BackPair>> BackPairs;
+  auto backPairFor = [&](uint32_t CfgEdgeIndex) -> BackPair & {
+    for (auto &P : BackPairs)
+      if (P.first == CfgEdgeIndex)
+        return P.second;
+    BackPairs.push_back({CfgEdgeIndex, BackPair()});
+    return BackPairs.back().second;
+  };
+
+  for (const DagEdge &E : Edges) {
+    switch (E.Kind) {
+    case DagEdgeKind::EntryToFirst:
+      Plan.EntryInit = planInc(E);
+      break;
+    case DagEdgeKind::Real: {
+      int64_t Inc = planInc(E);
+      if (Inc != 0)
+        Plan.EdgeIncs.push_back({E.CfgEdgeIndex, Inc});
+      break;
+    }
+    case DagEdgeKind::ExitDummy: {
+      BackPair &P = backPairFor(E.CfgEdgeIndex);
+      P.FlushAdd = planInc(E);
+      P.SawExit = true;
+      break;
+    }
+    case DagEdgeKind::EntryDummy: {
+      BackPair &P = backPairFor(E.CfgEdgeIndex);
+      P.Reset = planInc(E);
+      P.SawEntry = true;
+      break;
+    }
+    case DagEdgeKind::RetToExit:
+      Plan.RetProbes.push_back({E.Src, planInc(E)});
+      break;
+    }
+  }
+
+  for (const auto &[CfgEdgeIndex, P] : BackPairs) {
+    assert(P.SawExit && P.SawEntry && "unpaired back-edge dummies");
+    Plan.BackProbes.push_back({CfgEdgeIndex, P.FlushAdd, P.Reset});
+  }
+  return Plan;
+}
+
+std::vector<uint32_t> BLDag::reconstruct(uint64_t PathId) const {
+  assert(PathId < numPaths() && "path ID out of range");
+  std::vector<uint32_t> Blocks;
+  uint32_t Node = EntryNode;
+  uint64_t Remaining = PathId;
+  while (Node != ExitNode) {
+    // Out-edge Vals are ascending prefix sums: take the last one <=
+    // Remaining.
+    const std::vector<uint32_t> &OutEdges = Out[Node];
+    assert(!OutEdges.empty() && "DAG node with no out-edges before EXIT");
+    uint32_t Chosen = OutEdges[0];
+    for (uint32_t EdgeIndex : OutEdges) {
+      if (Edges[EdgeIndex].Val <= Remaining)
+        Chosen = EdgeIndex;
+      else
+        break;
+    }
+    Remaining -= Edges[Chosen].Val;
+    Node = Edges[Chosen].Dst;
+    if (Node != ExitNode)
+      Blocks.push_back(Node);
+  }
+  assert(Remaining == 0 && "path ID not fully consumed");
+  return Blocks;
+}
+
+std::vector<std::vector<uint32_t>> BLDag::enumerateAllPaths() const {
+  std::vector<std::vector<uint32_t>> Paths;
+  std::vector<uint32_t> Current;
+
+  // DFS in out-edge order enumerates paths in increasing ID order because
+  // Vals are prefix sums of the subtree path counts.
+  auto Dfs = [&](auto &&Self, uint32_t Node) -> void {
+    if (Node == ExitNode) {
+      Paths.push_back(Current);
+      return;
+    }
+    for (uint32_t EdgeIndex : Out[Node]) {
+      uint32_t Dst = Edges[EdgeIndex].Dst;
+      bool Pushed = (Dst != ExitNode);
+      if (Pushed)
+        Current.push_back(Dst);
+      Self(Self, Dst);
+      if (Pushed)
+        Current.pop_back();
+    }
+  };
+  Dfs(Dfs, EntryNode);
+  return Paths;
+}
+
+std::vector<std::vector<uint32_t>> BLDag::enumerateAllPathEdges() const {
+  std::vector<std::vector<uint32_t>> Paths;
+  std::vector<uint32_t> Current;
+  auto Dfs = [&](auto &&Self, uint32_t Node) -> void {
+    if (Node == ExitNode) {
+      Paths.push_back(Current);
+      return;
+    }
+    for (uint32_t EdgeIndex : Out[Node]) {
+      Current.push_back(EdgeIndex);
+      Self(Self, Edges[EdgeIndex].Dst);
+      Current.pop_back();
+    }
+  };
+  Dfs(Dfs, EntryNode);
+  return Paths;
+}
+
+} // namespace bl
+} // namespace pathfuzz

@@ -1,0 +1,169 @@
+//===- BallLarus.h - Ball-Larus acyclic path profiling ----------*- C++ -*-===//
+//
+// Part of the pathfuzz project: a reproduction of "Towards Path-Aware
+// Coverage-Guided Fuzzing" (CGO 2026).
+//
+//===----------------------------------------------------------------------===//
+//
+// Implements the Ball-Larus efficient path profiling encoding [Ball &
+// Larus, MICRO'96], the algorithm the paper adapts as its fuzzing feedback:
+//
+//  1. The function CFG is turned into a DAG: back edges (found by a
+//     deterministic DFS) are removed and replaced by *dummy* edges
+//     ENTRY->head and tail->EXIT, so acyclic paths start at the function
+//     entry or a loop head and end at a return or a loop back edge.
+//  2. NumPaths(v) is computed in reverse topological order; each DAG edge
+//     receives a constant Val such that the sum of Vals along every
+//     ENTRY->EXIT path is a unique ID in [0, NumPaths(ENTRY)).
+//  3. Optionally, increments are pushed onto the chords of a spanning tree
+//     (the "event counting" optimization), minimizing the number of
+//     instrumented edges while preserving the exact same path IDs. Dummy
+//     edges are kept off the tree since back edges must carry the
+//     flush-and-reset probes regardless.
+//
+// The output is a PathProbePlan: per-edge increments plus flush/reset
+// constants for back edges and returns, which src/instrument lowers into
+// MIR probe instructions. An overflow guard caps NumPaths; functions with
+// pathologically many acyclic paths fall back to edge coverage, the same
+// pragmatic provision real path-profiling implementations take.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_BL_BALLLARUS_H
+#define PATHFUZZ_BL_BALLLARUS_H
+
+#include "cfg/Cfg.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pathfuzz {
+namespace bl {
+
+/// How increments are placed on edges.
+enum class PlacementMode {
+  /// Every DAG edge carries its raw Val (zero-valued edges need no probe).
+  Simple,
+  /// Increments moved to spanning-tree chords (fewest probes; may be
+  /// negative). Produces identical path IDs as Simple.
+  SpanningTree,
+};
+
+/// Kinds of DAG edges.
+enum class DagEdgeKind : uint8_t {
+  Real,         ///< a non-back CFG edge
+  EntryToFirst, ///< virtual ENTRY -> entry block
+  EntryDummy,   ///< virtual ENTRY -> loop head (for one back edge)
+  ExitDummy,    ///< loop tail -> virtual EXIT (for one back edge)
+  RetToExit,    ///< return block -> virtual EXIT
+};
+
+struct DagEdge {
+  uint32_t Src = 0; ///< DAG node (block index, or entry/exit pseudo node)
+  uint32_t Dst = 0;
+  DagEdgeKind Kind = DagEdgeKind::Real;
+  /// For Real: the CFG edge index. For EntryDummy/ExitDummy: the CFG index
+  /// of the originating back edge. UINT32_MAX otherwise.
+  uint32_t CfgEdgeIndex = UINT32_MAX;
+  /// Ball-Larus Val: raw increment in Simple placement.
+  uint64_t Val = 0;
+  /// Chord increment in SpanningTree placement (0 for tree edges).
+  int64_t Inc = 0;
+  /// Whether the edge was put on the spanning tree.
+  bool OnTree = false;
+};
+
+/// The probe schedule the instrumentation pass executes.
+struct PathProbePlan {
+  /// `r += Inc` on this (non-back, real) CFG edge.
+  struct EdgeIncrement {
+    uint32_t CfgEdgeIndex;
+    int64_t Inc;
+  };
+  /// On this back CFG edge: emit path (r + FlushAdd); then r = Reset.
+  struct BackEdgeProbe {
+    uint32_t CfgEdgeIndex;
+    int64_t FlushAdd;
+    int64_t Reset;
+  };
+  /// At the end of this return block: emit path (r + FlushAdd).
+  struct RetProbe {
+    uint32_t Block;
+    int64_t FlushAdd;
+  };
+
+  std::vector<EdgeIncrement> EdgeIncs;
+  std::vector<BackEdgeProbe> BackProbes;
+  std::vector<RetProbe> RetProbes;
+  /// Initial value of the path register on function entry (0 with our
+  /// canonical edge ordering, kept general for robustness).
+  int64_t EntryInit = 0;
+  /// Total number of acyclic paths (IDs are exactly [0, NumPaths)).
+  uint64_t NumPaths = 0;
+};
+
+/// The Ball-Larus DAG over one function's CFG.
+class BLDag {
+public:
+  /// Build the DAG and the Val labeling. Returns std::nullopt if the
+  /// function has more than MaxPaths acyclic paths (overflow guard).
+  static std::optional<BLDag> build(const cfg::CfgView &G,
+                                    uint64_t MaxPaths = (1ULL << 31));
+
+  /// Number of acyclic paths, i.e. NumPaths(ENTRY).
+  uint64_t numPaths() const { return NumPathsPerNode[EntryNode]; }
+
+  /// NumPaths at a given DAG node (block index or pseudo node).
+  uint64_t numPathsAt(uint32_t Node) const { return NumPathsPerNode[Node]; }
+
+  uint32_t entryNode() const { return EntryNode; }
+  uint32_t exitNode() const { return ExitNode; }
+  unsigned numBlocks() const { return NumBlocks; }
+
+  const std::vector<DagEdge> &edges() const { return Edges; }
+  const std::vector<uint32_t> &outEdges(uint32_t Node) const {
+    return Out[Node];
+  }
+
+  /// Compute chord increments over a spanning tree (fills Inc/OnTree and
+  /// the node potentials). Idempotent.
+  void computeChordIncrements();
+
+  /// Node potential from the spanning-tree optimization (0 before
+  /// computeChordIncrements() and for Simple placement).
+  int64_t potential(uint32_t Node) const { return Potential[Node]; }
+
+  /// Derive the probe schedule for the requested placement mode.
+  PathProbePlan makePlan(PlacementMode Mode);
+
+  /// Invert the encoding: map a path ID back to the block sequence it
+  /// denotes (first block is the path's start: function entry or a loop
+  /// head; last is a return block or a loop tail).
+  std::vector<uint32_t> reconstruct(uint64_t PathId) const;
+
+  /// Enumerate every acyclic path's block sequence by DFS, in path-ID
+  /// order. Intended for tests; cost is O(NumPaths * length).
+  std::vector<std::vector<uint32_t>> enumerateAllPaths() const;
+
+  /// Enumerate every acyclic path as its sequence of DAG edge indices, in
+  /// path-ID order (tests simulate the probe plans over these).
+  std::vector<std::vector<uint32_t>> enumerateAllPathEdges() const;
+
+private:
+  BLDag() = default;
+
+  unsigned NumBlocks = 0;
+  uint32_t EntryNode = 0;
+  uint32_t ExitNode = 0;
+  std::vector<DagEdge> Edges;
+  std::vector<std::vector<uint32_t>> Out; ///< per-node out edge indices
+  std::vector<uint64_t> NumPathsPerNode;
+  std::vector<int64_t> Potential;
+  bool ChordsComputed = false;
+};
+
+} // namespace bl
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_BL_BALLLARUS_H

@@ -1,0 +1,130 @@
+//===- Cfg.h - Control-flow graph view and analyses -------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// CfgView materializes the control-flow graph of a MIR function: explicit
+// edge objects (a CFG edge is a (source block, successor slot) pair, so two
+// switch cases targeting the same block are distinct edges, as in LLVM),
+// predecessor lists, DFS-based back-edge classification, reachability, and
+// a topological order of the acyclic remainder. These analyses feed the
+// Ball-Larus DAG construction (src/bl) and the probe-placement passes
+// (src/instrument).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_CFG_CFG_H
+#define PATHFUZZ_CFG_CFG_H
+
+#include "mir/Mir.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace cfg {
+
+/// A CFG edge: the Slot-th successor of block Src (targeting Dst).
+struct Edge {
+  uint32_t Src = 0;
+  uint32_t Slot = 0;
+  uint32_t Dst = 0;
+
+  bool operator==(const Edge &O) const {
+    return Src == O.Src && Slot == O.Slot && Dst == O.Dst;
+  }
+};
+
+/// Immutable CFG view of a function with the standard analyses the
+/// instrumentation passes need. Invalidated by any mutation of the
+/// function's block structure.
+class CfgView {
+public:
+  explicit CfgView(const mir::Function &F);
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Succ.size()); }
+
+  /// All edges, in (block, slot) order.
+  const std::vector<Edge> &edges() const { return AllEdges; }
+
+  /// Outgoing edges of a block (indices into edges()).
+  const std::vector<uint32_t> &succEdges(uint32_t Block) const {
+    return Succ[Block];
+  }
+
+  /// Incoming edges of a block (indices into edges()).
+  const std::vector<uint32_t> &predEdges(uint32_t Block) const {
+    return Pred[Block];
+  }
+
+  /// Whether the block is reachable from the entry block.
+  bool isReachable(uint32_t Block) const { return Reachable[Block]; }
+
+  /// Whether an edge (by index) is a DFS back edge. Back edges found on a
+  /// deterministic DFS from the entry; paths are truncated at them, exactly
+  /// as the Ball-Larus scheme prescribes.
+  bool isBackEdge(uint32_t EdgeIndex) const { return BackEdge[EdgeIndex]; }
+
+  /// Number of back edges among reachable blocks.
+  unsigned numBackEdges() const { return NumBackEdges; }
+
+  /// Reachable blocks in a topological order of the graph without back
+  /// edges (entry first).
+  const std::vector<uint32_t> &topoOrder() const { return Topo; }
+
+  /// Whether the block ends in a return.
+  bool isExitBlock(uint32_t Block) const { return ExitBlock[Block]; }
+
+  /// True if the edge is critical: its source has multiple successors and
+  /// its destination multiple predecessors. Instrumenting such an edge
+  /// requires splitting it first.
+  bool isCriticalEdge(uint32_t EdgeIndex) const;
+
+private:
+  void build(const mir::Function &F);
+  void classifyEdges();
+
+  std::vector<Edge> AllEdges;
+  std::vector<std::vector<uint32_t>> Succ;
+  std::vector<std::vector<uint32_t>> Pred;
+  std::vector<bool> Reachable;
+  std::vector<bool> BackEdge;
+  std::vector<bool> ExitBlock;
+  std::vector<uint32_t> Topo;
+  unsigned NumBackEdges = 0;
+};
+
+/// Dominator tree over the reachable blocks of a function, computed with
+/// the Cooper-Harvey-Kennedy iterative algorithm.
+class DominatorTree {
+public:
+  explicit DominatorTree(const CfgView &G);
+
+  /// Immediate dominator of a block; the entry block's idom is itself.
+  /// Unreachable blocks report UINT32_MAX.
+  uint32_t idom(uint32_t Block) const { return Idom[Block]; }
+
+  /// Whether A dominates B (reflexive).
+  bool dominates(uint32_t A, uint32_t B) const;
+
+private:
+  std::vector<uint32_t> Idom;
+  std::vector<uint32_t> RpoNumber;
+};
+
+/// Natural-loop summary derived from back edges.
+struct LoopInfo {
+  /// Loop header block indices (deduplicated, ascending).
+  std::vector<uint32_t> Headers;
+  /// For each block, the innermost loop header it belongs to, or
+  /// UINT32_MAX if it is not in any loop.
+  std::vector<uint32_t> InnermostHeader;
+
+  static LoopInfo compute(const CfgView &G);
+};
+
+} // namespace cfg
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_CFG_CFG_H

@@ -1,0 +1,34 @@
+//===- EdgeSplit.cpp - Critical-edge splitting -------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/EdgeSplit.h"
+
+#include <cassert>
+
+namespace pathfuzz {
+namespace cfg {
+
+uint32_t splitEdge(mir::Function &F, uint32_t Src, uint32_t Slot) {
+  assert(Src < F.Blocks.size() && "invalid source block");
+  mir::Terminator &T = F.Blocks[Src].Term;
+  assert(Slot < T.Succs.size() && "invalid successor slot");
+
+  uint32_t OldDst = T.Succs[Slot];
+  uint32_t NewBlock = static_cast<uint32_t>(F.Blocks.size());
+
+  mir::BasicBlock Trampoline;
+  Trampoline.Name = F.Blocks[Src].Name + ".split" + std::to_string(Slot);
+  Trampoline.Term.Kind = mir::TermKind::Br;
+  Trampoline.Term.Succs = {OldDst};
+  F.Blocks.push_back(std::move(Trampoline));
+
+  // Note: push_back may invalidate T; re-fetch.
+  F.Blocks[Src].Term.Succs[Slot] = NewBlock;
+  return NewBlock;
+}
+
+} // namespace cfg
+} // namespace pathfuzz

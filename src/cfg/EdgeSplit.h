@@ -1,0 +1,34 @@
+//===- EdgeSplit.h - Critical-edge splitting --------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Probe placement instruments *edges*. When an edge is critical (multi-succ
+// source into multi-pred destination) the probe cannot live in either
+// endpoint without over-counting, so the edge gets split with a fresh
+// trampoline block — the classic compiler transform LLVM performs for the
+// same purpose.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_CFG_EDGESPLIT_H
+#define PATHFUZZ_CFG_EDGESPLIT_H
+
+#include "mir/Mir.h"
+
+#include <cstdint>
+
+namespace pathfuzz {
+namespace cfg {
+
+/// Split the Slot-th successor edge of block Src in F: a new block with an
+/// unconditional branch to the old destination is appended and the
+/// terminator retargeted to it. Returns the new block's index. Existing
+/// block indices remain valid (new blocks are appended).
+uint32_t splitEdge(mir::Function &F, uint32_t Src, uint32_t Slot);
+
+} // namespace cfg
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_CFG_EDGESPLIT_H

@@ -1,0 +1,125 @@
+//===- CoverageMap.cpp - AFL-style coverage map ------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cov/CoverageMap.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+namespace pathfuzz {
+namespace cov {
+
+namespace {
+
+/// AFL's count_class_lookup: power-of-two hit-count buckets.
+struct BucketLut {
+  uint8_t Lut[256];
+  BucketLut() {
+    Lut[0] = 0;
+    Lut[1] = 1;
+    Lut[2] = 2;
+    Lut[3] = 4;
+    for (int I = 4; I <= 7; ++I)
+      Lut[I] = 8;
+    for (int I = 8; I <= 15; ++I)
+      Lut[I] = 16;
+    for (int I = 16; I <= 31; ++I)
+      Lut[I] = 32;
+    for (int I = 32; I <= 127; ++I)
+      Lut[I] = 64;
+    for (int I = 128; I <= 255; ++I)
+      Lut[I] = 128;
+  }
+};
+
+const BucketLut Buckets;
+
+} // namespace
+
+CoverageMap::CoverageMap(uint32_t SizeLog2) {
+  assert(SizeLog2 >= 4 && SizeLog2 <= 24 && "unreasonable map size");
+  Map.assign(1u << SizeLog2, 0);
+}
+
+void CoverageMap::classifyCounts() {
+  // Word-at-a-time with zero skipping: traces are sparse and this runs on
+  // every execution (AFL applies the same optimization).
+  auto *Words = reinterpret_cast<uint64_t *>(Map.data());
+  size_t NumWords = Map.size() / 8;
+  for (size_t W = 0; W < NumWords; ++W) {
+    if (!Words[W])
+      continue;
+    auto *Bytes = reinterpret_cast<uint8_t *>(&Words[W]);
+    for (int I = 0; I < 8; ++I)
+      Bytes[I] = Buckets.Lut[Bytes[I]];
+  }
+}
+
+uint32_t CoverageMap::countBytes() const {
+  uint32_t N = 0;
+  for (uint8_t B : Map)
+    N += (B != 0);
+  return N;
+}
+
+uint64_t CoverageMap::checksum() const {
+  return fnv1a(Map.data(), Map.size());
+}
+
+uint8_t CoverageMap::bucketFor(uint8_t Count) { return Buckets.Lut[Count]; }
+
+VirginMap::VirginMap(uint32_t Size) { Virgin.assign(Size, 0xff); }
+
+Novelty VirginMap::hasNewBits(const CoverageMap &Trace) {
+  assert(Trace.size() == Virgin.size() && "map size mismatch");
+  Novelty Result = Novelty::None;
+  const auto *TW = reinterpret_cast<const uint64_t *>(Trace.data());
+  auto *VW = reinterpret_cast<uint64_t *>(Virgin.data());
+  size_t NumWords = Virgin.size() / 8;
+  for (size_t W = 0; W < NumWords; ++W) {
+    uint64_t Cur = TW[W];
+    if (!Cur || !(Cur & VW[W]))
+      continue;
+    const auto *TB = reinterpret_cast<const uint8_t *>(&TW[W]);
+    auto *VB = reinterpret_cast<uint8_t *>(&VW[W]);
+    for (int I = 0; I < 8; ++I) {
+      uint8_t C = TB[I];
+      if (C && (C & VB[I])) {
+        if (Result != Novelty::NewEdges)
+          Result = (VB[I] == 0xff) ? Novelty::NewEdges : Novelty::NewCounts;
+        VB[I] &= static_cast<uint8_t>(~C);
+      }
+    }
+  }
+  return Result;
+}
+
+Novelty VirginMap::wouldHaveNewBits(const CoverageMap &Trace) const {
+  assert(Trace.size() == Virgin.size() && "map size mismatch");
+  Novelty Result = Novelty::None;
+  const uint8_t *T = Trace.data();
+  for (size_t I = 0; I < Virgin.size(); ++I) {
+    uint8_t Cur = T[I];
+    uint8_t V = Virgin[I];
+    if (Cur && (Cur & V)) {
+      if (V == 0xff)
+        return Novelty::NewEdges;
+      Result = Novelty::NewCounts;
+    }
+  }
+  return Result;
+}
+
+uint32_t VirginMap::coveredEntries() const {
+  uint32_t N = 0;
+  for (uint8_t V : Virgin)
+    N += (V != 0xff);
+  return N;
+}
+
+} // namespace cov
+} // namespace pathfuzz

@@ -1,0 +1,95 @@
+//===- CoverageMap.h - AFL-style coverage map -------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project: a reproduction of "Towards Path-Aware
+// Coverage-Guided Fuzzing" (CGO 2026).
+//
+//===----------------------------------------------------------------------===//
+//
+// The fixed-size byte coverage map AFL-family fuzzers share with the
+// target, plus the standard post-processing pipeline:
+//
+//  - classifyCounts(): hit counts are normalized into power-of-two buckets
+//    (1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+) so that only order-of-
+//    magnitude count changes register as novelty.
+//  - hasNewBits(): compares a classified trace against the "virgin" map
+//    and reports no novelty / new hit-count bucket / brand-new entry,
+//    exactly like AFL++'s has_new_bits, updating the virgin map.
+//
+// The paper keeps this machinery untouched and only changes what indexes
+// the map (edges vs (path_id ^ function) values), so the same CoverageMap
+// serves every fuzzer configuration in this reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_COV_COVERAGEMAP_H
+#define PATHFUZZ_COV_COVERAGEMAP_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace pathfuzz {
+namespace cov {
+
+/// Novelty classification returned by hasNewBits.
+enum class Novelty : uint8_t {
+  None = 0,     ///< nothing new
+  NewCounts = 1,///< an existing entry moved to a new hit-count bucket
+  NewEdges = 2, ///< a map entry was hit for the first time
+};
+
+/// The per-execution trace map plus helpers. Size is a power of two.
+class CoverageMap {
+public:
+  explicit CoverageMap(uint32_t SizeLog2 = 16);
+
+  uint8_t *data() { return Map.data(); }
+  const uint8_t *data() const { return Map.data(); }
+  uint32_t size() const { return static_cast<uint32_t>(Map.size()); }
+  uint32_t mask() const { return size() - 1; }
+
+  /// Zero the map (before each execution).
+  void reset() { std::memset(Map.data(), 0, Map.size()); }
+
+  /// Bucket raw hit counts in place (AFL's classify_counts).
+  void classifyCounts();
+
+  /// Number of nonzero entries (AFL's count_bytes; the "map density").
+  uint32_t countBytes() const;
+
+  /// 64-bit checksum of the classified map (AFL's execution checksum used
+  /// for calibration stability checks).
+  uint64_t checksum() const;
+
+  /// Bucket a single raw count (exposed for tests).
+  static uint8_t bucketFor(uint8_t Count);
+
+private:
+  std::vector<uint8_t> Map;
+};
+
+/// The accumulated "virgin" view of everything seen so far. Starts all-FF.
+class VirginMap {
+public:
+  explicit VirginMap(uint32_t Size);
+
+  /// Compare a *classified* trace with the virgin map; updates the virgin
+  /// map with anything new. Mirrors AFL++'s has_new_bits.
+  Novelty hasNewBits(const CoverageMap &Trace);
+
+  /// Non-updating variant.
+  Novelty wouldHaveNewBits(const CoverageMap &Trace) const;
+
+  /// Number of map entries observed at least once.
+  uint32_t coveredEntries() const;
+
+  const uint8_t *data() const { return Virgin.data(); }
+
+private:
+  std::vector<uint8_t> Virgin;
+};
+
+} // namespace cov
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_COV_COVERAGEMAP_H

@@ -1,0 +1,215 @@
+//===- Fuzzer.cpp - Coverage-guided fuzzing loop ------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <algorithm>
+
+namespace pathfuzz {
+namespace fuzz {
+
+Fuzzer::Fuzzer(const mir::Module &M, const instr::InstrumentReport &Report,
+               const instr::ShadowEdgeIndex &Shadow, FuzzerOptions Opts)
+    : M(M), Report(Report), Opts(Opts), Machine(M, &Shadow),
+      Trace(Opts.MapSizeLog2), Virgin(Trace.size()), R(Opts.Seed),
+      Mut(R, Opts.Mut), Q(Trace.size()) {
+  EdgeCovered.assign(Shadow.numEdges(), 0);
+}
+
+vm::ExecResult Fuzzer::executeRaw(const Input &Data, bool LogCmps) {
+  Trace.reset();
+  vm::FeedbackContext Fb;
+  Fb.Map = Trace.data();
+  Fb.MapMask = Trace.mask();
+  Fb.FuncKeys = Report.FuncKeys.data();
+  Fb.CallPathHash = Opts.PathAflAssist;
+
+  vm::ExecOptions EO = Opts.Exec;
+  EO.LogCmps = LogCmps;
+  return Machine.run(Data.data(), Data.size(), EO, &Fb);
+}
+
+void Fuzzer::sampleGrowth() {
+  if (Opts.GrowthSampleInterval == 0)
+    return;
+  if (Stats.Execs % Opts.GrowthSampleInterval == 0)
+    Stats.QueueGrowth.push_back({Stats.Execs, Q.size()});
+}
+
+bool Fuzzer::processResult(const Input &Data, const vm::ExecResult &Res,
+                           uint32_t Depth, bool ForceAdd) {
+  ++Stats.Execs;
+  sampleGrowth();
+
+  // Union shadow edges (crashing runs count for coverage too, as the
+  // paper's afl-showmap pass replays everything the fuzzer saved).
+  for (uint32_t Edge : Res.ShadowEdges) {
+    if (!EdgeCovered[Edge]) {
+      EdgeCovered[Edge] = 1;
+      ++EdgeCoveredCount;
+    }
+  }
+
+  // Harvest comparison operands.
+  if (Opts.UseCmpDict) {
+    for (int64_t V : Res.CmpOperands) {
+      if (CmpDict.size() >= Opts.MaxCmpDict)
+        break;
+      if (CmpDictSet.insert(V).second)
+        CmpDict.push_back(V);
+    }
+  }
+
+  if (Res.crashed()) {
+    ++Stats.Crashes;
+    uint64_t Hash = Res.TheFault.stackHash();
+    Bugs.insert(Res.TheFault.bugId());
+    if (CrashHashes.insert(Hash).second) {
+      CrashRecord C;
+      C.Data = Data;
+      C.TheFault = Res.TheFault;
+      C.StackHash = Hash;
+      C.BugId = Res.TheFault.bugId();
+      C.AtExec = Stats.Execs;
+      Crashes.push_back(std::move(C));
+    }
+    return false;
+  }
+  if (Res.hung()) {
+    ++Stats.Hangs;
+    return false;
+  }
+
+  Trace.classifyCounts();
+  cov::Novelty Nov = Virgin.hasNewBits(Trace);
+  if (Nov == cov::Novelty::None && !ForceAdd)
+    return false;
+
+  QueueEntry E;
+  E.Data = Data;
+  E.Checksum = Trace.checksum();
+  E.Steps = Res.Steps;
+  E.Depth = Depth;
+  E.FoundAtExec = Stats.Execs;
+  E.EdgeSet = Res.ShadowEdges;
+  // Word-skipping scan: traces are sparse and entries are added often
+  // under the path feedback.
+  const auto *Words = reinterpret_cast<const uint64_t *>(Trace.data());
+  const uint8_t *T = Trace.data();
+  for (uint32_t W = 0; W < Trace.size() / 8; ++W) {
+    if (!Words[W])
+      continue;
+    for (uint32_t I = W * 8; I < W * 8 + 8; ++I)
+      if (T[I])
+        E.MapSet.push_back(I);
+  }
+  E.Density = static_cast<uint32_t>(E.MapSet.size());
+
+  AvgStepsNum += Res.Steps;
+  AvgStepsDen += 1;
+
+  Stats.LastFindExec = Stats.Execs;
+  Q.add(std::move(E));
+  return true;
+}
+
+void Fuzzer::seedDict(const std::vector<int64_t> &Values) {
+  for (int64_t V : Values) {
+    if (CmpDict.size() >= Opts.MaxCmpDict)
+      break;
+    if (CmpDictSet.insert(V).second)
+      CmpDict.push_back(V);
+  }
+}
+
+void Fuzzer::addSeed(const Input &Data) {
+  // Seeds are always retained, novelty or not (AFL keeps all seeds),
+  // unless they crash or hang outright.
+  vm::ExecResult Res = executeRaw(Data, Opts.UseCmpDict);
+  processResult(Data, Res, 0, /*ForceAdd=*/true);
+}
+
+uint32_t Fuzzer::energyFor(const QueueEntry &E) const {
+  // Simplified AFL perf_score: favor fast, fresh, favored and deep
+  // entries.
+  uint64_t Score = 48;
+  if (E.Favored)
+    Score *= 2;
+  if (!E.WasFuzzed)
+    Score *= 2;
+  if (AvgStepsDen) {
+    uint64_t Avg = AvgStepsNum / AvgStepsDen;
+    if (E.Steps * 2 < Avg)
+      Score = Score * 3 / 2;
+    else if (E.Steps > Avg * 4)
+      Score /= 2;
+  }
+  Score += std::min<uint32_t>(E.Depth, 16) * 4;
+  return static_cast<uint32_t>(std::clamp<uint64_t>(Score, 16, 384));
+}
+
+void Fuzzer::run(uint64_t ExecBudget) {
+  if (Q.empty()) {
+    // All seeds crashed or none were given: start from a tiny default.
+    addSeed({'A', 'A', 'A', 'A'});
+    if (Q.empty())
+      return; // even the default input crashes at depth 0
+  }
+
+  while (Stats.Execs < ExecBudget) {
+    size_t Index = CurIdx % Q.size();
+    CurIdx = (CurIdx + 1) % (Q.size() ? Q.size() : 1);
+    Q.cullIfNeeded();
+    QueueEntry &E = Q[Index];
+
+    // AFL's skip probabilities.
+    if (!E.Favored) {
+      if (Q.pendingFavored() > 0) {
+        if (R.chance(99, 100))
+          continue;
+      } else if (E.WasFuzzed) {
+        if (R.chance(95, 100))
+          continue;
+      } else {
+        if (R.chance(75, 100))
+          continue;
+      }
+    }
+
+    uint32_t Energy = energyFor(E);
+    uint32_t Depth = E.Depth + 1;
+    Input Base = E.Data; // E may be invalidated by queue growth
+    Q.markFuzzed(Index);
+
+    for (uint32_t I = 0; I < Energy && Stats.Execs < ExecBudget; ++I) {
+      Input Data = Base;
+      bool DoSplice = Q.size() > 1 && R.chance(Opts.SplicePercent, 100);
+      if (DoSplice) {
+        const QueueEntry &Other = Q[R.index(Q.size())];
+        Mut.splice(Data, Other.Data, CmpDict);
+      } else {
+        Mut.havoc(Data, CmpDict);
+      }
+      // Log comparisons on a small fraction of runs to refresh the
+      // dictionary without paying the cost everywhere.
+      bool LogCmps = Opts.UseCmpDict && R.oneIn(16);
+      vm::ExecResult Res = executeRaw(Data, LogCmps);
+      processResult(Data, Res, Depth);
+    }
+  }
+}
+
+std::vector<uint32_t> Fuzzer::coveredEdgeList() const {
+  std::vector<uint32_t> Out;
+  Out.reserve(EdgeCoveredCount);
+  for (uint32_t I = 0; I < EdgeCovered.size(); ++I)
+    if (EdgeCovered[I])
+      Out.push_back(I);
+  return Out;
+}
+
+} // namespace fuzz
+} // namespace pathfuzz

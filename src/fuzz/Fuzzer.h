@@ -1,0 +1,156 @@
+//===- Fuzzer.h - Coverage-guided fuzzing loop ------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project: a reproduction of "Towards Path-Aware
+// Coverage-Guided Fuzzing" (CGO 2026).
+//
+//===----------------------------------------------------------------------===//
+//
+// An AFL++-style greybox fuzzing loop over the MIR VM. One Fuzzer instance
+// is one fuzzing "session": it owns the coverage map, the virgin map, the
+// corpus, the mutation RNG and the crash collection. The feedback
+// mechanism is whatever the module was instrumented with — the paper's
+// point is that everything else is shared across configurations:
+//
+//  - scheduling with favored-entry skip probabilities (AFL's 99/95/75%),
+//  - energy assignment (a simplified perf_score),
+//  - havoc/splice mutations plus a comparison-operand dictionary
+//    (the cmplog / input-to-state analogue),
+//  - crash collection with stack-hash dedup ("unique crashes") and
+//    ground-truth bug identity ("unique bugs" after the paper's manual
+//    triage),
+//  - campaign budgets measured in executions (the deterministic analogue
+//    of the paper's wall-clock budgets).
+//
+// The fuzzer also tracks the union of *shadow* edges covered, regardless
+// of feedback mode — the afl-showmap analogue behind Table IV and the
+// culling criterion.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_FUZZ_FUZZER_H
+#define PATHFUZZ_FUZZ_FUZZER_H
+
+#include "cov/CoverageMap.h"
+#include "fuzz/Mutator.h"
+#include "fuzz/Queue.h"
+#include "instrument/Instrument.h"
+#include "vm/Vm.h"
+
+#include <unordered_set>
+
+namespace pathfuzz {
+namespace fuzz {
+
+struct FuzzerOptions {
+  uint32_t MapSizeLog2 = 16;
+  uint64_t Seed = 1;
+  MutatorConfig Mut;
+  vm::ExecOptions Exec;
+  /// Harvest comparison operands into the mutation dictionary.
+  bool UseCmpDict = true;
+  /// PathAFL-style whole-program call-path hashing assist.
+  bool PathAflAssist = false;
+  /// Probability (percent) of splicing instead of plain havoc.
+  uint32_t SplicePercent = 15;
+  /// Queue-size sampling interval in executions (Fig. 2 / Table I data).
+  uint32_t GrowthSampleInterval = 2048;
+  size_t MaxCmpDict = 512;
+};
+
+struct FuzzStats {
+  uint64_t Execs = 0;
+  uint64_t Crashes = 0; ///< total crashing executions
+  uint64_t Hangs = 0;
+  uint64_t LastFindExec = 0; ///< exec index of the last queue addition
+  /// (execs, queue size) samples.
+  std::vector<std::pair<uint64_t, uint64_t>> QueueGrowth;
+};
+
+/// A deduplicated crash (one per distinct stack hash).
+struct CrashRecord {
+  Input Data;
+  vm::Fault TheFault;
+  uint64_t StackHash = 0;
+  uint64_t BugId = 0;
+  uint64_t AtExec = 0;
+};
+
+class Fuzzer {
+public:
+  /// M must already be instrumented; Report is the instrumentation report
+  /// for it (per-function keys); Shadow indexes the *original* module.
+  /// All three must outlive the Fuzzer.
+  Fuzzer(const mir::Module &M, const instr::InstrumentReport &Report,
+         const instr::ShadowEdgeIndex &Shadow, FuzzerOptions Opts);
+
+  /// Execute a seed and add it to the corpus (unless it crashes, which is
+  /// recorded instead — matching the paper's removal of crashing inputs
+  /// from opportunistic seed queues).
+  void addSeed(const Input &Data);
+
+  /// Pre-load comparison-operand dictionary values (what AFL++'s cmplog
+  /// re-mines from a seed queue when an instance restarts; the culling
+  /// and opportunistic drivers carry the dictionary across instances).
+  void seedDict(const std::vector<int64_t> &Values);
+
+  /// Fuzz until the *cumulative* execution count reaches ExecBudget.
+  void run(uint64_t ExecBudget);
+
+  /// Execute one input under this fuzzer's feedback without corpus or
+  /// novelty bookkeeping (exposed for tools, calibration and tests).
+  vm::ExecResult executeRaw(const Input &Data, bool LogCmps = false);
+
+  Corpus &corpus() { return Q; }
+  const Corpus &corpus() const { return Q; }
+  const FuzzStats &stats() const { return Stats; }
+  const std::vector<CrashRecord> &uniqueCrashes() const { return Crashes; }
+
+  /// Number of distinct shadow edges covered so far (crashing runs
+  /// included).
+  uint32_t edgesCovered() const { return EdgeCoveredCount; }
+  /// Sorted list of covered shadow edge IDs.
+  std::vector<uint32_t> coveredEdgeList() const;
+
+  /// Distinct ground-truth bugs found (the "unique bugs" measure).
+  const std::unordered_set<uint64_t> &bugIds() const { return Bugs; }
+
+  const std::vector<int64_t> &cmpDict() const { return CmpDict; }
+
+private:
+  /// Process one executed input; returns true if it was added to the
+  /// corpus. ForceAdd retains the input even without coverage novelty
+  /// (seeds).
+  bool processResult(const Input &Data, const vm::ExecResult &Res,
+                     uint32_t Depth, bool ForceAdd = false);
+  uint32_t energyFor(const QueueEntry &E) const;
+  void sampleGrowth();
+
+  const mir::Module &M;
+  const instr::InstrumentReport &Report;
+  FuzzerOptions Opts;
+  vm::Vm Machine;
+  cov::CoverageMap Trace;
+  cov::VirginMap Virgin;
+  Rng R;
+  Mutator Mut;
+  Corpus Q;
+  FuzzStats Stats;
+
+  std::vector<CrashRecord> Crashes;
+  std::unordered_set<uint64_t> CrashHashes;
+  std::unordered_set<uint64_t> Bugs;
+
+  std::vector<uint8_t> EdgeCovered; ///< dense bitmap over shadow edge IDs
+  uint32_t EdgeCoveredCount = 0;
+
+  std::vector<int64_t> CmpDict;
+  std::unordered_set<int64_t> CmpDictSet;
+
+  size_t CurIdx = 0;
+  uint64_t AvgStepsNum = 0, AvgStepsDen = 0;
+};
+
+} // namespace fuzz
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_FUZZ_FUZZER_H

@@ -1,0 +1,62 @@
+//===- Mutator.h - Havoc/splice mutation engine -----------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// AFL++-style input mutation: stacked "havoc" transformations (bit flips,
+// interesting values, arithmetic, block delete/clone/overwrite), splicing
+// with another queue entry, and dictionary injection of values harvested
+// from comparison operands (the cmplog / input-to-state-correspondence
+// analogue the paper enables for all fuzzer configurations). The paper
+// changes only the coverage feedback, so this machinery is shared verbatim
+// by every configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_FUZZ_MUTATOR_H
+#define PATHFUZZ_FUZZ_MUTATOR_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace fuzz {
+
+using Input = std::vector<uint8_t>;
+
+struct MutatorConfig {
+  size_t MaxLen = 512;
+  unsigned MaxStackPow = 6; ///< stack 1 << (1..MaxStackPow) mutations
+};
+
+/// Deterministic mutation engine; all randomness comes from the supplied
+/// Rng so campaigns replay exactly.
+class Mutator {
+public:
+  Mutator(Rng &R, MutatorConfig Config) : R(R), Config(Config) {}
+
+  /// Stacked havoc mutations in place. Dict may be empty.
+  void havoc(Input &Data, const std::vector<int64_t> &Dict);
+
+  /// Splice Data with Other at random points, then havoc.
+  void splice(Input &Data, const Input &Other,
+              const std::vector<int64_t> &Dict);
+
+  /// One random atomic mutation (exposed for tests).
+  void mutateOnce(Input &Data, const std::vector<int64_t> &Dict);
+
+private:
+  void insertBytes(Input &Data, size_t Pos, const uint8_t *Src, size_t N);
+  void writeValueLE(Input &Data, int64_t Value, unsigned Width, bool Insert);
+
+  Rng &R;
+  MutatorConfig Config;
+};
+
+} // namespace fuzz
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_FUZZ_MUTATOR_H

@@ -1,0 +1,96 @@
+//===- Queue.h - Fuzzing corpus and favored-set computation -----*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The fuzzer's queue of interesting test cases plus AFL's "top-rated"
+// favored-corpus machinery: for every coverage-map entry the cheapest
+// (steps x size) covering input is tracked, and a greedy pass marks a
+// minimal-ish covering subset as *favored*; non-favored entries are mostly
+// skipped during scheduling. Section III-B1 of the paper builds its culling
+// criterion on exactly this fast set-cover approximation — applied to
+// *edge* sets rather than map entries — which edgePreservingSubset()
+// implements.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_FUZZ_QUEUE_H
+#define PATHFUZZ_FUZZ_QUEUE_H
+
+#include "fuzz/Mutator.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace fuzz {
+
+/// One retained test case.
+struct QueueEntry {
+  Input Data;
+  uint64_t Checksum = 0; ///< classified-trace checksum (calibration)
+  uint32_t Density = 0;  ///< nonzero classified map entries
+  uint64_t Steps = 0;    ///< VM steps (execution cost)
+  uint32_t Depth = 0;    ///< mutation chain depth from the seeds
+  bool Favored = false;
+  bool WasFuzzed = false;
+  uint64_t FoundAtExec = 0;
+  /// Feedback-map indices this input covers (sorted) — favored set input.
+  std::vector<uint32_t> MapSet;
+  /// Shadow (true) edges this input covers (sorted) — culling/coverage.
+  std::vector<uint32_t> EdgeSet;
+
+  /// AFL's fav_factor: lower is better.
+  uint64_t score() const { return Steps * (Data.size() + 1); }
+};
+
+/// The corpus plus the top-rated index.
+class Corpus {
+public:
+  explicit Corpus(uint32_t MapSize);
+
+  /// Append an entry and update the top-rated table. Favored marks are
+  /// recomputed lazily (AFL defers cull_queue the same way); call
+  /// cullIfNeeded() before reading Favored flags.
+  void add(QueueEntry Entry);
+
+  /// Run the favored-marking pass if the top-rated table changed since the
+  /// last pass (AFL's cull_queue guarded by score_changed).
+  void cullIfNeeded();
+
+  /// Record that an entry received a fuzzing round (keeps the pending-
+  /// favored counter exact without rescanning the queue).
+  void markFuzzed(size_t Index);
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+  QueueEntry &operator[](size_t I) { return Entries[I]; }
+  const QueueEntry &operator[](size_t I) const { return Entries[I]; }
+  const std::vector<QueueEntry> &entries() const { return Entries; }
+
+  /// Number of favored entries not yet fuzzed (drives skip probabilities).
+  /// Cached; exact after cullIfNeeded().
+  uint32_t pendingFavored() const { return PendingFavoredCount; }
+  uint32_t favoredCount() const;
+
+  /// Re-run the greedy favored marking now (normally automatic).
+  void recomputeFavored();
+
+  /// Greedy minimal-ish subset of entry indices whose EdgeSets union to
+  /// the union of all entries' EdgeSets: the paper's culling criterion
+  /// ("retain test cases exercising all edges encountered", via the
+  /// favored-corpus approximation of set cover).
+  std::vector<size_t> edgePreservingSubset() const;
+
+private:
+  std::vector<QueueEntry> Entries;
+  std::vector<int32_t> TopRated; ///< per map index: best entry or -1
+  bool NeedCull = false;
+  uint32_t PendingFavoredCount = 0;
+};
+
+} // namespace fuzz
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_FUZZ_QUEUE_H

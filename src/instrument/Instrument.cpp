@@ -1,0 +1,195 @@
+//===- Instrument.cpp - Coverage instrumentation passes ----------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Instrument.h"
+
+#include "cfg/EdgeSplit.h"
+#include "mir/Verifier.h"
+#include "support/Rng.h"
+
+#include <cassert>
+
+namespace pathfuzz {
+namespace instr {
+
+namespace {
+
+/// Instruments one function; shares the global edge-ID counter and RNG
+/// with the module pass.
+class FunctionInstrumenter {
+public:
+  FunctionInstrumenter(mir::Module &M, uint32_t FuncIndex,
+                       const InstrumentOptions &Opts, uint32_t &NextEdgeId,
+                       Rng &ClassicRng)
+      : M(M), F(M.Funcs[FuncIndex]), Opts(Opts), NextEdgeId(NextEdgeId),
+        ClassicRng(ClassicRng) {}
+
+  FunctionInstrInfo run() {
+    switch (Opts.Mode) {
+    case Feedback::None:
+      break;
+    case Feedback::EdgePrecise:
+      instrumentEdgePrecise();
+      break;
+    case Feedback::EdgeClassic:
+      instrumentEdgeClassic();
+      break;
+    case Feedback::Path:
+      instrumentPath();
+      break;
+    }
+    return Info;
+  }
+
+private:
+  /// Place probe I on the CFG edge (Src, Slot), splitting the edge when
+  /// neither endpoint can host it unambiguously. G is the pre-pass view.
+  void placeOnEdge(const cfg::CfgView &G, uint32_t Src, uint32_t Slot,
+                   const mir::Instr &I) {
+    ++Info.NumProbes;
+    const std::vector<uint32_t> &Out = G.succEdges(Src);
+    assert(Slot < Out.size() && "bad slot");
+    uint32_t EdgeIndex = Out[Slot];
+    uint32_t Dst = G.edges()[EdgeIndex].Dst;
+
+    if (Out.size() == 1) {
+      // The edge is always taken when Src completes: append to Src.
+      F.Blocks[Src].Instrs.push_back(I);
+      return;
+    }
+    if (G.predEdges(Dst).size() == 1 && Dst != 0) {
+      // Only this edge enters Dst (and Dst is not the function entry, which
+      // is also reachable from the caller): prepend to Dst.
+      auto &Instrs = F.Blocks[Dst].Instrs;
+      Instrs.insert(Instrs.begin(), I);
+      return;
+    }
+    uint32_t Trampoline = cfg::splitEdge(F, Src, Slot);
+    F.Blocks[Trampoline].Instrs.push_back(I);
+    ++Info.NumSplitEdges;
+  }
+
+  void instrumentEdgePrecise() {
+    // Faithful pcguard analogue: LLVM's SanitizerCoverage splits all
+    // critical edges and then plants one guard per basic block, yielding
+    // collision-free edge-equivalent coverage. We do exactly that.
+    {
+      cfg::CfgView G(F);
+      for (uint32_t EdgeIndex = 0; EdgeIndex < G.edges().size(); ++EdgeIndex) {
+        if (!G.isCriticalEdge(EdgeIndex))
+          continue;
+        const cfg::Edge &E = G.edges()[EdgeIndex];
+        cfg::splitEdge(F, E.Src, E.Slot);
+        ++Info.NumSplitEdges;
+      }
+    }
+    cfg::CfgView G(F);
+    for (uint32_t B = 0; B < G.numBlocks(); ++B) {
+      if (!G.isReachable(B))
+        continue;
+      mir::Instr Probe;
+      Probe.Op = mir::Opcode::EdgeProbe;
+      Probe.Imm = static_cast<int64_t>(NextEdgeId++);
+      auto &Instrs = F.Blocks[B].Instrs;
+      Instrs.insert(Instrs.begin(), Probe);
+      ++Info.NumProbes;
+    }
+  }
+
+  void instrumentEdgeClassic() {
+    uint64_t MapSize = 1ULL << Opts.MapSizeLog2;
+    for (mir::BasicBlock &BB : F.Blocks) {
+      mir::Instr Probe;
+      Probe.Op = mir::Opcode::BlockProbe;
+      Probe.Imm = static_cast<int64_t>(ClassicRng.below(MapSize));
+      BB.Instrs.insert(BB.Instrs.begin(), Probe);
+      ++Info.NumProbes;
+    }
+  }
+
+  void instrumentPath() {
+    cfg::CfgView G(F);
+    std::optional<bl::BLDag> Dag = bl::BLDag::build(G, Opts.MaxPathsPerFunction);
+    if (!Dag) {
+      // Overflow guard: pathological path counts fall back to edge probes,
+      // as practical path-profiling systems do.
+      Info.PathFallback = true;
+      instrumentEdgePrecise();
+      return;
+    }
+
+    bl::PathProbePlan Plan = Dag->makePlan(Opts.Placement);
+    Info.NumPaths = Plan.NumPaths;
+
+    F.HasPathReg = true;
+    F.PathReg = F.NumRegs++;
+    F.PathRegInit = Plan.EntryInit;
+
+    for (const auto &EI : Plan.EdgeIncs) {
+      const cfg::Edge &E = G.edges()[EI.CfgEdgeIndex];
+      mir::Instr Probe;
+      Probe.Op = mir::Opcode::PathAdd;
+      Probe.Imm = EI.Inc;
+      placeOnEdge(G, E.Src, E.Slot, Probe);
+    }
+    for (const auto &BP : Plan.BackProbes) {
+      const cfg::Edge &E = G.edges()[BP.CfgEdgeIndex];
+      mir::Instr Probe;
+      Probe.Op = mir::Opcode::PathFlushBack;
+      Probe.Imm = BP.FlushAdd;
+      Probe.Imm2 = BP.Reset;
+      placeOnEdge(G, E.Src, E.Slot, Probe);
+    }
+    for (const auto &RP : Plan.RetProbes) {
+      mir::Instr Probe;
+      Probe.Op = mir::Opcode::PathFlushRet;
+      Probe.Imm = RP.FlushAdd;
+      F.Blocks[RP.Block].Instrs.push_back(Probe);
+      ++Info.NumProbes;
+    }
+  }
+
+  mir::Module &M;
+  mir::Function &F;
+  const InstrumentOptions &Opts;
+  uint32_t &NextEdgeId;
+  Rng &ClassicRng;
+  FunctionInstrInfo Info;
+};
+
+} // namespace
+
+InstrumentReport instrumentModule(mir::Module &M,
+                                  const InstrumentOptions &Opts) {
+  assert(mir::verifyModule(M).ok() && "instrumenting an ill-formed module");
+
+  InstrumentReport Report;
+  Report.Mode = Opts.Mode;
+  Report.FuncKeys.reserve(M.Funcs.size());
+  for (size_t I = 0; I < M.Funcs.size(); ++I)
+    Report.FuncKeys.push_back(
+        mix64(Opts.Seed ^ (0x9e3779b97f4a7c15ULL * (I + 1))));
+
+  uint32_t NextEdgeId = 0;
+  Rng ClassicRng(Opts.Seed ^ 0xc1a551cULL);
+
+  for (uint32_t FuncIndex = 0; FuncIndex < M.Funcs.size(); ++FuncIndex) {
+    FunctionInstrumenter FI(M, FuncIndex, Opts, NextEdgeId, ClassicRng);
+    FunctionInstrInfo Info = FI.run();
+    Report.TotalProbes += Info.NumProbes;
+    Report.TotalSplitEdges += Info.NumSplitEdges;
+    Report.TotalPathFallbacks += Info.PathFallback ? 1 : 0;
+    Report.TotalPaths += Info.NumPaths;
+    Report.PerFunction.push_back(Info);
+  }
+  Report.NumEdgeIds = NextEdgeId;
+
+  assert(mir::verifyModule(M).ok() && "instrumentation broke the module");
+  return Report;
+}
+
+} // namespace instr
+} // namespace pathfuzz

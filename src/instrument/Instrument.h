@@ -1,0 +1,96 @@
+//===- Instrument.h - Coverage instrumentation passes -----------*- C++ -*-===//
+//
+// Part of the pathfuzz project: a reproduction of "Towards Path-Aware
+// Coverage-Guided Fuzzing" (CGO 2026).
+//
+//===----------------------------------------------------------------------===//
+//
+// Rewrites a MIR module with coverage probes, mirroring the paper's LLVM
+// passes. Three feedbacks are supported:
+//
+//  - EdgePrecise: one probe per CFG edge with a collision-free global edge
+//    ID (the `pcguard` analogue, AFL++'s default and the paper's baseline).
+//  - EdgeClassic: one probe per basic block with a random location ID; the
+//    runtime combines it with the previous location as `cur ^ (prev >> 1)`
+//    (classic AFL; the base PathAFL builds on).
+//  - Path: Ball-Larus intra-procedural acyclic-path probes (the paper's
+//    contribution): `r += k` on selected edges, flush+reset at back edges,
+//    flush at returns. The map update key is (path_id ^ function_key),
+//    computed by the runtime, exactly as in the paper (Section IV).
+//
+// Probes attach to edges with the standard placement rules: into the
+// source block when it has a single successor, into the destination when
+// it has a single predecessor, otherwise onto a freshly split trampoline
+// block. Instrumentation runs after the frontend finishes, the analogue of
+// the paper running its pass after all middle-end optimizations.
+//
+// Functions whose acyclic-path count exceeds MaxPathsPerFunction fall back
+// to precise edge probes (overflow guard); the report records this.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_INSTRUMENT_INSTRUMENT_H
+#define PATHFUZZ_INSTRUMENT_INSTRUMENT_H
+
+#include "bl/BallLarus.h"
+#include "mir/Mir.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace instr {
+
+/// Which coverage feedback the probes implement.
+enum class Feedback : uint8_t {
+  None,        ///< no probes (blind fuzzing / baseline timing)
+  EdgePrecise, ///< pcguard analogue: per-edge collision-free IDs
+  EdgeClassic, ///< classic AFL: per-block random location IDs
+  Path,        ///< Ball-Larus intra-procedural path probes (the paper)
+};
+
+struct InstrumentOptions {
+  Feedback Mode = Feedback::EdgePrecise;
+  /// Increment placement for Path mode.
+  bl::PlacementMode Placement = bl::PlacementMode::SpanningTree;
+  /// Path-count overflow guard; beyond this a function falls back to
+  /// precise edge probes.
+  uint64_t MaxPathsPerFunction = 1ULL << 31;
+  /// Seed for classic-mode block IDs and per-function keys.
+  uint64_t Seed = 0x5eed5eedULL;
+  /// Map size (power of two) used to pre-reduce classic block IDs.
+  uint32_t MapSizeLog2 = 16;
+};
+
+/// Per-function summary of what the pass did.
+struct FunctionInstrInfo {
+  uint64_t NumPaths = 0;     ///< acyclic paths (Path mode; 0 on fallback)
+  bool PathFallback = false; ///< Path mode fell back to edge probes
+  uint32_t NumProbes = 0;    ///< probe instructions inserted
+  uint32_t NumSplitEdges = 0;
+};
+
+/// Whole-module instrumentation result.
+struct InstrumentReport {
+  Feedback Mode = Feedback::None;
+  std::vector<FunctionInstrInfo> PerFunction;
+  /// Per-function 64-bit keys for path-map indexing (index = function).
+  std::vector<uint64_t> FuncKeys;
+  uint64_t TotalProbes = 0;
+  uint64_t TotalSplitEdges = 0;
+  uint64_t TotalPathFallbacks = 0;
+  /// Number of distinct precise edge IDs assigned (EdgePrecise/fallbacks).
+  uint64_t NumEdgeIds = 0;
+  /// Sum of NumPaths over successfully path-instrumented functions.
+  uint64_t TotalPaths = 0;
+};
+
+/// Instrument the module in place. The module must verify beforehand and
+/// will verify afterwards.
+InstrumentReport instrumentModule(mir::Module &M,
+                                  const InstrumentOptions &Opts);
+
+} // namespace instr
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_INSTRUMENT_INSTRUMENT_H

@@ -1,0 +1,32 @@
+//===- ShadowEdges.cpp - Mode-independent edge numbering ---------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/ShadowEdges.h"
+
+namespace pathfuzz {
+namespace instr {
+
+ShadowEdgeIndex ShadowEdgeIndex::build(const mir::Module &M) {
+  ShadowEdgeIndex Index;
+  Index.OrigBlockCount.reserve(M.Funcs.size());
+  Index.FuncBlockBase.reserve(M.Funcs.size());
+
+  uint32_t NextId = 0;
+  for (const mir::Function &F : M.Funcs) {
+    Index.FuncBlockBase.push_back(
+        static_cast<uint32_t>(Index.BlockBase.size()));
+    Index.OrigBlockCount.push_back(F.numBlocks());
+    for (const mir::BasicBlock &BB : F.Blocks) {
+      Index.BlockBase.push_back(NextId);
+      NextId += static_cast<uint32_t>(BB.Term.Succs.size());
+    }
+  }
+  Index.Total = NextId;
+  return Index;
+}
+
+} // namespace instr
+} // namespace pathfuzz

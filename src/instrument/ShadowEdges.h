@@ -1,0 +1,63 @@
+//===- ShadowEdges.h - Mode-independent edge numbering ----------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper measures code coverage of *all* fuzzer configurations with
+// afl-showmap on a pcguard-instrumented binary, so coverage comparisons are
+// independent of each fuzzer's own feedback. Our analogue: the VM can
+// record, for every executed control-flow transfer, a *shadow* edge ID
+// drawn from a numbering computed on the original (pre-instrumentation)
+// module. Edge identity is the stable (function, source block, successor
+// slot) triple, so trampoline blocks added by probe placement do not
+// perturb it and all feedback modes observe identical edge sets for
+// identical program behaviour. The same per-input edge sets feed the
+// culling strategy's edge-coverage-preserving queue reduction.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_INSTRUMENT_SHADOWEDGES_H
+#define PATHFUZZ_INSTRUMENT_SHADOWEDGES_H
+
+#include "mir/Mir.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace instr {
+
+/// Global numbering of the original CFG edges of a module. Build this
+/// *before* instrumenting the module.
+class ShadowEdgeIndex {
+public:
+  /// Build the numbering from an uninstrumented module.
+  static ShadowEdgeIndex build(const mir::Module &M);
+
+  /// Total number of edge IDs.
+  uint32_t numEdges() const { return Total; }
+
+  /// ID of the Slot-th successor edge of block Block in function Func.
+  /// Returns UINT32_MAX for blocks beyond the original block count
+  /// (instrumentation trampolines), which callers must skip.
+  uint32_t edgeId(uint32_t Func, uint32_t Block, uint32_t Slot) const {
+    if (Block >= OrigBlockCount[Func])
+      return UINT32_MAX;
+    return BlockBase[FuncBlockBase[Func] + Block] + Slot;
+  }
+
+  /// Original (pre-instrumentation) block count of a function.
+  uint32_t origBlocks(uint32_t Func) const { return OrigBlockCount[Func]; }
+
+private:
+  uint32_t Total = 0;
+  std::vector<uint32_t> OrigBlockCount; ///< per function
+  std::vector<uint32_t> FuncBlockBase;  ///< per function: index into BlockBase
+  std::vector<uint32_t> BlockBase;      ///< per original block: first edge ID
+};
+
+} // namespace instr
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_INSTRUMENT_SHADOWEDGES_H

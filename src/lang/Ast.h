@@ -1,0 +1,104 @@
+//===- Ast.h - MiniLang abstract syntax tree --------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_LANG_AST_H
+#define PATHFUZZ_LANG_AST_H
+
+#include "lang/Token.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+namespace lang {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class ExprKind : uint8_t {
+  IntLit,  ///< IntVal
+  VarRef,  ///< Name
+  Unary,   ///< Op (Minus/Bang), Lhs
+  Binary,  ///< Op, Lhs, Rhs (AmpAmp/PipePipe short-circuit)
+  Index,   ///< Lhs [ Rhs ]
+  Call,    ///< Name ( Args ) — user function or builtin
+};
+
+/// Builtin functions resolved at lowering time by name:
+///   in(i)     — input byte at i (-1 past the end)
+///   len()     — input length
+///   alloc(n)  — heap array of n cells
+///   free(p)   — release p
+///   abort()   — assertion failure (crash)
+struct Expr {
+  ExprKind Kind;
+  SrcLoc Loc;
+  int64_t IntVal = 0;
+  std::string Name;
+  TokKind Op = TokKind::Eof;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+  std::vector<ExprPtr> Args;
+};
+
+enum class StmtKind : uint8_t {
+  Block,       ///< Body
+  VarDecl,     ///< Name = A (A may be null: zero-init)
+  ArrayDecl,   ///< Name [ A ] — fresh heap array
+  Assign,      ///< Name = A
+  IndexAssign, ///< A [ B ] = C
+  If,          ///< A cond, Body, ElseBody
+  While,       ///< A cond, Body
+  Return,      ///< A (may be null: return 0)
+  Break,
+  Continue,
+  ExprStmt,    ///< A
+};
+
+struct Stmt {
+  StmtKind Kind;
+  SrcLoc Loc;
+  std::string Name;
+  ExprPtr A;
+  ExprPtr B;
+  ExprPtr C;
+  std::vector<StmtPtr> Body;
+  std::vector<StmtPtr> ElseBody;
+};
+
+/// A function declaration.
+struct FuncDecl {
+  std::string Name;
+  SrcLoc Loc;
+  std::vector<std::string> Params;
+  std::vector<StmtPtr> Body;
+};
+
+/// A global array declaration with optional constant initializer.
+struct GlobalDecl {
+  std::string Name;
+  SrcLoc Loc;
+  int64_t Size = 0;
+  std::vector<int64_t> Init;
+};
+
+/// A parsed compilation unit.
+struct Program {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncDecl> Funcs;
+};
+
+// Convenience constructors used by the parser and tests.
+ExprPtr makeIntLit(int64_t V, SrcLoc Loc = {});
+ExprPtr makeVarRef(std::string Name, SrcLoc Loc = {});
+
+} // namespace lang
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_LANG_AST_H

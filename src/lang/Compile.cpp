@@ -1,0 +1,517 @@
+//===- Compile.cpp - MiniLang to MIR compilation pipeline --------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Compile.h"
+
+#include "lang/Parser.h"
+#include "mir/Builder.h"
+#include "mir/Verifier.h"
+
+#include <map>
+
+namespace pathfuzz {
+namespace lang {
+
+std::string CompileResult::message() const {
+  std::string S;
+  for (const auto &E : Errors) {
+    S += E;
+    S += '\n';
+  }
+  return S;
+}
+
+namespace {
+
+/// Signature info collected in the pre-pass so calls can be lowered
+/// against forward references.
+struct FuncSig {
+  uint32_t Index;
+  uint32_t Arity;
+};
+
+class Lowering {
+public:
+  Lowering(const Program &P, std::string ModuleName) : P(P) {
+    Mod.Name = std::move(ModuleName);
+  }
+
+  CompileResult run() {
+    declareGlobals();
+    declareFunctions();
+    for (const FuncDecl &F : P.Funcs)
+      lowerFunction(F);
+
+    CompileResult Result;
+    Result.Errors = std::move(Errors);
+    if (!Result.Errors.empty())
+      return Result;
+
+    if (Mod.findFunction("main") < 0) {
+      Result.Errors.push_back("program has no 'main' function");
+      return Result;
+    }
+
+    mir::VerifyResult VR = mir::verifyModule(Mod);
+    if (!VR.ok()) {
+      Result.Errors = std::move(VR.Errors);
+      return Result;
+    }
+    Result.Mod = std::move(Mod);
+    return Result;
+  }
+
+private:
+  void error(SrcLoc Loc, const std::string &Msg) {
+    Errors.push_back(Loc.str() + ": " + Msg);
+  }
+
+  void declareGlobals() {
+    for (const GlobalDecl &G : P.Globals) {
+      if (GlobalIndex.count(G.Name)) {
+        error(G.Loc, "redefinition of global '" + G.Name + "'");
+        continue;
+      }
+      if (G.Size < 0 || G.Size > (1 << 20)) {
+        error(G.Loc, "unreasonable global size for '" + G.Name + "'");
+        continue;
+      }
+      mir::Global MG;
+      MG.Name = G.Name;
+      MG.Size = static_cast<uint32_t>(G.Size);
+      MG.Init = G.Init;
+      GlobalIndex[G.Name] = static_cast<uint32_t>(Mod.Globals.size());
+      Mod.Globals.push_back(std::move(MG));
+    }
+  }
+
+  void declareFunctions() {
+    for (const FuncDecl &F : P.Funcs) {
+      if (Funcs.count(F.Name)) {
+        error(F.Loc, "redefinition of function '" + F.Name + "'");
+        continue;
+      }
+      if (F.Params.size() > mir::MaxCallArgs) {
+        error(F.Loc, "too many parameters for '" + F.Name + "'");
+        continue;
+      }
+      FuncSig Sig;
+      Sig.Index = static_cast<uint32_t>(Mod.Funcs.size());
+      Sig.Arity = static_cast<uint32_t>(F.Params.size());
+      Funcs[F.Name] = Sig;
+      // Placeholder; filled in by lowerFunction.
+      mir::Function Placeholder;
+      Placeholder.Name = F.Name;
+      Placeholder.NumParams = static_cast<uint16_t>(F.Params.size());
+      Mod.Funcs.push_back(std::move(Placeholder));
+    }
+    if (auto It = Funcs.find("main");
+        It != Funcs.end() && It->second.Arity != 0)
+      Errors.push_back("'main' must take no parameters");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Per-function lowering state
+  //===--------------------------------------------------------------------===//
+
+  struct LoopCtx {
+    uint32_t ContinueTarget;
+    uint32_t BreakTarget;
+  };
+
+  void lowerFunction(const FuncDecl &F) {
+    auto It = Funcs.find(F.Name);
+    if (It == Funcs.end() || Mod.Funcs[It->second.Index].Name != F.Name)
+      return; // a redefinition diagnosed earlier
+
+    FB.emplace(F.Name, static_cast<uint16_t>(F.Params.size()));
+    Scopes.clear();
+    Scopes.emplace_back();
+    Loops.clear();
+    for (size_t K = 0; K < F.Params.size(); ++K) {
+      if (!declare(F.Loc, F.Params[K], static_cast<mir::Reg>(K)))
+        continue;
+    }
+    for (const StmtPtr &S : F.Body)
+      lowerStmt(*S);
+    Mod.Funcs[It->second.Index] = FB->take();
+    FB.reset();
+  }
+
+  bool declare(SrcLoc Loc, const std::string &Name, mir::Reg R) {
+    auto &Scope = Scopes.back();
+    if (Scope.count(Name)) {
+      error(Loc, "redefinition of '" + Name + "' in the same scope");
+      return false;
+    }
+    Scope[Name] = R;
+    return true;
+  }
+
+  /// Resolve a name to a local/param register; nullopt if it is not a
+  /// local (might still be a global).
+  std::optional<mir::Reg> lookupLocal(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return std::nullopt;
+  }
+
+  /// Ensure the insert block is open; statements after a return/break go
+  /// into a fresh (unreachable) block, as in classic non-SSA lowering.
+  void ensureOpenBlock() {
+    if (!FB->isTerminated())
+      return;
+    uint32_t Dead = FB->newBlock("dead");
+    FB->setInsertPoint(Dead);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void lowerStmt(const Stmt &S) {
+    ensureOpenBlock();
+    switch (S.Kind) {
+    case StmtKind::Block: {
+      Scopes.emplace_back();
+      for (const StmtPtr &Sub : S.Body)
+        lowerStmt(*Sub);
+      Scopes.pop_back();
+      break;
+    }
+    case StmtKind::VarDecl: {
+      mir::Reg V = FB->newReg();
+      if (S.A) {
+        mir::Reg R = lowerExpr(*S.A);
+        FB->emitMoveInto(V, R);
+      } else {
+        FB->emitConstInto(V, 0);
+      }
+      declare(S.Loc, S.Name, V);
+      break;
+    }
+    case StmtKind::ArrayDecl: {
+      mir::Reg Size = lowerExpr(*S.A);
+      mir::Reg Ptr = FB->emitAlloc(Size);
+      declare(S.Loc, S.Name, Ptr);
+      break;
+    }
+    case StmtKind::Assign: {
+      std::optional<mir::Reg> V = lookupLocal(S.Name);
+      if (!V) {
+        error(S.Loc, "assignment to undefined variable '" + S.Name + "'");
+        return;
+      }
+      mir::Reg R = lowerExpr(*S.A);
+      FB->emitMoveInto(*V, R);
+      break;
+    }
+    case StmtKind::IndexAssign: {
+      mir::Reg Base = lowerExpr(*S.A);
+      mir::Reg Idx = lowerExpr(*S.B);
+      mir::Reg Val = lowerExpr(*S.C);
+      FB->emitStore(Base, Idx, Val);
+      break;
+    }
+    case StmtKind::If:
+      lowerIf(S);
+      break;
+    case StmtKind::While:
+      lowerWhile(S);
+      break;
+    case StmtKind::Return: {
+      if (S.A) {
+        mir::Reg R = lowerExpr(*S.A);
+        FB->setRet(R);
+      } else {
+        FB->setRetConst(0);
+      }
+      break;
+    }
+    case StmtKind::Break: {
+      if (Loops.empty()) {
+        error(S.Loc, "'break' outside of a loop");
+        return;
+      }
+      FB->setBr(Loops.back().BreakTarget);
+      break;
+    }
+    case StmtKind::Continue: {
+      if (Loops.empty()) {
+        error(S.Loc, "'continue' outside of a loop");
+        return;
+      }
+      FB->setBr(Loops.back().ContinueTarget);
+      break;
+    }
+    case StmtKind::ExprStmt:
+      lowerExpr(*S.A);
+      break;
+    }
+  }
+
+  void lowerIf(const Stmt &S) {
+    mir::Reg Cond = lowerExpr(*S.A);
+    uint32_t ThenBB = FB->newBlock("if.then");
+    uint32_t EndBB = FB->newBlock("if.end");
+    uint32_t ElseBB = S.ElseBody.empty() ? EndBB : FB->newBlock("if.else");
+    FB->setCondBr(Cond, ThenBB, ElseBB);
+
+    FB->setInsertPoint(ThenBB);
+    Scopes.emplace_back();
+    for (const StmtPtr &Sub : S.Body)
+      lowerStmt(*Sub);
+    Scopes.pop_back();
+    if (!FB->isTerminated())
+      FB->setBr(EndBB);
+
+    if (!S.ElseBody.empty()) {
+      FB->setInsertPoint(ElseBB);
+      Scopes.emplace_back();
+      for (const StmtPtr &Sub : S.ElseBody)
+        lowerStmt(*Sub);
+      Scopes.pop_back();
+      if (!FB->isTerminated())
+        FB->setBr(EndBB);
+    }
+    FB->setInsertPoint(EndBB);
+  }
+
+  void lowerWhile(const Stmt &S) {
+    uint32_t CondBB = FB->newBlock("while.cond");
+    uint32_t BodyBB = FB->newBlock("while.body");
+    uint32_t EndBB = FB->newBlock("while.end");
+    FB->setBr(CondBB);
+
+    FB->setInsertPoint(CondBB);
+    mir::Reg Cond = lowerExpr(*S.A);
+    FB->setCondBr(Cond, BodyBB, EndBB);
+
+    FB->setInsertPoint(BodyBB);
+    Loops.push_back({CondBB, EndBB});
+    Scopes.emplace_back();
+    for (const StmtPtr &Sub : S.Body)
+      lowerStmt(*Sub);
+    Scopes.pop_back();
+    Loops.pop_back();
+    if (!FB->isTerminated())
+      FB->setBr(CondBB);
+
+    FB->setInsertPoint(EndBB);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  mir::Reg lowerExpr(const Expr &E) {
+    ensureOpenBlock();
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return FB->emitConst(E.IntVal);
+    case ExprKind::VarRef: {
+      if (std::optional<mir::Reg> V = lookupLocal(E.Name))
+        return *V;
+      if (auto It = GlobalIndex.find(E.Name); It != GlobalIndex.end())
+        return FB->emitGlobalAddr(It->second);
+      error(E.Loc, "use of undefined variable '" + E.Name + "'");
+      return FB->emitConst(0);
+    }
+    case ExprKind::Unary: {
+      mir::Reg V = lowerExpr(*E.Lhs);
+      return E.Op == TokKind::Minus ? FB->emitNeg(V) : FB->emitNot(V);
+    }
+    case ExprKind::Binary:
+      return lowerBinary(E);
+    case ExprKind::Index: {
+      mir::Reg Base = lowerExpr(*E.Lhs);
+      mir::Reg Idx = lowerExpr(*E.Rhs);
+      return FB->emitLoad(Base, Idx);
+    }
+    case ExprKind::Call:
+      return lowerCall(E);
+    }
+    return FB->emitConst(0);
+  }
+
+  mir::Reg lowerBinary(const Expr &E) {
+    // Short-circuit forms lower to control flow, giving the targets the
+    // branchy CFG shapes real C code has.
+    if (E.Op == TokKind::AmpAmp || E.Op == TokKind::PipePipe)
+      return lowerShortCircuit(E);
+
+    mir::Reg L = lowerExpr(*E.Lhs);
+    mir::Reg R = lowerExpr(*E.Rhs);
+    mir::BinOp Op;
+    switch (E.Op) {
+    case TokKind::Plus:
+      Op = mir::BinOp::Add;
+      break;
+    case TokKind::Minus:
+      Op = mir::BinOp::Sub;
+      break;
+    case TokKind::Star:
+      Op = mir::BinOp::Mul;
+      break;
+    case TokKind::Slash:
+      Op = mir::BinOp::Div;
+      break;
+    case TokKind::Percent:
+      Op = mir::BinOp::Rem;
+      break;
+    case TokKind::Amp:
+      Op = mir::BinOp::And;
+      break;
+    case TokKind::Pipe:
+      Op = mir::BinOp::Or;
+      break;
+    case TokKind::Caret:
+      Op = mir::BinOp::Xor;
+      break;
+    case TokKind::Shl:
+      Op = mir::BinOp::Shl;
+      break;
+    case TokKind::Shr:
+      Op = mir::BinOp::Shr;
+      break;
+    case TokKind::EqEq:
+      Op = mir::BinOp::Eq;
+      break;
+    case TokKind::NotEq:
+      Op = mir::BinOp::Ne;
+      break;
+    case TokKind::Lt:
+      Op = mir::BinOp::Lt;
+      break;
+    case TokKind::Le:
+      Op = mir::BinOp::Le;
+      break;
+    case TokKind::Gt:
+      Op = mir::BinOp::Gt;
+      break;
+    case TokKind::Ge:
+      Op = mir::BinOp::Ge;
+      break;
+    default:
+      error(E.Loc, "invalid binary operator");
+      return FB->emitConst(0);
+    }
+    return FB->emitBin(Op, L, R);
+  }
+
+  mir::Reg lowerShortCircuit(const Expr &E) {
+    bool IsAnd = E.Op == TokKind::AmpAmp;
+    mir::Reg Result = FB->newReg();
+    mir::Reg L = lowerExpr(*E.Lhs);
+    FB->emitConstInto(Result, IsAnd ? 0 : 1);
+    uint32_t RhsBB = FB->newBlock(IsAnd ? "and.rhs" : "or.rhs");
+    uint32_t EndBB = FB->newBlock(IsAnd ? "and.end" : "or.end");
+    if (IsAnd)
+      FB->setCondBr(L, RhsBB, EndBB);
+    else
+      FB->setCondBr(L, EndBB, RhsBB);
+
+    FB->setInsertPoint(RhsBB);
+    mir::Reg R = lowerExpr(*E.Rhs);
+    mir::Reg Norm = FB->emitBinImm(mir::BinOp::Ne, R, 0);
+    FB->emitMoveInto(Result, Norm);
+    FB->setBr(EndBB);
+
+    FB->setInsertPoint(EndBB);
+    return Result;
+  }
+
+  mir::Reg lowerCall(const Expr &E) {
+    auto arity = [&](size_t N) {
+      if (E.Args.size() == N)
+        return true;
+      error(E.Loc, "'" + E.Name + "' expects " + std::to_string(N) +
+                       " argument(s), got " + std::to_string(E.Args.size()));
+      return false;
+    };
+
+    // Builtins first.
+    if (E.Name == "len") {
+      if (!arity(0))
+        return FB->emitConst(0);
+      return FB->emitInLen();
+    }
+    if (E.Name == "in") {
+      if (!arity(1))
+        return FB->emitConst(0);
+      mir::Reg Idx = lowerExpr(*E.Args[0]);
+      return FB->emitInByte(Idx);
+    }
+    if (E.Name == "alloc") {
+      if (!arity(1))
+        return FB->emitConst(0);
+      mir::Reg N = lowerExpr(*E.Args[0]);
+      return FB->emitAlloc(N);
+    }
+    if (E.Name == "free") {
+      if (!arity(1))
+        return FB->emitConst(0);
+      mir::Reg Ptr = lowerExpr(*E.Args[0]);
+      FB->emitFree(Ptr);
+      return FB->emitConst(0);
+    }
+    if (E.Name == "abort") {
+      if (!arity(0))
+        return FB->emitConst(0);
+      FB->emitAbort(0);
+      return FB->emitConst(0);
+    }
+
+    auto It = Funcs.find(E.Name);
+    if (It == Funcs.end()) {
+      error(E.Loc, "call to undefined function '" + E.Name + "'");
+      return FB->emitConst(0);
+    }
+    if (!arity(It->second.Arity))
+      return FB->emitConst(0);
+    std::vector<mir::Reg> Args;
+    Args.reserve(E.Args.size());
+    for (const ExprPtr &A : E.Args)
+      Args.push_back(lowerExpr(*A));
+    return FB->emitCall(It->second.Index, Args);
+  }
+
+  const Program &P;
+  mir::Module Mod;
+  std::map<std::string, uint32_t> GlobalIndex;
+  std::map<std::string, FuncSig> Funcs;
+  std::vector<std::string> Errors;
+
+  std::optional<mir::FunctionBuilder> FB;
+  std::vector<std::map<std::string, mir::Reg>> Scopes;
+  std::vector<LoopCtx> Loops;
+};
+
+} // namespace
+
+CompileResult compileProgram(const Program &P, std::string ModuleName) {
+  return Lowering(P, std::move(ModuleName)).run();
+}
+
+CompileResult compileSource(const std::string &Source,
+                            std::string ModuleName) {
+  Parser Psr(Source);
+  std::optional<Program> Prog = Psr.parseProgram();
+  if (!Prog) {
+    CompileResult R;
+    R.Errors = Psr.errors();
+    if (R.Errors.empty())
+      R.Errors.push_back("parse failed");
+    return R;
+  }
+  return compileProgram(*Prog, std::move(ModuleName));
+}
+
+} // namespace lang
+} // namespace pathfuzz

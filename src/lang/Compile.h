@@ -1,0 +1,47 @@
+//===- Compile.h - MiniLang to MIR compilation pipeline ---------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end frontend pipeline: parse MiniLang, lower the AST to MIR
+// (resolving variables against lexical scopes, parameters and globals, and
+// builtins in/len/alloc/free/abort), then verify the module. Semantic
+// errors (undefined or redefined names, arity mismatches, break outside a
+// loop, missing @main) are collected rather than thrown, following the
+// no-exceptions discipline.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_LANG_COMPILE_H
+#define PATHFUZZ_LANG_COMPILE_H
+
+#include "lang/Ast.h"
+#include "mir/Mir.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+namespace lang {
+
+struct CompileResult {
+  std::optional<mir::Module> Mod;
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Mod.has_value() && Errors.empty(); }
+  std::string message() const;
+};
+
+/// Lower a parsed program.
+CompileResult compileProgram(const Program &P, std::string ModuleName);
+
+/// Parse and lower a source string.
+CompileResult compileSource(const std::string &Source,
+                            std::string ModuleName);
+
+} // namespace lang
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_LANG_COMPILE_H

@@ -1,0 +1,343 @@
+//===- Lexer.cpp - MiniLang lexer --------------------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+
+namespace pathfuzz {
+namespace lang {
+
+const char *tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "<eof>";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::KwFn:
+    return "'fn'";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwGlobal:
+    return "'global'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Error:
+    return "<error>";
+  }
+  return "<bad-token>";
+}
+
+Lexer::Lexer(std::string Source) : Src(std::move(Source)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  size_t P = Pos + Ahead;
+  return P < Src.size() ? Src[P] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Loc.Line;
+    Loc.Col = 1;
+  } else {
+    ++Loc.Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          error("unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind) const {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = TokStart;
+  return T;
+}
+
+void Lexer::error(const std::string &Msg) {
+  Errors.push_back(Loc.str() + ": " + Msg);
+}
+
+Token Lexer::lexNumber() {
+  Token T = makeToken(TokKind::IntLit);
+  int64_t V = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    bool Any = false;
+    for (;;) {
+      char C = peek();
+      int D;
+      if (C >= '0' && C <= '9')
+        D = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        D = C - 'a' + 10;
+      else if (C >= 'A' && C <= 'F')
+        D = C - 'A' + 10;
+      else
+        break;
+      V = V * 16 + D;
+      Any = true;
+      advance();
+    }
+    if (!Any)
+      error("hex literal with no digits");
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      V = V * 10 + (advance() - '0');
+    }
+  }
+  T.IntVal = V;
+  return T;
+}
+
+Token Lexer::lexCharLit() {
+  advance(); // opening quote
+  Token T = makeToken(TokKind::IntLit);
+  char C = advance();
+  if (C == '\\') {
+    char E = advance();
+    switch (E) {
+    case 'n':
+      C = '\n';
+      break;
+    case 't':
+      C = '\t';
+      break;
+    case '0':
+      C = '\0';
+      break;
+    case '\\':
+      C = '\\';
+      break;
+    case '\'':
+      C = '\'';
+      break;
+    default:
+      error("unknown escape in char literal");
+      C = E;
+      break;
+    }
+  }
+  if (!match('\''))
+    error("unterminated char literal");
+  T.IntVal = static_cast<unsigned char>(C);
+  return T;
+}
+
+Token Lexer::lexIdent() {
+  Token T = makeToken(TokKind::Ident);
+  std::string S;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    S += advance();
+  if (S == "fn")
+    T.Kind = TokKind::KwFn;
+  else if (S == "var")
+    T.Kind = TokKind::KwVar;
+  else if (S == "global")
+    T.Kind = TokKind::KwGlobal;
+  else if (S == "if")
+    T.Kind = TokKind::KwIf;
+  else if (S == "else")
+    T.Kind = TokKind::KwElse;
+  else if (S == "while")
+    T.Kind = TokKind::KwWhile;
+  else if (S == "return")
+    T.Kind = TokKind::KwReturn;
+  else if (S == "break")
+    T.Kind = TokKind::KwBreak;
+  else if (S == "continue")
+    T.Kind = TokKind::KwContinue;
+  else
+    T.Text = std::move(S);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  TokStart = Loc;
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokKind::Eof);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (C == '\'')
+    return lexCharLit();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdent();
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokKind::LParen);
+  case ')':
+    return makeToken(TokKind::RParen);
+  case '{':
+    return makeToken(TokKind::LBrace);
+  case '}':
+    return makeToken(TokKind::RBrace);
+  case '[':
+    return makeToken(TokKind::LBracket);
+  case ']':
+    return makeToken(TokKind::RBracket);
+  case ',':
+    return makeToken(TokKind::Comma);
+  case ';':
+    return makeToken(TokKind::Semi);
+  case '+':
+    return makeToken(TokKind::Plus);
+  case '-':
+    return makeToken(TokKind::Minus);
+  case '*':
+    return makeToken(TokKind::Star);
+  case '/':
+    return makeToken(TokKind::Slash);
+  case '%':
+    return makeToken(TokKind::Percent);
+  case '^':
+    return makeToken(TokKind::Caret);
+  case '!':
+    return makeToken(match('=') ? TokKind::NotEq : TokKind::Bang);
+  case '=':
+    return makeToken(match('=') ? TokKind::EqEq : TokKind::Assign);
+  case '&':
+    return makeToken(match('&') ? TokKind::AmpAmp : TokKind::Amp);
+  case '|':
+    return makeToken(match('|') ? TokKind::PipePipe : TokKind::Pipe);
+  case '<':
+    if (match('<'))
+      return makeToken(TokKind::Shl);
+    return makeToken(match('=') ? TokKind::Le : TokKind::Lt);
+  case '>':
+    if (match('>'))
+      return makeToken(TokKind::Shr);
+    return makeToken(match('=') ? TokKind::Ge : TokKind::Gt);
+  default:
+    error(std::string("unexpected character '") + C + "'");
+    return makeToken(TokKind::Error);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  for (;;) {
+    Token T = next();
+    Out.push_back(T);
+    if (T.Kind == TokKind::Eof)
+      break;
+  }
+  return Out;
+}
+
+} // namespace lang
+} // namespace pathfuzz

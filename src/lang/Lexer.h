@@ -1,0 +1,54 @@
+//===- Lexer.h - MiniLang lexer ---------------------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_LANG_LEXER_H
+#define PATHFUZZ_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+namespace lang {
+
+/// Tokenizes MiniLang source. Supports decimal, hex (0x...) and character
+/// ('h', with \n \t \0 \\ \' escapes) literals, // and /* */ comments.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lex the next token. After Eof, keeps returning Eof.
+  Token next();
+
+  /// Lex everything (for tests).
+  std::vector<Token> lexAll();
+
+  /// Diagnostics accumulated while lexing (bad characters etc.).
+  const std::vector<std::string> &errors() const { return Errors; }
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  void skipTrivia();
+  Token makeToken(TokKind Kind) const;
+  Token lexNumber();
+  Token lexCharLit();
+  Token lexIdent();
+  void error(const std::string &Msg);
+
+  std::string Src;
+  size_t Pos = 0;
+  SrcLoc Loc;
+  SrcLoc TokStart;
+  std::vector<std::string> Errors;
+};
+
+} // namespace lang
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_LANG_LEXER_H

@@ -1,0 +1,489 @@
+//===- Parser.cpp - MiniLang recursive-descent parser -------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+namespace pathfuzz {
+namespace lang {
+
+ExprPtr makeIntLit(int64_t V, SrcLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::IntLit;
+  E->IntVal = V;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr makeVarRef(std::string Name, SrcLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::VarRef;
+  E->Name = std::move(Name);
+  E->Loc = Loc;
+  return E;
+}
+
+Parser::Parser(std::string Source) : Lex(std::move(Source)) { Cur = Lex.next(); }
+
+void Parser::bump() { Cur = Lex.next(); }
+
+bool Parser::accept(TokKind K) {
+  if (!at(K))
+    return false;
+  bump();
+  return true;
+}
+
+bool Parser::expect(TokKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  error(std::string("expected ") + tokKindName(K) + " " + Context +
+        ", found " + tokKindName(Cur.Kind));
+  return false;
+}
+
+void Parser::error(const std::string &Msg) {
+  Errors.push_back(Cur.Loc.str() + ": " + Msg);
+}
+
+void Parser::syncToStmtBoundary() {
+  while (!at(TokKind::Eof) && !at(TokKind::Semi) && !at(TokKind::RBrace))
+    bump();
+  accept(TokKind::Semi);
+}
+
+std::optional<Program> Parser::parseProgram() {
+  Program P;
+  while (!at(TokKind::Eof)) {
+    if (at(TokKind::KwGlobal)) {
+      if (auto G = parseGlobal())
+        P.Globals.push_back(std::move(*G));
+      else
+        syncToStmtBoundary();
+      continue;
+    }
+    if (at(TokKind::KwFn)) {
+      if (auto F = parseFunc())
+        P.Funcs.push_back(std::move(*F));
+      continue;
+    }
+    error("expected 'fn' or 'global' at top level, found " +
+          std::string(tokKindName(Cur.Kind)));
+    bump();
+  }
+  for (const std::string &E : Lex.errors())
+    Errors.push_back(E);
+  if (!Errors.empty())
+    return std::nullopt;
+  return P;
+}
+
+std::optional<GlobalDecl> Parser::parseGlobal() {
+  GlobalDecl G;
+  G.Loc = Cur.Loc;
+  bump(); // 'global'
+  if (!at(TokKind::Ident)) {
+    error("expected global name");
+    return std::nullopt;
+  }
+  G.Name = Cur.Text;
+  bump();
+  if (!expect(TokKind::LBracket, "after global name"))
+    return std::nullopt;
+  if (!at(TokKind::IntLit)) {
+    error("global size must be an integer literal");
+    return std::nullopt;
+  }
+  G.Size = Cur.IntVal;
+  bump();
+  if (!expect(TokKind::RBracket, "after global size"))
+    return std::nullopt;
+  if (accept(TokKind::Assign)) {
+    if (!expect(TokKind::LBrace, "to open global initializer"))
+      return std::nullopt;
+    while (!at(TokKind::RBrace)) {
+      bool Negative = accept(TokKind::Minus);
+      if (!at(TokKind::IntLit)) {
+        error("global initializer must contain integer literals");
+        return std::nullopt;
+      }
+      G.Init.push_back(Negative ? -Cur.IntVal : Cur.IntVal);
+      bump();
+      if (!accept(TokKind::Comma))
+        break;
+    }
+    if (!expect(TokKind::RBrace, "to close global initializer"))
+      return std::nullopt;
+  }
+  expect(TokKind::Semi, "after global declaration");
+  return G;
+}
+
+std::optional<FuncDecl> Parser::parseFunc() {
+  FuncDecl F;
+  F.Loc = Cur.Loc;
+  bump(); // 'fn'
+  if (!at(TokKind::Ident)) {
+    error("expected function name");
+    return std::nullopt;
+  }
+  F.Name = Cur.Text;
+  bump();
+  if (!expect(TokKind::LParen, "after function name"))
+    return std::nullopt;
+  if (!at(TokKind::RParen)) {
+    for (;;) {
+      if (!at(TokKind::Ident)) {
+        error("expected parameter name");
+        return std::nullopt;
+      }
+      F.Params.push_back(Cur.Text);
+      bump();
+      if (!accept(TokKind::Comma))
+        break;
+    }
+  }
+  if (!expect(TokKind::RParen, "after parameters"))
+    return std::nullopt;
+  if (!parseStmtList(F.Body))
+    return std::nullopt;
+  return F;
+}
+
+bool Parser::parseStmtList(std::vector<StmtPtr> &Out) {
+  if (!expect(TokKind::LBrace, "to open block"))
+    return false;
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    StmtPtr S = parseStmt();
+    if (S)
+      Out.push_back(std::move(S));
+    else
+      syncToStmtBoundary();
+  }
+  return expect(TokKind::RBrace, "to close block");
+}
+
+StmtPtr Parser::parseBlockAsStmt() {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Block;
+  S->Loc = Cur.Loc;
+  if (!parseStmtList(S->Body))
+    return nullptr;
+  return S;
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (Cur.Kind) {
+  case TokKind::LBrace:
+    return parseBlockAsStmt();
+  case TokKind::KwVar:
+    return parseVarDecl();
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwWhile:
+    return parseWhile();
+  case TokKind::KwReturn:
+    return parseReturn();
+  case TokKind::KwBreak: {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Break;
+    S->Loc = Cur.Loc;
+    bump();
+    expect(TokKind::Semi, "after 'break'");
+    return S;
+  }
+  case TokKind::KwContinue: {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Continue;
+    S->Loc = Cur.Loc;
+    bump();
+    expect(TokKind::Semi, "after 'continue'");
+    return S;
+  }
+  default:
+    return parseExprLeadStmt();
+  }
+}
+
+StmtPtr Parser::parseVarDecl() {
+  auto S = std::make_unique<Stmt>();
+  S->Loc = Cur.Loc;
+  bump(); // 'var'
+  if (!at(TokKind::Ident)) {
+    error("expected variable name");
+    return nullptr;
+  }
+  S->Name = Cur.Text;
+  bump();
+  if (accept(TokKind::LBracket)) {
+    S->Kind = StmtKind::ArrayDecl;
+    S->A = parseExpr();
+    if (!S->A)
+      return nullptr;
+    if (!expect(TokKind::RBracket, "after array size"))
+      return nullptr;
+  } else {
+    S->Kind = StmtKind::VarDecl;
+    if (accept(TokKind::Assign)) {
+      S->A = parseExpr();
+      if (!S->A)
+        return nullptr;
+    }
+  }
+  expect(TokKind::Semi, "after declaration");
+  return S;
+}
+
+StmtPtr Parser::parseIf() {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::If;
+  S->Loc = Cur.Loc;
+  bump(); // 'if'
+  if (!expect(TokKind::LParen, "after 'if'"))
+    return nullptr;
+  S->A = parseExpr();
+  if (!S->A)
+    return nullptr;
+  if (!expect(TokKind::RParen, "after if condition"))
+    return nullptr;
+  StmtPtr Then = parseStmt();
+  if (!Then)
+    return nullptr;
+  S->Body.push_back(std::move(Then));
+  if (accept(TokKind::KwElse)) {
+    StmtPtr Else = parseStmt();
+    if (!Else)
+      return nullptr;
+    S->ElseBody.push_back(std::move(Else));
+  }
+  return S;
+}
+
+StmtPtr Parser::parseWhile() {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::While;
+  S->Loc = Cur.Loc;
+  bump(); // 'while'
+  if (!expect(TokKind::LParen, "after 'while'"))
+    return nullptr;
+  S->A = parseExpr();
+  if (!S->A)
+    return nullptr;
+  if (!expect(TokKind::RParen, "after while condition"))
+    return nullptr;
+  StmtPtr Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  S->Body.push_back(std::move(Body));
+  return S;
+}
+
+StmtPtr Parser::parseReturn() {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::Return;
+  S->Loc = Cur.Loc;
+  bump(); // 'return'
+  if (!at(TokKind::Semi)) {
+    S->A = parseExpr();
+    if (!S->A)
+      return nullptr;
+  }
+  expect(TokKind::Semi, "after return");
+  return S;
+}
+
+StmtPtr Parser::parseExprLeadStmt() {
+  SrcLoc Loc = Cur.Loc;
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+
+  if (accept(TokKind::Assign)) {
+    ExprPtr Value = parseExpr();
+    if (!Value)
+      return nullptr;
+    auto S = std::make_unique<Stmt>();
+    S->Loc = Loc;
+    if (E->Kind == ExprKind::VarRef) {
+      S->Kind = StmtKind::Assign;
+      S->Name = E->Name;
+      S->A = std::move(Value);
+    } else if (E->Kind == ExprKind::Index) {
+      S->Kind = StmtKind::IndexAssign;
+      S->A = std::move(E->Lhs);
+      S->B = std::move(E->Rhs);
+      S->C = std::move(Value);
+    } else {
+      error("invalid assignment target");
+      return nullptr;
+    }
+    expect(TokKind::Semi, "after assignment");
+    return S;
+  }
+
+  auto S = std::make_unique<Stmt>();
+  S->Kind = StmtKind::ExprStmt;
+  S->Loc = Loc;
+  S->A = std::move(E);
+  expect(TokKind::Semi, "after expression");
+  return S;
+}
+
+int Parser::precedenceOf(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return 1;
+  case TokKind::AmpAmp:
+    return 2;
+  case TokKind::Pipe:
+    return 3;
+  case TokKind::Caret:
+    return 4;
+  case TokKind::Amp:
+    return 5;
+  case TokKind::EqEq:
+  case TokKind::NotEq:
+    return 6;
+  case TokKind::Lt:
+  case TokKind::Le:
+  case TokKind::Gt:
+  case TokKind::Ge:
+    return 7;
+  case TokKind::Shl:
+  case TokKind::Shr:
+    return 8;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 9;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 10;
+  default:
+    return -1;
+  }
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  return parseBinaryRhs(1, std::move(Lhs));
+}
+
+ExprPtr Parser::parseBinaryRhs(int MinPrec, ExprPtr Lhs) {
+  for (;;) {
+    int Prec = precedenceOf(Cur.Kind);
+    if (Prec < MinPrec)
+      return Lhs;
+    TokKind Op = Cur.Kind;
+    SrcLoc Loc = Cur.Loc;
+    bump();
+    ExprPtr Rhs = parseUnary();
+    if (!Rhs)
+      return nullptr;
+    // Left-associative: fold while the next operator binds tighter.
+    int NextPrec = precedenceOf(Cur.Kind);
+    if (NextPrec > Prec) {
+      Rhs = parseBinaryRhs(Prec + 1, std::move(Rhs));
+      if (!Rhs)
+        return nullptr;
+    }
+    auto E = std::make_unique<Expr>();
+    E->Kind = ExprKind::Binary;
+    E->Loc = Loc;
+    E->Op = Op;
+    E->Lhs = std::move(Lhs);
+    E->Rhs = std::move(Rhs);
+    Lhs = std::move(E);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (at(TokKind::Minus) || at(TokKind::Bang)) {
+    auto E = std::make_unique<Expr>();
+    E->Kind = ExprKind::Unary;
+    E->Loc = Cur.Loc;
+    E->Op = Cur.Kind;
+    bump();
+    E->Lhs = parseUnary();
+    if (!E->Lhs)
+      return nullptr;
+    return E;
+  }
+  ExprPtr Base = parsePrimary();
+  if (!Base)
+    return nullptr;
+  return parsePostfix(std::move(Base));
+}
+
+ExprPtr Parser::parsePostfix(ExprPtr Base) {
+  for (;;) {
+    if (accept(TokKind::LBracket)) {
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::Index;
+      E->Loc = Cur.Loc;
+      E->Lhs = std::move(Base);
+      E->Rhs = parseExpr();
+      if (!E->Rhs)
+        return nullptr;
+      if (!expect(TokKind::RBracket, "after index"))
+        return nullptr;
+      Base = std::move(E);
+      continue;
+    }
+    return Base;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  switch (Cur.Kind) {
+  case TokKind::IntLit: {
+    ExprPtr E = makeIntLit(Cur.IntVal, Cur.Loc);
+    bump();
+    return E;
+  }
+  case TokKind::LParen: {
+    bump();
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (!expect(TokKind::RParen, "to close parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  case TokKind::Ident: {
+    std::string Name = Cur.Text;
+    SrcLoc Loc = Cur.Loc;
+    bump();
+    if (accept(TokKind::LParen)) {
+      auto E = std::make_unique<Expr>();
+      E->Kind = ExprKind::Call;
+      E->Loc = Loc;
+      E->Name = std::move(Name);
+      if (!at(TokKind::RParen)) {
+        for (;;) {
+          ExprPtr Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          E->Args.push_back(std::move(Arg));
+          if (!accept(TokKind::Comma))
+            break;
+        }
+      }
+      if (!expect(TokKind::RParen, "after call arguments"))
+        return nullptr;
+      return E;
+    }
+    return makeVarRef(std::move(Name), Loc);
+  }
+  default:
+    error("expected expression, found " + std::string(tokKindName(Cur.Kind)));
+    return nullptr;
+  }
+}
+
+} // namespace lang
+} // namespace pathfuzz

@@ -1,0 +1,68 @@
+//===- Parser.h - MiniLang recursive-descent parser -------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_LANG_PARSER_H
+#define PATHFUZZ_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Lexer.h"
+
+#include <optional>
+
+namespace pathfuzz {
+namespace lang {
+
+/// Recursive-descent parser for MiniLang with operator-precedence
+/// expression parsing. Collects diagnostics instead of throwing; a parse
+/// with errors yields std::nullopt.
+class Parser {
+public:
+  explicit Parser(std::string Source);
+
+  /// Parse the whole compilation unit.
+  std::optional<Program> parseProgram();
+
+  const std::vector<std::string> &errors() const { return Errors; }
+
+private:
+  // Token plumbing.
+  const Token &cur() const { return Cur; }
+  void bump();
+  bool at(TokKind K) const { return Cur.Kind == K; }
+  bool accept(TokKind K);
+  bool expect(TokKind K, const char *Context);
+  void error(const std::string &Msg);
+  void syncToStmtBoundary();
+
+  // Grammar productions.
+  std::optional<GlobalDecl> parseGlobal();
+  std::optional<FuncDecl> parseFunc();
+  StmtPtr parseStmt();
+  StmtPtr parseBlockAsStmt();
+  bool parseStmtList(std::vector<StmtPtr> &Out); // '{' stmts '}'
+  StmtPtr parseVarDecl();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseReturn();
+  StmtPtr parseExprLeadStmt(); // assignment or expression statement
+
+  ExprPtr parseExpr();
+  ExprPtr parseBinaryRhs(int MinPrec, ExprPtr Lhs);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix(ExprPtr Base);
+  ExprPtr parsePrimary();
+
+  static int precedenceOf(TokKind K);
+
+  Lexer Lex;
+  Token Cur;
+  std::vector<std::string> Errors;
+};
+
+} // namespace lang
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_LANG_PARSER_H

@@ -1,0 +1,97 @@
+//===- Token.h - MiniLang tokens --------------------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// MiniLang is the C-like source language the target suite (src/targets) is
+// written in; it plays the role of the C/C++ sources of the UNIFUZZ
+// subjects in the paper. The frontend is a classic pipeline: lexer ->
+// recursive-descent parser -> AST -> lowering to MIR CFGs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_LANG_TOKEN_H
+#define PATHFUZZ_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace pathfuzz {
+namespace lang {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+
+  // Keywords.
+  KwFn,
+  KwVar,
+  KwGlobal,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+
+  // Operators.
+  Assign, // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Shl,
+  Shr,
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AmpAmp,
+  PipePipe,
+  Bang,
+
+  Error,
+};
+
+/// Source location: 1-based line/column.
+struct SrcLoc {
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SrcLoc Loc;
+  std::string Text;  ///< identifier spelling
+  int64_t IntVal = 0;
+};
+
+/// Printable token-kind name for diagnostics.
+const char *tokKindName(TokKind K);
+
+} // namespace lang
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_LANG_TOKEN_H

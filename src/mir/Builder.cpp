@@ -1,0 +1,237 @@
+//===- Builder.cpp - Convenience construction of MIR ------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/Builder.h"
+
+namespace pathfuzz {
+namespace mir {
+
+FunctionBuilder::FunctionBuilder(std::string Name, uint16_t NumParams) {
+  F.Name = std::move(Name);
+  F.NumParams = NumParams;
+  F.NumRegs = NumParams;
+  newBlock("entry");
+}
+
+Reg FunctionBuilder::newReg() {
+  assert(F.NumRegs < UINT16_MAX && "register file exhausted");
+  return F.NumRegs++;
+}
+
+uint32_t FunctionBuilder::newBlock(std::string Name) {
+  uint32_t Index = static_cast<uint32_t>(F.Blocks.size());
+  BasicBlock BB;
+  BB.Name = Name.empty() ? ("bb" + std::to_string(Index)) : std::move(Name);
+  F.Blocks.push_back(std::move(BB));
+  Terminated.push_back(false);
+  return Index;
+}
+
+void FunctionBuilder::setInsertPoint(uint32_t Block) {
+  assert(Block < F.Blocks.size() && "invalid insertion block");
+  CurBlock = Block;
+}
+
+Instr &FunctionBuilder::append(Opcode Op) {
+  assert(!Terminated[CurBlock] && "appending to a terminated block");
+  Instr I;
+  I.Op = Op;
+  F.Blocks[CurBlock].Instrs.push_back(I);
+  return F.Blocks[CurBlock].Instrs.back();
+}
+
+Reg FunctionBuilder::emitConst(int64_t V) {
+  Reg Dst = newReg();
+  Instr &I = append(Opcode::Const);
+  I.A = Dst;
+  I.Imm = V;
+  return Dst;
+}
+
+Reg FunctionBuilder::emitMove(Reg Src) {
+  Reg Dst = newReg();
+  Instr &I = append(Opcode::Move);
+  I.A = Dst;
+  I.B = Src;
+  return Dst;
+}
+
+void FunctionBuilder::emitMoveInto(Reg Dst, Reg Src) {
+  Instr &I = append(Opcode::Move);
+  I.A = Dst;
+  I.B = Src;
+}
+
+void FunctionBuilder::emitConstInto(Reg Dst, int64_t V) {
+  Instr &I = append(Opcode::Const);
+  I.A = Dst;
+  I.Imm = V;
+}
+
+Reg FunctionBuilder::emitBin(BinOp Op, Reg L, Reg R) {
+  Reg Dst = newReg();
+  Instr &I = append(Opcode::Bin);
+  I.BOp = Op;
+  I.A = Dst;
+  I.B = L;
+  I.C = R;
+  return Dst;
+}
+
+Reg FunctionBuilder::emitBinImm(BinOp Op, Reg L, int64_t Imm) {
+  Reg Dst = newReg();
+  Instr &I = append(Opcode::BinImm);
+  I.BOp = Op;
+  I.A = Dst;
+  I.B = L;
+  I.Imm = Imm;
+  return Dst;
+}
+
+Reg FunctionBuilder::emitNeg(Reg Src) {
+  Reg Dst = newReg();
+  Instr &I = append(Opcode::Neg);
+  I.A = Dst;
+  I.B = Src;
+  return Dst;
+}
+
+Reg FunctionBuilder::emitNot(Reg Src) {
+  Reg Dst = newReg();
+  Instr &I = append(Opcode::Not);
+  I.A = Dst;
+  I.B = Src;
+  return Dst;
+}
+
+Reg FunctionBuilder::emitInLen() {
+  Reg Dst = newReg();
+  Instr &I = append(Opcode::InLen);
+  I.A = Dst;
+  return Dst;
+}
+
+Reg FunctionBuilder::emitInByte(Reg Idx) {
+  Reg Dst = newReg();
+  Instr &I = append(Opcode::InByte);
+  I.A = Dst;
+  I.B = Idx;
+  return Dst;
+}
+
+Reg FunctionBuilder::emitAlloc(Reg Size) {
+  Reg Dst = newReg();
+  Instr &I = append(Opcode::Alloc);
+  I.A = Dst;
+  I.B = Size;
+  return Dst;
+}
+
+Reg FunctionBuilder::emitGlobalAddr(uint32_t GlobalIndex) {
+  Reg Dst = newReg();
+  Instr &I = append(Opcode::GlobalAddr);
+  I.A = Dst;
+  I.Imm = GlobalIndex;
+  return Dst;
+}
+
+Reg FunctionBuilder::emitLoad(Reg Base, Reg Idx) {
+  Reg Dst = newReg();
+  Instr &I = append(Opcode::Load);
+  I.A = Dst;
+  I.B = Base;
+  I.C = Idx;
+  return Dst;
+}
+
+Reg FunctionBuilder::emitCall(uint32_t Callee, const std::vector<Reg> &Args) {
+  assert(Args.size() <= MaxCallArgs && "too many call arguments");
+  Reg Dst = newReg();
+  Instr &I = append(Opcode::Call);
+  I.A = Dst;
+  I.Callee = Callee;
+  I.NumArgs = static_cast<uint8_t>(Args.size());
+  for (size_t K = 0; K < Args.size(); ++K)
+    I.Args[K] = Args[K];
+  return Dst;
+}
+
+void FunctionBuilder::emitStore(Reg Base, Reg Idx, Reg Val) {
+  Instr &I = append(Opcode::Store);
+  I.A = Base;
+  I.B = Idx;
+  I.C = Val;
+}
+
+void FunctionBuilder::emitFree(Reg Ptr) {
+  Instr &I = append(Opcode::Free);
+  I.A = Ptr;
+}
+
+void FunctionBuilder::emitAbort(int64_t SiteTag) {
+  Instr &I = append(Opcode::Abort);
+  I.Imm = SiteTag;
+}
+
+void FunctionBuilder::setBr(uint32_t Target) {
+  assert(!Terminated[CurBlock] && "block already terminated");
+  Terminator &T = F.Blocks[CurBlock].Term;
+  T.Kind = TermKind::Br;
+  T.Succs = {Target};
+  Terminated[CurBlock] = true;
+}
+
+void FunctionBuilder::setCondBr(Reg Cond, uint32_t IfTrue, uint32_t IfFalse) {
+  assert(!Terminated[CurBlock] && "block already terminated");
+  Terminator &T = F.Blocks[CurBlock].Term;
+  T.Kind = TermKind::CondBr;
+  T.Cond = Cond;
+  T.Succs = {IfTrue, IfFalse};
+  Terminated[CurBlock] = true;
+}
+
+void FunctionBuilder::setSwitch(Reg Scrutinee, std::vector<int64_t> CaseValues,
+                                std::vector<uint32_t> CaseTargets,
+                                uint32_t DefaultTarget) {
+  assert(!Terminated[CurBlock] && "block already terminated");
+  assert(CaseValues.size() == CaseTargets.size() && "case arity mismatch");
+  Terminator &T = F.Blocks[CurBlock].Term;
+  T.Kind = TermKind::Switch;
+  T.Cond = Scrutinee;
+  T.Succs = std::move(CaseTargets);
+  T.Succs.push_back(DefaultTarget);
+  T.CaseValues = std::move(CaseValues);
+  Terminated[CurBlock] = true;
+}
+
+void FunctionBuilder::setRet(Reg Value) {
+  assert(!Terminated[CurBlock] && "block already terminated");
+  Terminator &T = F.Blocks[CurBlock].Term;
+  T.Kind = TermKind::Ret;
+  T.Cond = Value;
+  T.Succs.clear();
+  Terminated[CurBlock] = true;
+}
+
+void FunctionBuilder::setRetConst(int64_t V) {
+  Reg R = emitConst(V);
+  setRet(R);
+}
+
+Function FunctionBuilder::take() {
+  // Give every unterminated block a `ret 0` so the function is always
+  // well-formed (the frontend may leave dead join blocks unterminated).
+  for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
+    if (Terminated[B])
+      continue;
+    setInsertPoint(B);
+    setRetConst(0);
+  }
+  return std::move(F);
+}
+
+} // namespace mir
+} // namespace pathfuzz

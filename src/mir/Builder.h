@@ -1,0 +1,90 @@
+//===- Builder.h - Convenience construction of MIR --------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// FunctionBuilder provides a fluent API for constructing MIR functions,
+// used by the MiniLang lowering (src/lang) and directly by tests that need
+// hand-crafted CFG shapes (e.g. the Ball-Larus property tests on random
+// graphs).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_MIR_BUILDER_H
+#define PATHFUZZ_MIR_BUILDER_H
+
+#include "mir/Mir.h"
+
+namespace pathfuzz {
+namespace mir {
+
+/// Builds one function block by block. The builder owns a Function until
+/// take() is called.
+class FunctionBuilder {
+public:
+  FunctionBuilder(std::string Name, uint16_t NumParams);
+
+  /// Allocate a fresh virtual register.
+  Reg newReg();
+
+  /// Create a new basic block and return its index. Does not change the
+  /// insertion point.
+  uint32_t newBlock(std::string Name = "");
+
+  /// Set the block subsequent instructions are appended to.
+  void setInsertPoint(uint32_t Block);
+  uint32_t insertPoint() const { return CurBlock; }
+
+  // Instruction emitters; each returns the destination register where
+  // applicable.
+  Reg emitConst(int64_t V);
+  Reg emitMove(Reg Src);
+  /// Write into an existing register (lowering of mutable variables and
+  /// control-flow joins in a non-SSA IR).
+  void emitMoveInto(Reg Dst, Reg Src);
+  void emitConstInto(Reg Dst, int64_t V);
+  Reg emitBin(BinOp Op, Reg L, Reg R);
+  Reg emitBinImm(BinOp Op, Reg L, int64_t Imm);
+  Reg emitNeg(Reg Src);
+  Reg emitNot(Reg Src);
+  Reg emitInLen();
+  Reg emitInByte(Reg Idx);
+  Reg emitAlloc(Reg Size);
+  Reg emitGlobalAddr(uint32_t GlobalIndex);
+  Reg emitLoad(Reg Base, Reg Idx);
+  Reg emitCall(uint32_t Callee, const std::vector<Reg> &Args);
+  void emitStore(Reg Base, Reg Idx, Reg Val);
+  void emitFree(Reg Ptr);
+  void emitAbort(int64_t SiteTag);
+
+  // Terminators.
+  void setBr(uint32_t Target);
+  void setCondBr(Reg Cond, uint32_t IfTrue, uint32_t IfFalse);
+  void setSwitch(Reg Scrutinee, std::vector<int64_t> CaseValues,
+                 std::vector<uint32_t> CaseTargets, uint32_t DefaultTarget);
+  void setRet(Reg Value);
+  /// Return constant V (emits a Const then Ret).
+  void setRetConst(int64_t V);
+
+  /// Whether the current block already has a terminator set explicitly.
+  bool isTerminated() const { return Terminated[CurBlock]; }
+
+  Function &function() { return F; }
+
+  /// Finalize and move the function out of the builder. Blocks left
+  /// unterminated get a `ret 0`.
+  Function take();
+
+private:
+  Instr &append(Opcode Op);
+
+  Function F;
+  uint32_t CurBlock = 0;
+  std::vector<bool> Terminated;
+};
+
+} // namespace mir
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_MIR_BUILDER_H

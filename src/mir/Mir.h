@@ -1,0 +1,218 @@
+//===- Mir.h - Mini intermediate representation -----------------*- C++ -*-===//
+//
+// Part of the pathfuzz project: a reproduction of "Towards Path-Aware
+// Coverage-Guided Fuzzing" (CGO 2026).
+//
+//===----------------------------------------------------------------------===//
+//
+// The mini-IR (MIR) is the substrate this reproduction uses in place of
+// LLVM IR. It is a register-based, non-SSA, CFG-structured IR: a module is
+// a list of functions, a function is a list of basic blocks over virtual
+// registers, and each block ends in exactly one terminator. This surface is
+// all the paper's instrumentation passes need: function CFGs with loops,
+// calls, returns, and an edge/block structure to place probes on.
+//
+// Programs under test are written in MiniLang (src/lang) and lowered to
+// MIR; instrumentation passes (src/instrument) rewrite MIR in place; the VM
+// (src/vm) interprets it with a memory-safety checker standing in for ASan.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_MIR_MIR_H
+#define PATHFUZZ_MIR_MIR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+namespace mir {
+
+/// Virtual register index within a function frame.
+using Reg = uint16_t;
+
+/// Instruction opcodes. Probe opcodes are only ever introduced by the
+/// instrumentation passes; the frontend never emits them.
+enum class Opcode : uint8_t {
+  // Value-producing instructions (destination in A).
+  Const,      ///< A = Imm
+  Move,       ///< A = R(B)
+  Bin,        ///< A = R(B) <BinOp> R(C)
+  BinImm,     ///< A = R(B) <BinOp> Imm
+  Neg,        ///< A = -R(B)
+  Not,        ///< A = !R(B) (logical)
+  InLen,      ///< A = length of the fuzz input
+  InByte,     ///< A = input[R(B)], or -1 if out of range
+  Alloc,      ///< A = pointer to a fresh heap object of R(B) cells
+  GlobalAddr, ///< A = pointer to global #Imm
+  Load,       ///< A = mem[R(B)][R(C)]
+  Call,       ///< A = call Callee(Args...)
+
+  // Void instructions.
+  Store, ///< mem[R(A)][R(B)] = R(C)
+  Free,  ///< free object R(A)
+  Abort, ///< explicit program abort (assertion failure); Imm tags the site
+
+  // Coverage probes (inserted by src/instrument only).
+  EdgeProbe,     ///< coverage-map hit for edge id Imm (pcguard analogue)
+  BlockProbe,    ///< classic AFL block probe; Imm = this block's location id
+  PathAdd,       ///< Ball-Larus: PathReg += Imm
+  PathFlushRet,  ///< Ball-Larus: emit path (PathReg + Imm); at returns
+  PathFlushBack, ///< Ball-Larus: emit path (PathReg + Imm); PathReg = Imm2
+};
+
+/// Binary operators for Bin/BinImm. Comparisons yield 0/1.
+enum class BinOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div, ///< traps on division by zero (DivByZero fault)
+  Rem, ///< traps on division by zero (DivByZero fault)
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+};
+
+/// Maximum number of call arguments; plenty for the target suite.
+inline constexpr unsigned MaxCallArgs = 6;
+
+/// A single three-address instruction.
+struct Instr {
+  Opcode Op = Opcode::Const;
+  BinOp BOp = BinOp::Add;
+  Reg A = 0;
+  Reg B = 0;
+  Reg C = 0;
+  int64_t Imm = 0;
+  int64_t Imm2 = 0;              ///< second immediate (PathFlushBack reset)
+  uint32_t Callee = 0;           ///< function index for Call
+  uint8_t NumArgs = 0;           ///< argument count for Call
+  Reg Args[MaxCallArgs] = {0};   ///< argument registers for Call
+
+  /// Whether this opcode writes register A.
+  bool producesValue() const {
+    switch (Op) {
+    case Opcode::Store:
+    case Opcode::Free:
+    case Opcode::Abort:
+    case Opcode::EdgeProbe:
+    case Opcode::BlockProbe:
+    case Opcode::PathAdd:
+    case Opcode::PathFlushRet:
+    case Opcode::PathFlushBack:
+      return false;
+    default:
+      return true;
+    }
+  }
+
+  /// Whether this is an instrumentation probe.
+  bool isProbe() const {
+    switch (Op) {
+    case Opcode::EdgeProbe:
+    case Opcode::BlockProbe:
+    case Opcode::PathAdd:
+    case Opcode::PathFlushRet:
+    case Opcode::PathFlushBack:
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+/// Terminator kinds; every basic block ends in exactly one terminator.
+enum class TermKind : uint8_t {
+  Br,     ///< unconditional branch to Succs[0]
+  CondBr, ///< branch on R(Cond): Succs[0] if nonzero else Succs[1]
+  Switch, ///< jump to Succs[i] if R(Cond)==CaseValues[i]; else Succs.back()
+  Ret,    ///< return R(Cond)
+};
+
+struct Terminator {
+  TermKind Kind = TermKind::Ret;
+  Reg Cond = 0;
+  std::vector<uint32_t> Succs;      ///< successor block indices
+  std::vector<int64_t> CaseValues;  ///< Switch only; size == Succs.size()-1
+
+  unsigned numSuccessors() const {
+    return static_cast<unsigned>(Succs.size());
+  }
+};
+
+/// A basic block: straight-line instructions plus one terminator.
+struct BasicBlock {
+  std::string Name;
+  std::vector<Instr> Instrs;
+  Terminator Term;
+};
+
+/// A function: a CFG of basic blocks over a flat register frame.
+/// Parameters arrive in registers [0, NumParams). Block 0 is the entry.
+struct Function {
+  std::string Name;
+  uint16_t NumParams = 0;
+  uint16_t NumRegs = 0;
+  std::vector<BasicBlock> Blocks;
+
+  /// Set by instrumentation: register holding the Ball-Larus path state.
+  /// Only meaningful when HasPathReg is true.
+  Reg PathReg = 0;
+  bool HasPathReg = false;
+  /// Initial value of the path register on function entry (the Val of the
+  /// ENTRY->entry dummy edge; 0 with the canonical edge ordering).
+  int64_t PathRegInit = 0;
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+};
+
+/// A module-level global array (word-granular, zero- or expr-initialized).
+struct Global {
+  std::string Name;
+  uint32_t Size = 0;              ///< number of cells
+  std::vector<int64_t> Init;      ///< optional initializer (<= Size cells)
+};
+
+/// A whole program: functions (index 0 need not be the entry; the entry is
+/// looked up by name, conventionally "main"), plus globals.
+struct Module {
+  std::string Name;
+  std::vector<Function> Funcs;
+  std::vector<Global> Globals;
+
+  /// Returns the index of the named function, or -1 if absent.
+  int findFunction(const std::string &FnName) const {
+    for (size_t I = 0; I < Funcs.size(); ++I)
+      if (Funcs[I].Name == FnName)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Total number of basic blocks across all functions.
+  uint64_t totalBlocks() const {
+    uint64_t N = 0;
+    for (const auto &F : Funcs)
+      N += F.numBlocks();
+    return N;
+  }
+};
+
+/// Returns a printable mnemonic for an opcode.
+const char *opcodeName(Opcode Op);
+
+/// Returns a printable mnemonic for a binary operator.
+const char *binOpName(BinOp Op);
+
+} // namespace mir
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_MIR_MIR_H

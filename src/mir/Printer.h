@@ -1,0 +1,32 @@
+//===- Printer.h - Textual dump of MIR --------------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_MIR_PRINTER_H
+#define PATHFUZZ_MIR_PRINTER_H
+
+#include "mir/Mir.h"
+
+#include <string>
+
+namespace pathfuzz {
+namespace mir {
+
+/// Render one instruction as text (for diagnostics and golden tests).
+std::string printInstr(const Instr &I, const Module *M = nullptr);
+
+/// Render a terminator as text.
+std::string printTerminator(const Terminator &T, const Function &F);
+
+/// Render a whole function.
+std::string printFunction(const Function &F, const Module *M = nullptr);
+
+/// Render a whole module.
+std::string printModule(const Module &M);
+
+} // namespace mir
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_MIR_PRINTER_H

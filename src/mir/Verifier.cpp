@@ -1,0 +1,194 @@
+//===- Verifier.cpp - Well-formedness checks for MIR -------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/Verifier.h"
+
+#include "mir/Printer.h"
+
+namespace pathfuzz {
+namespace mir {
+
+std::string VerifyResult::message() const {
+  std::string S;
+  for (const auto &E : Errors) {
+    S += E;
+    S += '\n';
+  }
+  return S;
+}
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Module &M, const Function &F, VerifyResult &Result)
+      : M(M), F(F), Result(Result) {}
+
+  void run() {
+    if (F.Blocks.empty()) {
+      error("function has no blocks");
+      return;
+    }
+    if (F.NumParams > F.NumRegs)
+      error("NumParams exceeds NumRegs");
+    for (uint32_t B = 0; B < F.Blocks.size(); ++B)
+      verifyBlock(B);
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Result.Errors.push_back("@" + F.Name + ": " + Msg);
+  }
+
+  void errorAt(uint32_t Block, const std::string &Msg) {
+    error(F.Blocks[Block].Name + ": " + Msg);
+  }
+
+  void checkReg(uint32_t Block, Reg R, const char *What) {
+    if (R >= F.NumRegs)
+      errorAt(Block, std::string(What) + " register r" + std::to_string(R) +
+                         " out of range (NumRegs=" + std::to_string(F.NumRegs) +
+                         ")");
+  }
+
+  void checkBlockRef(uint32_t Block, uint32_t Target) {
+    if (Target >= F.Blocks.size())
+      errorAt(Block,
+              "successor block #" + std::to_string(Target) + " out of range");
+  }
+
+  void verifyBlock(uint32_t B) {
+    const BasicBlock &BB = F.Blocks[B];
+    for (const Instr &I : BB.Instrs)
+      verifyInstr(B, I);
+    verifyTerminator(B, BB.Term);
+  }
+
+  void verifyInstr(uint32_t B, const Instr &I) {
+    if (I.producesValue())
+      checkReg(B, I.A, "destination");
+    switch (I.Op) {
+    case Opcode::Move:
+    case Opcode::Neg:
+    case Opcode::Not:
+    case Opcode::InByte:
+    case Opcode::Alloc:
+      checkReg(B, I.B, "source");
+      break;
+    case Opcode::Bin:
+      checkReg(B, I.B, "lhs");
+      checkReg(B, I.C, "rhs");
+      break;
+    case Opcode::BinImm:
+      checkReg(B, I.B, "lhs");
+      break;
+    case Opcode::GlobalAddr:
+      if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= M.Globals.size())
+        errorAt(B, "gaddr references invalid global #" + std::to_string(I.Imm));
+      break;
+    case Opcode::Load:
+      checkReg(B, I.B, "base");
+      checkReg(B, I.C, "index");
+      break;
+    case Opcode::Store:
+      checkReg(B, I.A, "base");
+      checkReg(B, I.B, "index");
+      checkReg(B, I.C, "value");
+      break;
+    case Opcode::Free:
+      checkReg(B, I.A, "pointer");
+      break;
+    case Opcode::Call: {
+      if (I.Callee >= M.Funcs.size()) {
+        errorAt(B, "call to invalid function #" + std::to_string(I.Callee));
+        break;
+      }
+      const Function &Callee = M.Funcs[I.Callee];
+      if (I.NumArgs != Callee.NumParams)
+        errorAt(B, "call to @" + Callee.Name + " passes " +
+                       std::to_string(I.NumArgs) + " args, expected " +
+                       std::to_string(Callee.NumParams));
+      if (I.NumArgs > MaxCallArgs)
+        errorAt(B, "call exceeds MaxCallArgs");
+      for (unsigned K = 0; K < I.NumArgs && K < MaxCallArgs; ++K)
+        checkReg(B, I.Args[K], "argument");
+      break;
+    }
+    case Opcode::PathAdd:
+    case Opcode::PathFlushRet:
+    case Opcode::PathFlushBack:
+      if (!F.HasPathReg)
+        errorAt(B, "path probe in a function without a path register");
+      break;
+    default:
+      break;
+    }
+  }
+
+  void verifyTerminator(uint32_t B, const Terminator &T) {
+    switch (T.Kind) {
+    case TermKind::Br:
+      if (T.Succs.size() != 1) {
+        errorAt(B, "br must have exactly one successor");
+        return;
+      }
+      checkBlockRef(B, T.Succs[0]);
+      break;
+    case TermKind::CondBr:
+      if (T.Succs.size() != 2) {
+        errorAt(B, "condbr must have exactly two successors");
+        return;
+      }
+      checkReg(B, T.Cond, "condition");
+      checkBlockRef(B, T.Succs[0]);
+      checkBlockRef(B, T.Succs[1]);
+      break;
+    case TermKind::Switch:
+      if (T.Succs.empty() || T.CaseValues.size() + 1 != T.Succs.size()) {
+        errorAt(B, "switch case/successor arity mismatch");
+        return;
+      }
+      checkReg(B, T.Cond, "scrutinee");
+      for (uint32_t S : T.Succs)
+        checkBlockRef(B, S);
+      break;
+    case TermKind::Ret:
+      if (!T.Succs.empty()) {
+        errorAt(B, "ret must have no successors");
+        return;
+      }
+      checkReg(B, T.Cond, "return value");
+      break;
+    }
+  }
+
+  const Module &M;
+  const Function &F;
+  VerifyResult &Result;
+};
+
+} // namespace
+
+VerifyResult verifyFunction(const Module &M, const Function &F) {
+  VerifyResult Result;
+  FunctionVerifier(M, F, Result).run();
+  return Result;
+}
+
+VerifyResult verifyModule(const Module &M) {
+  VerifyResult Result;
+  if (M.findFunction("main") < 0)
+    Result.Errors.push_back("module " + M.Name + " has no @main entry");
+  for (const Function &F : M.Funcs) {
+    VerifyResult R = verifyFunction(M, F);
+    for (auto &E : R.Errors)
+      Result.Errors.push_back(std::move(E));
+  }
+  return Result;
+}
+
+} // namespace mir
+} // namespace pathfuzz

@@ -1,0 +1,44 @@
+//===- Verifier.h - Well-formedness checks for MIR --------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The verifier validates structural invariants of a module before it is
+// instrumented or executed: register indices in range, successors valid,
+// call targets and arities consistent, switch case arity, and (after
+// instrumentation) probe placement sanity. Mirrors the role of LLVM's IR
+// verifier between pass pipeline stages.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_MIR_VERIFIER_H
+#define PATHFUZZ_MIR_VERIFIER_H
+
+#include "mir/Mir.h"
+
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+namespace mir {
+
+/// Verification outcome: empty Errors means the module is well-formed.
+struct VerifyResult {
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+  std::string message() const;
+};
+
+/// Verify a single function within a module (the module provides callee
+/// signatures and global bounds).
+VerifyResult verifyFunction(const Module &M, const Function &F);
+
+/// Verify the whole module.
+VerifyResult verifyModule(const Module &M);
+
+} // namespace mir
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_MIR_VERIFIER_H

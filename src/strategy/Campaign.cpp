@@ -1,0 +1,267 @@
+//===- Campaign.cpp - Fuzzer configurations and campaign drivers --------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "strategy/Campaign.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pathfuzz {
+namespace strategy {
+
+const char *fuzzerKindName(FuzzerKind K) {
+  switch (K) {
+  case FuzzerKind::Pcguard:
+    return "pcguard";
+  case FuzzerKind::Path:
+    return "path";
+  case FuzzerKind::Cull:
+    return "cull";
+  case FuzzerKind::CullRandom:
+    return "cull_r";
+  case FuzzerKind::Opp:
+    return "opp";
+  case FuzzerKind::Afl:
+    return "afl";
+  case FuzzerKind::PathAfl:
+    return "pathafl";
+  }
+  return "<bad-kind>";
+}
+
+namespace {
+
+/// Everything needed to spin up fuzzer instances for one subject in one
+/// feedback mode.
+struct Build {
+  mir::Module Mod;
+  instr::InstrumentReport Report;
+};
+
+mir::Module compileSubject(const Subject &S) {
+  lang::CompileResult CR = lang::compileSource(S.Source, S.Name);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "subject '%s' failed to compile:\n%s", S.Name.c_str(),
+                 CR.message().c_str());
+    std::abort();
+  }
+  return std::move(*CR.Mod);
+}
+
+Build instrumentFor(const mir::Module &Base, instr::Feedback Mode,
+                    const CampaignOptions &Opts) {
+  Build B;
+  B.Mod = Base; // copy, then rewrite in place
+  instr::InstrumentOptions IO;
+  IO.Mode = Mode;
+  IO.Placement = Opts.Placement;
+  IO.MapSizeLog2 = Opts.MapSizeLog2;
+  IO.Seed = 0x5eed0000 + Opts.MapSizeLog2; // stable across runs
+  B.Report = instr::instrumentModule(B.Mod, IO);
+  return B;
+}
+
+fuzz::FuzzerOptions fuzzerOptions(const CampaignOptions &Opts, uint64_t Seed,
+                                  bool PathAflAssist) {
+  fuzz::FuzzerOptions FO;
+  FO.MapSizeLog2 = Opts.MapSizeLog2;
+  FO.Seed = Seed;
+  FO.Mut.MaxLen = Opts.MaxInputLen;
+  FO.Exec.StepLimit = Opts.StepLimit;
+  FO.PathAflAssist = PathAflAssist;
+  FO.GrowthSampleInterval = Opts.GrowthSampleInterval;
+  // The PathAFL comparator builds on plain AFL 2.52b, which has no
+  // input-to-state stage; our afl/pathafl configs disable the cmp
+  // dictionary accordingly.
+  FO.UseCmpDict = !PathAflAssist;
+  return FO;
+}
+
+/// Fold one fuzzer instance's findings into the campaign aggregate.
+void accumulate(CampaignResult &R, const fuzz::Fuzzer &F,
+                uint64_t ExecOffset) {
+  R.Execs += F.stats().Execs;
+  R.TotalCrashes += F.stats().Crashes;
+  R.TotalHangs += F.stats().Hangs;
+  for (const fuzz::CrashRecord &C : F.uniqueCrashes()) {
+    if (R.CrashHashes.insert(C.StackHash).second)
+      R.UniqueCrashes.push_back(C);
+  }
+  for (uint64_t Bug : F.bugIds())
+    R.BugIds.insert(Bug);
+
+  std::vector<uint32_t> Edges = F.coveredEdgeList();
+  std::vector<uint32_t> Merged;
+  Merged.reserve(R.EdgeSet.size() + Edges.size());
+  std::set_union(R.EdgeSet.begin(), R.EdgeSet.end(), Edges.begin(),
+                 Edges.end(), std::back_inserter(Merged));
+  R.EdgeSet = std::move(Merged);
+
+  for (auto [Execs, QueueSize] : F.stats().QueueGrowth)
+    R.QueueGrowth.push_back({ExecOffset + Execs, QueueSize});
+}
+
+CampaignResult runPlain(const mir::Module &Base, const Subject &S,
+                        const CampaignOptions &Opts, instr::Feedback Mode,
+                        bool PathAflAssist) {
+  Build B = instrumentFor(Base, Mode, Opts);
+  instr::ShadowEdgeIndex Shadow = instr::ShadowEdgeIndex::build(Base);
+  fuzz::Fuzzer F(B.Mod, B.Report, Shadow,
+                 fuzzerOptions(Opts, Opts.Seed, PathAflAssist));
+  for (const fuzz::Input &Seed : S.Seeds)
+    F.addSeed(Seed);
+  F.run(Opts.ExecBudget);
+
+  CampaignResult R;
+  R.Kind = Opts.Kind;
+  accumulate(R, F, 0);
+  R.FinalQueueSize = F.corpus().size();
+  return R;
+}
+
+CampaignResult runCull(const mir::Module &Base, const Subject &S,
+                       const CampaignOptions &Opts, bool RandomCull) {
+  Build B = instrumentFor(Base, instr::Feedback::Path, Opts);
+  instr::ShadowEdgeIndex Shadow = instr::ShadowEdgeIndex::build(Base);
+
+  CampaignResult R;
+  R.Kind = Opts.Kind;
+
+  uint32_t Rounds = std::max<uint32_t>(1, Opts.CullRounds);
+  uint64_t PerRound = std::max<uint64_t>(1, Opts.ExecBudget / Rounds);
+  std::vector<fuzz::Input> RoundSeeds = S.Seeds;
+  std::vector<int64_t> CarriedDict;
+  Rng CullRng(Opts.Seed ^ 0xc0ffee);
+  uint64_t ExecOffset = 0;
+
+  for (uint32_t Round = 0; Round < Rounds; ++Round) {
+    // The last round gets whatever remains of the overall budget (the
+    // paper's driver subtracts accumulated culling costs the same way).
+    uint64_t Remaining =
+        Opts.ExecBudget > ExecOffset ? Opts.ExecBudget - ExecOffset : 0;
+    uint64_t Budget = (Round + 1 == Rounds) ? Remaining : PerRound;
+    fuzz::Fuzzer F(B.Mod, B.Report, Shadow,
+                   fuzzerOptions(Opts, Opts.Seed + Round * 7919, false));
+    // Carry the cmp dictionary across instances (AFL++ re-mines cmplog
+    // from the seed queue on restart).
+    F.seedDict(CarriedDict);
+    for (const fuzz::Input &Seed : RoundSeeds)
+      F.addSeed(Seed);
+    F.run(Budget);
+    accumulate(R, F, ExecOffset);
+    ExecOffset += F.stats().Execs;
+    R.FinalQueueSize = F.corpus().size();
+    CarriedDict = F.cmpDict();
+
+    if (Round + 1 == Rounds)
+      break;
+
+    // Cull: reduce the queue for the next round. The retained seeds get
+    // re-executed by the next instance's addSeed() calls, so the culling
+    // cost is charged against the overall budget, as the paper's driver
+    // subtracts culling time from the final round.
+    const fuzz::Corpus &Q = F.corpus();
+    RoundSeeds.clear();
+    if (!RandomCull) {
+      for (size_t Index : Q.edgePreservingSubset())
+        RoundSeeds.push_back(Q[Index].Data);
+    } else {
+      // Appendix D: retain a random 2-16% of the queue.
+      uint64_t KeepPermille = 20 + CullRng.below(141); // 2.0% .. 16.0%
+      size_t Keep = std::max<size_t>(
+          1, static_cast<size_t>(Q.size() * KeepPermille / 1000));
+      std::vector<size_t> All(Q.size());
+      for (size_t I = 0; I < All.size(); ++I)
+        All[I] = I;
+      for (size_t I = 0; I < Keep && I < All.size(); ++I) {
+        size_t J = I + CullRng.index(All.size() - I);
+        std::swap(All[I], All[J]);
+        RoundSeeds.push_back(Q[All[I]].Data);
+      }
+    }
+    if (RoundSeeds.empty())
+      RoundSeeds = S.Seeds;
+  }
+  return R;
+}
+
+CampaignResult runOpp(const mir::Module &Base, const Subject &S,
+                      const CampaignOptions &Opts) {
+  instr::ShadowEdgeIndex Shadow = instr::ShadowEdgeIndex::build(Base);
+
+  // Phase 1: edge-coverage exploration for half the budget.
+  Build EdgeBuild = instrumentFor(Base, instr::Feedback::EdgePrecise, Opts);
+  fuzz::Fuzzer Phase1(EdgeBuild.Mod, EdgeBuild.Report, Shadow,
+                      fuzzerOptions(Opts, Opts.Seed ^ 0x0bb, false));
+  for (const fuzz::Input &Seed : S.Seeds)
+    Phase1.addSeed(Seed);
+  uint64_t Phase1Budget = Opts.ExecBudget / 2;
+  Phase1.run(Phase1Budget);
+
+  // Queue hand-off: crashing inputs were never queued; trim to an
+  // edge-coverage-preserving subset (the paper's pre-processing).
+  std::vector<fuzz::Input> Handoff;
+  const fuzz::Corpus &Q1 = Phase1.corpus();
+  for (size_t Index : Q1.edgePreservingSubset())
+    Handoff.push_back(Q1[Index].Data);
+  if (Handoff.empty())
+    Handoff = S.Seeds;
+
+  // Phase 2: path-aware fuzzing on the inherited queue. Only this phase's
+  // findings count as opp's (the paper does not credit phase-1 bugs).
+  Build PathBuild = instrumentFor(Base, instr::Feedback::Path, Opts);
+  fuzz::Fuzzer Phase2(PathBuild.Mod, PathBuild.Report, Shadow,
+                      fuzzerOptions(Opts, Opts.Seed ^ 0x0bb1e5, false));
+  Phase2.seedDict(Phase1.cmpDict()); // cmplog re-mining on the handoff
+  for (const fuzz::Input &Seed : Handoff)
+    Phase2.addSeed(Seed);
+  Phase2.run(Opts.ExecBudget - Phase1Budget);
+
+  CampaignResult R;
+  R.Kind = Opts.Kind;
+  accumulate(R, Phase2, Phase1Budget);
+  R.FinalQueueSize = Phase2.corpus().size();
+
+  // Edge coverage additionally includes the opportunistic phase-1
+  // exploration, as in Table IV's discussion.
+  std::vector<uint32_t> Phase1Edges = Phase1.coveredEdgeList();
+  std::vector<uint32_t> Merged;
+  std::set_union(R.EdgeSet.begin(), R.EdgeSet.end(), Phase1Edges.begin(),
+                 Phase1Edges.end(), std::back_inserter(Merged));
+  R.EdgeSet = std::move(Merged);
+  R.Execs += Phase1.stats().Execs;
+  return R;
+}
+
+} // namespace
+
+CampaignResult runCampaign(const Subject &S, const CampaignOptions &Opts) {
+  mir::Module Base = compileSubject(S);
+  switch (Opts.Kind) {
+  case FuzzerKind::Pcguard:
+    return runPlain(Base, S, Opts, instr::Feedback::EdgePrecise, false);
+  case FuzzerKind::Path:
+    return runPlain(Base, S, Opts, instr::Feedback::Path, false);
+  case FuzzerKind::Cull:
+    return runCull(Base, S, Opts, /*RandomCull=*/false);
+  case FuzzerKind::CullRandom:
+    return runCull(Base, S, Opts, /*RandomCull=*/true);
+  case FuzzerKind::Opp:
+    return runOpp(Base, S, Opts);
+  case FuzzerKind::Afl:
+    return runPlain(Base, S, Opts, instr::Feedback::EdgeClassic, false);
+  case FuzzerKind::PathAfl:
+    return runPlain(Base, S, Opts, instr::Feedback::EdgeClassic, true);
+  }
+  return {};
+}
+
+} // namespace strategy
+} // namespace pathfuzz

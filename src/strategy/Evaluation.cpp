@@ -1,0 +1,96 @@
+//===- Evaluation.cpp - Multi-run evaluation harness --------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "strategy/Evaluation.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pathfuzz {
+namespace strategy {
+
+std::set<uint64_t> RunSet::cumulativeBugs() const {
+  std::set<uint64_t> Out;
+  for (const CampaignResult &R : Runs)
+    Out.insert(R.BugIds.begin(), R.BugIds.end());
+  return Out;
+}
+
+std::set<uint64_t> RunSet::cumulativeCrashes() const {
+  std::set<uint64_t> Out;
+  for (const CampaignResult &R : Runs)
+    Out.insert(R.CrashHashes.begin(), R.CrashHashes.end());
+  return Out;
+}
+
+std::set<uint32_t> RunSet::cumulativeEdges() const {
+  std::set<uint32_t> Out;
+  for (const CampaignResult &R : Runs)
+    Out.insert(R.EdgeSet.begin(), R.EdgeSet.end());
+  return Out;
+}
+
+double RunSet::medianQueueSize() const {
+  std::vector<double> Sizes;
+  Sizes.reserve(Runs.size());
+  for (const CampaignResult &R : Runs)
+    Sizes.push_back(static_cast<double>(R.FinalQueueSize));
+  return median(std::move(Sizes));
+}
+
+size_t RunSet::medianRunIndex() const {
+  if (Runs.empty())
+    return 0;
+  std::vector<size_t> Order(Runs.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Runs[A].BugIds.size() < Runs[B].BugIds.size();
+  });
+  return Order[Order.size() / 2];
+}
+
+std::set<uint64_t> RunSet::medianRunBugs() const {
+  if (Runs.empty())
+    return {};
+  return Runs[medianRunIndex()].BugIds;
+}
+
+Evaluation evaluate(const std::vector<Subject> &Subjects,
+                    const std::vector<FuzzerKind> &Kinds, uint32_t Runs,
+                    const CampaignOptions &Base, bool Verbose) {
+  Evaluation E;
+  for (const Subject &S : Subjects) {
+    E.SubjectNames.push_back(S.Name);
+    for (FuzzerKind K : Kinds) {
+      RunSet &RS = E.Data[S.Name][K];
+      for (uint32_t Run = 0; Run < Runs; ++Run) {
+        CampaignOptions Opts = Base;
+        Opts.Kind = K;
+        Opts.Seed = Base.Seed + 1000003ULL * Run +
+                    1000000007ULL * static_cast<uint64_t>(K);
+        RS.Runs.push_back(runCampaign(S, Opts));
+        if (Verbose) {
+          const CampaignResult &R = RS.Runs.back();
+          std::fprintf(stderr,
+                       "[%s/%s run %u] execs=%llu queue=%llu bugs=%zu "
+                       "crashes=%zu edges=%u\n",
+                       S.Name.c_str(), fuzzerKindName(K), Run,
+                       static_cast<unsigned long long>(R.Execs),
+                       static_cast<unsigned long long>(R.FinalQueueSize),
+                       R.BugIds.size(), R.CrashHashes.size(),
+                       R.edgesCovered());
+        }
+      }
+    }
+  }
+  return E;
+}
+
+} // namespace strategy
+} // namespace pathfuzz

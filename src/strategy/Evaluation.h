@@ -1,0 +1,89 @@
+//===- Evaluation.h - Multi-run evaluation harness --------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs repeated campaigns per (subject, fuzzer) pair — the analogue of the
+// paper's 10 x 48-hour runs — and provides the set algebra the evaluation
+// tables report: cumulative unique bugs/crashes across runs, pairwise
+// intersections and differences (Tables II, VI, VII, VIII, X and the
+// Fig. 3 inclusion relations), median queue sizes (Table III), and
+// cumulative edge-coverage sets (Table IV).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_STRATEGY_EVALUATION_H
+#define PATHFUZZ_STRATEGY_EVALUATION_H
+
+#include "strategy/Campaign.h"
+
+#include <map>
+#include <set>
+
+namespace pathfuzz {
+namespace strategy {
+
+/// All runs of one fuzzer on one subject.
+struct RunSet {
+  std::vector<CampaignResult> Runs;
+
+  /// Union of unique bugs across runs (Table II main columns).
+  std::set<uint64_t> cumulativeBugs() const;
+  /// Union of unique crashes (stack hashes) across runs.
+  std::set<uint64_t> cumulativeCrashes() const;
+  /// Union of covered shadow edges across runs (Table IV).
+  std::set<uint32_t> cumulativeEdges() const;
+  /// Median final queue size across runs (Table III).
+  double medianQueueSize() const;
+  /// Index of the median run by unique-bug count (Table VI reports the
+  /// median runs' data points).
+  size_t medianRunIndex() const;
+  /// Bug set of the median run.
+  std::set<uint64_t> medianRunBugs() const;
+};
+
+/// Results for a whole evaluation: Data[subject][kind].
+struct Evaluation {
+  std::vector<std::string> SubjectNames;
+  std::map<std::string, std::map<FuzzerKind, RunSet>> Data;
+
+  const RunSet &at(const std::string &SubjectName, FuzzerKind K) const {
+    return Data.at(SubjectName).at(K);
+  }
+};
+
+/// Run `Runs` campaigns of every requested fuzzer on every subject.
+/// Per-run seeds derive deterministically from Base.Seed.
+Evaluation evaluate(const std::vector<Subject> &Subjects,
+                    const std::vector<FuzzerKind> &Kinds, uint32_t Runs,
+                    const CampaignOptions &Base, bool Verbose = false);
+
+/// Set-algebra helpers for table rendering.
+template <typename T>
+size_t setIntersectSize(const std::set<T> &A, const std::set<T> &B) {
+  size_t N = 0;
+  for (const T &X : A)
+    N += B.count(X);
+  return N;
+}
+
+template <typename T>
+size_t setSubtractSize(const std::set<T> &A, const std::set<T> &B) {
+  size_t N = 0;
+  for (const T &X : A)
+    N += !B.count(X);
+  return N;
+}
+
+template <typename T>
+std::set<T> setUnion(const std::set<T> &A, const std::set<T> &B) {
+  std::set<T> U = A;
+  U.insert(B.begin(), B.end());
+  return U;
+}
+
+} // namespace strategy
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_STRATEGY_EVALUATION_H

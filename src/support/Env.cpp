@@ -1,0 +1,51 @@
+//===- Env.cpp - Environment-variable configuration ------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Env.h"
+
+#include <cstdlib>
+
+namespace pathfuzz {
+
+uint64_t envU64(const char *Name, uint64_t Default) {
+  const char *Raw = std::getenv(Name);
+  if (!Raw || !*Raw)
+    return Default;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Raw, &End, 10);
+  if (End == Raw || *End != '\0')
+    return Default;
+  return static_cast<uint64_t>(V);
+}
+
+std::string envStr(const char *Name, const std::string &Default) {
+  const char *Raw = std::getenv(Name);
+  if (!Raw || !*Raw)
+    return Default;
+  return Raw;
+}
+
+std::vector<std::string> envList(const char *Name) {
+  std::vector<std::string> Out;
+  const char *Raw = std::getenv(Name);
+  if (!Raw || !*Raw)
+    return Out;
+  std::string Cur;
+  for (const char *P = Raw; *P; ++P) {
+    if (*P == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else if (*P != ' ') {
+      Cur += *P;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+} // namespace pathfuzz

@@ -1,0 +1,35 @@
+//===- Env.h - Environment-variable configuration ---------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The benchmark binaries scale their campaigns via environment variables
+// (REPRO_RUNS, REPRO_EXECS, REPRO_SUBJECTS, REPRO_SEED, REPRO_LONG),
+// mirroring how the paper's artifact exposes RUNTIME and
+// FUZZING_WINDOW_ORIG knobs for artifact evaluators.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_SUPPORT_ENV_H
+#define PATHFUZZ_SUPPORT_ENV_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+
+/// Integer environment variable with a default; malformed values fall back
+/// to the default.
+uint64_t envU64(const char *Name, uint64_t Default);
+
+/// String environment variable with a default.
+std::string envStr(const char *Name, const std::string &Default);
+
+/// Comma-separated list environment variable; empty if unset.
+std::vector<std::string> envList(const char *Name);
+
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_SUPPORT_ENV_H

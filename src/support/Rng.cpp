@@ -1,0 +1,12 @@
+//===- Rng.cpp - Deterministic random number generation -------------------===//
+//
+// Part of the pathfuzz project. Rng is header-only; this TU anchors the
+// library target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+namespace pathfuzz {
+// Intentionally empty: Rng is fully inline.
+} // namespace pathfuzz

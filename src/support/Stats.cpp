@@ -1,0 +1,63 @@
+//===- Stats.cpp - Summary statistics --------------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pathfuzz {
+
+double median(std::vector<double> Xs) {
+  if (Xs.empty())
+    return 0;
+  std::sort(Xs.begin(), Xs.end());
+  size_t N = Xs.size();
+  if (N % 2 == 1)
+    return Xs[N / 2];
+  return (Xs[N / 2 - 1] + Xs[N / 2]) / 2.0;
+}
+
+double median(const std::vector<uint64_t> &Xs) {
+  std::vector<double> Ds(Xs.begin(), Xs.end());
+  return median(std::move(Ds));
+}
+
+double mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  double Sum = 0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double geomean(const std::vector<double> &Xs) {
+  double LogSum = 0;
+  size_t N = 0;
+  for (double X : Xs) {
+    if (X <= 0)
+      continue;
+    LogSum += std::log(X);
+    ++N;
+  }
+  if (N == 0)
+    return 0;
+  return std::exp(LogSum / static_cast<double>(N));
+}
+
+Summary Summary::of(const std::vector<double> &Xs) {
+  Summary S;
+  if (Xs.empty())
+    return S;
+  S.Min = *std::min_element(Xs.begin(), Xs.end());
+  S.Max = *std::max_element(Xs.begin(), Xs.end());
+  S.Mean = mean(Xs);
+  S.Median = median(Xs);
+  return S;
+}
+
+} // namespace pathfuzz

@@ -1,0 +1,49 @@
+//===- Stats.h - Summary statistics -----------------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Median, mean, and geometric mean over small samples. The evaluation
+// harness reports medians across runs (Tables III and VI) and geometric
+// means of ratios (Tables III and V), mirroring the paper's methodology.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_SUPPORT_STATS_H
+#define PATHFUZZ_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+
+/// Median of a sample (averaging the two middle elements for even sizes).
+/// Returns 0 for an empty sample.
+double median(std::vector<double> Xs);
+
+/// Convenience overload for integer samples.
+double median(const std::vector<uint64_t> &Xs);
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double> &Xs);
+
+/// Geometric mean of strictly positive values; values <= 0 are skipped,
+/// mirroring how the paper's ratio tables only aggregate defined ratios.
+/// Returns 0 if no positive values remain.
+double geomean(const std::vector<double> &Xs);
+
+/// Min/max/mean/median bundle for reporting.
+struct Summary {
+  double Min = 0;
+  double Max = 0;
+  double Mean = 0;
+  double Median = 0;
+
+  static Summary of(const std::vector<double> &Xs);
+};
+
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_SUPPORT_STATS_H

@@ -1,0 +1,88 @@
+//===- Table.cpp - Plain-text table rendering ------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace pathfuzz {
+
+void Table::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(!Header.empty() && "setHeader() must precede addRow()");
+  Cells.resize(Header.size());
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    std::string Out;
+    for (size_t C = 0; C < Row.size(); ++C) {
+      size_t Pad = Widths[C] - Row[C].size();
+      if (C == 0) {
+        // Left-align the label column.
+        Out += Row[C];
+        Out.append(Pad, ' ');
+      } else {
+        Out.append(Pad, ' ');
+        Out += Row[C];
+      }
+      if (C + 1 != Row.size())
+        Out += "  ";
+    }
+    Out += '\n';
+    return Out;
+  };
+
+  std::string Out;
+  if (!Title.empty()) {
+    Out += Title;
+    Out += '\n';
+  }
+  Out += renderRow(Header);
+  size_t RuleWidth = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    RuleWidth += Widths[C] + (C + 1 != Widths.size() ? 2 : 0);
+  Out.append(RuleWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += renderRow(Row);
+  return Out;
+}
+
+void Table::print() const {
+  std::string S = render();
+  std::fwrite(S.data(), 1, S.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string Table::num(uint64_t V) { return std::to_string(V); }
+
+std::string Table::num(int64_t V) { return std::to_string(V); }
+
+std::string Table::fixed(double V, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, V);
+  return Buf;
+}
+
+std::string Table::pair(uint64_t Bugs, uint64_t Crashes) {
+  return std::to_string(Bugs) + " (" + std::to_string(Crashes) + ")";
+}
+
+} // namespace pathfuzz

@@ -1,0 +1,56 @@
+//===- Table.h - Plain-text table rendering ---------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// A small aligned-column table writer used by the benchmark harness to
+// print the paper's tables (Tables I through X) in a shape directly
+// comparable with the publication.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_SUPPORT_TABLE_H
+#define PATHFUZZ_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+
+/// Accumulates rows of string cells and renders them with right-aligned
+/// numeric-style padding (first column left-aligned, like the paper's
+/// benchmark-name column).
+class Table {
+public:
+  explicit Table(std::string Title = "") : Title(std::move(Title)) {}
+
+  /// Set the header row; column count is fixed from this point on.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Append a data row. Rows shorter than the header are padded with "".
+  void addRow(std::vector<std::string> Cells);
+
+  /// Render the table to a string.
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  /// Format helpers used by the bench binaries.
+  static std::string num(uint64_t V);
+  static std::string num(int64_t V);
+  static std::string fixed(double V, int Digits = 2);
+  /// "bugs (crashes)" cell, as in Table II.
+  static std::string pair(uint64_t Bugs, uint64_t Crashes);
+
+private:
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_SUPPORT_TABLE_H

@@ -1,0 +1,164 @@
+//===- Cflow.cpp - cflow subject (C token scanner analogue) -------------------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics GNU cflow's tokenizer/declaration parser. Planted bugs:
+//   B1 (progression): push_token writes token_stack[curs] without a bound
+//      check; curs only resets at ';', so a statement with >= 24 tokens
+//      overflows — the shape of the paper's cflow zero-day (curs creeping
+//      to token_stack_length through repeated same-edge executions).
+//   B2 (path-gated, the Fig. 1 shape): finish_decl sets j = 3 only on the
+//      rare (ntok % 4 == 0 && ntok > 9) path and overflows decl_info only
+//      when that path combines with a declaration starting with 'h'.
+//   B3 (path-gated, branchless): pragma flag combinations select a slot
+//      without any branch testing the combination; three occurrences of
+//      the 0x2c combo in one input overflow attr_tab. Edge coverage gets
+//      no combo-specific stepping stone; the path feedback's per-path hit
+//      counts ladder through one/two occurrences to the crash.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeCflow() {
+  Subject S;
+  S.Name = "cflow";
+  S.Source = R"ml(
+// cflow: C call-graph extractor analogue.
+global token_stack[24];
+global decl_info[14];
+global counters[4];
+global pragma_val[64];
+global attr_tab[2];
+
+fn is_ident_start(c) {
+  if (c >= 'a' && c <= 'z') { return 1; }
+  if (c >= 'A' && c <= 'Z') { return 1; }
+  if (c == '_') { return 1; }
+  return 0;
+}
+
+fn is_ident_char(c) {
+  if (is_ident_start(c)) { return 1; }
+  if (c >= '0' && c <= '9') { return 1; }
+  return 0;
+}
+
+fn push_token(kind) {
+  var curs = counters[0];
+  token_stack[curs] = kind;      // B1: no bound check against 24
+  counters[0] = curs + 1;
+  return curs;
+}
+
+fn finish_decl(ntok, first_char) {
+  var j;
+  if (ntok % 4 == 0 && ntok > 9) {
+    j = 3;                        // rare path
+  } else {
+    j = -2;
+  }
+  if (first_char == 'h') {
+    decl_info[ntok + j] = 7;      // B2: overflows iff j == 3 and ntok == 12
+  } else {
+    if (j < 0) { j = -j; }
+    decl_info[j] = 1;
+  }
+  return j;
+}
+
+fn parse_pragma(pos) {
+  // "@" then 6 independent flag decisions (64 acyclic paths through one
+  // call); each occurrence bumps the slot named by the flag combination.
+  // No branch ever tests the combination, so edge coverage gains no
+  // combo-specific stepping stone — only the path feedback distinguishes
+  // the combos and their per-path hit counts (B3 arm).
+  var flags = 0;
+  if (in(pos + 1) & 1) { flags = flags + 1; }
+  if (in(pos + 2) & 2) { flags = flags + 2; }
+  if (in(pos + 3) & 4) { flags = flags + 4; }
+  if (in(pos + 4) & 8) { flags = flags + 8; }
+  if (in(pos + 5) & 16) { flags = flags + 16; }
+  if (in(pos + 6) & 32) { flags = flags + 32; }
+  pragma_val[flags] = pragma_val[flags] + 300;
+  return pos + 7;
+}
+
+fn apply_pragmas() {
+  // B3: attr_tab has 2 cells; slot 0x2c accumulates 300 per occurrence of
+  // its flag combination, so a third 0x2c pragma in one input indexes
+  // past the table. The path feedback sees per-combo hit counts (one,
+  // two, crash) as distinct novelties; edge hit counts only bucket the
+  // total number of pragma calls, combo-blind.
+  var v = pragma_val[0x2c];
+  attr_tab[v / 301] = 1;
+  return v;
+}
+
+fn scan_ident(pos) {
+  var i = pos;
+  while (i < len() && is_ident_char(in(i))) {
+    i = i + 1;
+  }
+  return i;
+}
+
+fn main() {
+  var pos = 0;
+  var ntok = 0;
+  var depth = 0;
+  var first = 0;
+  while (pos < len()) {
+    var c = in(pos);
+    if (is_ident_start(c)) {
+      if (ntok == 0) { first = c; }
+      push_token(2);
+      ntok = ntok + 1;
+      pos = scan_ident(pos);
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      push_token(3);
+      ntok = ntok + 1;
+      pos = pos + 1;
+      continue;
+    }
+    if (c == '(') {
+      depth = depth + 1;
+      push_token(1);
+      ntok = ntok + 1;
+    } else if (c == ')') {
+      if (depth > 0) { depth = depth - 1; }
+    } else if (c == ';') {
+      if (ntok > 0 && ntok <= 12 && depth == 0) {
+        finish_decl(ntok, first);
+      }
+      counters[0] = 0;            // statement boundary resets the stack
+      ntok = 0;
+      first = 0;
+    } else if (c == '{') {
+      counters[1] = counters[1] + 1;
+    } else if (c == '}') {
+      counters[1] = counters[1] - 1;
+    } else if (c == '@') {
+      pos = parse_pragma(pos);
+      continue;
+    }
+    pos = pos + 1;
+  }
+  apply_pragmas();
+  return counters[0];
+}
+)ml";
+  S.Seeds = {
+      bytes("int foo(char x);\nvoid bar() { foo(1); }\n"),
+      bytes("hello(a, b2, c);\nx = y + 1;\n"),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

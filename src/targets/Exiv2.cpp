@@ -1,0 +1,125 @@
+//===- Exiv2.cpp - exiv2 subject (metadata TLV parser analogue) ---------------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics exiv2's metadata chunk parsing. Planted bugs:
+//   B1 (plain): comment copy trusts a clamped-too-late length.
+//   B2 (ordering): a type-2 chunk with magic 0xAB frees the scratch
+//      buffer; any later type-3 chunk uses it (use-after-free).
+//   B3 (plain): high palette slots only validated on the non-'X' path.
+//   B4 (path-gated): the IFD writer picks an unchecked stride only on the
+//      (fmt == 6 && count % 5 == 0) path; combined with an 'R' marker and
+//      count % 12 >= 10 (e.g. count == 35) the write lands past the table.
+//   B5 (path-gated, branchless): XMP property flag combos bump per-combo
+//      counters; three 0x32 combos in one image overflow xmptab.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeExiv2() {
+  Subject S;
+  S.Name = "exiv2";
+  S.Source = R"ml(
+// exiv2: image metadata library analogue.
+global tagv[20];
+global ifd[18];
+global nstat[4];
+global xmpv[64];
+global xmptab[2];
+
+fn copy_comment(buf, pos, l) {
+  var n = l;
+  if (n > 20) { n = 20; }
+  var i = 0;
+  while (i < n && pos + i < len()) {
+    buf[i] = in(pos + i);         // B1: buf has 16 cells, n reaches 20
+    i = i + 1;
+  }
+  return i;
+}
+
+fn write_ifd(fmt, count, marker) {
+  var stride;
+  if (fmt == 6 && count % 5 == 0) {
+    stride = 4;                   // rare path: unchecked stride
+  } else {
+    stride = 1;
+  }
+  var base = count % 12;
+  if (marker == 'R') {
+    ifd[base + stride * 2] = fmt; // B4: base 11 + 8 = 19 > 17 needs rare path
+  } else {
+    ifd[base] = fmt;
+  }
+  return stride;
+}
+
+fn parse_xmp(pos) {
+  // XMP property flags: six branchless combination decisions (B5 arm).
+  var flags = 0;
+  if (in(pos + 1) & 1) { flags = flags + 1; }
+  if (in(pos + 2) & 2) { flags = flags + 2; }
+  if (in(pos + 3) & 4) { flags = flags + 4; }
+  if (in(pos + 4) & 8) { flags = flags + 8; }
+  if (in(pos + 5) & 16) { flags = flags + 16; }
+  if (in(pos + 6) & 32) { flags = flags + 32; }
+  xmpv[flags] = xmpv[flags] + 300;
+  return flags;
+}
+
+fn finish_xmp() {
+  // B5: three 0x32-combo XMP packets in one image overflow xmptab.
+  var v = xmpv[0x32];
+  xmptab[v / 301] = 1;
+  return v;
+}
+
+fn main() {
+  if (len() < 6) { return 0; }
+  if (in(0) != 'E' || in(1) != 'x') { return 0; }
+  var buf = alloc(16);
+  var pos = 2;
+  var chunks = 0;
+  while (pos + 3 <= len() && chunks < 40) {
+    var tag = in(pos);
+    var l = in(pos + 1);
+    if (tag == 1) {
+      copy_comment(buf, pos + 2, l);
+    } else if (tag == 2) {
+      if (l == 0xab) { free(buf); }  // B2 arm
+      nstat[0] = nstat[0] + 1;
+    } else if (tag == 3) {
+      buf[0] = l;                  // B2 trigger: UAF after a 2/0xab chunk
+    } else if (tag == 4) {
+      var slot = (l * 3) % 32;
+      if (slot < 20) {
+        tagv[slot] = 1;
+      } else if (in(pos + 2) == 'X') {
+        tagv[slot - 4] = 2;        // B3: slot - 4 in [20, 27] overflows
+      }
+    } else if (tag == 5) {
+      write_ifd(in(pos + 2) & 7, l, in(pos + 3));
+    } else if (tag == 6) {
+      parse_xmp(pos + 1);
+    }
+    pos = pos + 2 + (l % 8);
+    chunks = chunks + 1;
+  }
+  finish_xmp();
+  return chunks;
+}
+)ml";
+  S.Seeds = {
+      bytes({'E', 'x', 1, 4, 'a', 'b', 'c', 'd', 4, 5, 'X', 0, 5, 6, 6, 'R',
+             0, 0}),
+      bytes({'E', 'x', 2, 0x10, 0, 0, 3, 7, 0, 0, 1, 2, 'h', 'i', 0, 0}),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

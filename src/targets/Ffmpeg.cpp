@@ -1,0 +1,104 @@
+//===- Ffmpeg.cpp - ffmpeg subject (packet demuxer analogue) ------------------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics a container demuxer + codec dispatch. The paper finds only 2-3
+// bugs here despite ffmpeg's size; the planted bugs are correspondingly
+// hard:
+//   B1 (deep): the PCM path divides by a rate derived from two separate
+//      header bytes; zero only for one byte combination.
+//   B2 (path-gated): video frames reserve a slot with stride 3 only on
+//      the (keyframe && size % 5 == 0) path; with a 'Q' payload marker and
+//      size % 8 == 7 (e.g. size == 15) the write lands past the table.
+//   B3 (deep chain): codec-private packets hide an OOB write behind three
+//      distinct byte checks (breadth bug, pcguard-leaning).
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeFfmpeg() {
+  Subject S;
+  S.Name = "ffmpeg";
+  S.Source = R"ml(
+// ffmpeg: container demuxer analogue.
+global frames[24];
+global audio[16];
+global counters[4];
+
+fn decode_audio(pos, size) {
+  var rate = in(pos) * 4 - in(pos + 1);
+  var fmt = in(pos + 2) & 3;
+  if (fmt == 1) {
+    if (size < 3) { return 0; }
+    var samples = size * 1000 / rate;   // B1: rate == 0 iff in(pos)*4 == in(pos+1)
+    audio[samples % 16] = 1;
+    return samples;
+  }
+  audio[fmt] = audio[fmt] + 1;
+  return 0;
+}
+
+fn decode_video(pos, size, key) {
+  var stride;
+  if (key == 1 && size % 5 == 0) {
+    stride = 3;                   // rare reservation path
+  } else {
+    stride = 1;
+  }
+  var slot = (size % 8) * 2;
+  counters[1] = slot + stride * 3;
+  if (in(pos) == 'Q') {
+    frames[counters[1] + 1] = size;  // B2: 14 + 9 + 1 = 24 overflows
+  } else {
+    frames[slot] = size;
+  }
+  return slot;
+}
+
+fn main() {
+  if (len() < 8) { return 0; }
+  if (in(0) != 'R' || in(1) != 'I' || in(2) != 'F') { return 0; }
+  var pos = 4;
+  var pkts = 0;
+  while (pos + 6 <= len() && pkts < 40) {
+    var kind = in(pos);
+    var size = in(pos + 1);
+    var key = in(pos + 2) & 1;
+    if (kind == 0x41) {
+      decode_audio(pos + 3, size);
+    } else if (kind == 0x56) {
+      decode_video(pos + 3, size, key);
+    } else if (kind == 0x53) {
+      counters[2] = counters[2] + size;
+    } else if (kind == 0x4c) {
+      // Codec private data: a deep chain of distinct byte checks (B3, a
+      // breadth bug favoring the edge-coverage fuzzer's focused queue).
+      if (in(pos + 3) == 0x9a) {
+        if (in(pos + 4) == 'V') {
+          if (in(pos + 5) == 0x07) {
+            audio[12 + (in(pos + 6) & 7)] = 1; // B3: OOB for [16, 19]
+          }
+        }
+      }
+    }
+    pos = pos + 3 + (size % 12);
+    pkts = pkts + 1;
+  }
+  return pkts;
+}
+)ml";
+  S.Seeds = {
+      bytes({'R', 'I', 'F', 'F', 0x56, 0x20, 1, 'Q', 0, 0, 0x41, 5, 0, 8, 2,
+             1, 0, 0}),
+      bytes({'R', 'I', 'F', 'F', 0x41, 8, 0, 16, 9, 1, 0, 0, 0x53, 4, 0, 0,
+             0, 0}),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

@@ -1,0 +1,87 @@
+//===- Flvmeta.cpp - flvmeta subject (FLV tag walker analogue) ----------------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics flvmeta's FLV tag walk + script-data metadata extraction.
+// Planted bugs:
+//   B1 (plain): audio tags with dsize == 0 and a large timestamp write at
+//      meta[ts % 40], overflowing the 32-cell table for ts % 40 >= 32.
+//   B2 (path-gated): parse_script only leaves the key-length unclamped on
+//      the (mode == 2 && dsize > 16) path; combining that path with
+//      klen >= 24 overflows the copy destination.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeFlvmeta() {
+  Subject S;
+  S.Name = "flvmeta";
+  S.Source = R"ml(
+// flvmeta: FLV metadata extractor analogue.
+global meta[32];
+global stats[8];
+
+fn read_u16(pos) {
+  return in(pos) * 256 + in(pos + 1);
+}
+
+fn parse_script(pos, dsize) {
+  var klen = in(pos);
+  if (klen < 0) { return 0; }
+  var mode = in(pos + 1);
+  var lim;
+  if (mode == 2 && dsize > 16) {
+    lim = klen;                   // rare path: no clamping
+  } else {
+    lim = 20;
+  }
+  if (klen < lim) { lim = klen; }
+  var i = 0;
+  while (i < lim) {
+    meta[8 + i] = in(pos + 2 + i); // B2: 8 + i >= 32 when lim >= 24
+    i = i + 1;
+  }
+  stats[1] = stats[1] + 1;
+  return i;
+}
+
+fn main() {
+  if (len() < 9) { return 0; }
+  if (in(0) != 'F' || in(1) != 'L' || in(2) != 'V') { return 1; }
+  var flags = in(4);
+  var pos = 9;
+  var tags = 0;
+  while (pos + 11 <= len() && tags < 48) {
+    var type = in(pos);
+    var dsize = read_u16(pos + 1);
+    var ts = in(pos + 3);
+    if (type == 18) {
+      parse_script(pos + 11, dsize);
+    } else if (type == 8 || type == 9) {
+      if (dsize == 0 && ts > 100) {
+        meta[ts % 40] = 1;        // B1: ts % 40 in [32, 39] overflows
+      }
+      stats[0] = stats[0] + 1;
+    }
+    if (dsize > 64) { dsize = 64; }
+    pos = pos + 11 + dsize + 4;
+    tags = tags + 1;
+  }
+  return tags;
+}
+)ml";
+  S.Seeds = {
+      bytes({'F', 'L', 'V', 1, 5, 0, 0, 0, 9, 18, 0, 4, 0, 0, 0, 0, 0, 0, 0,
+             0, 2, 1, 'k', 'v', 0, 0, 0, 15}),
+      bytes({'F', 'L', 'V', 1, 1, 0, 0, 0, 9, 8, 0, 0, 50, 0, 0, 0, 0, 0, 0,
+             0, 0, 0, 0, 0, 0}),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

@@ -1,0 +1,137 @@
+//===- Gdk.cpp - gdk-pixbuf subject (image loader analogue) -------------------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics gdk-pixbuf's header parsing, palette handling and scanline
+// fill. The paper finds many bugs here (7-11 across fuzzers); a rich mix
+// is planted:
+//   B1 (plain): greyscale images index the row table by the raw stride.
+//   B2 (plain): palette indices above 15 only range-checked for one
+//      colour type.
+//   B3 (path-gated): interlaced rows use a doubled step only on the
+//      (interlace == 7 && height odd) path; the row table write then
+//      escapes.
+//   B4 (plain): zero width divides the aspect computation.
+//   B5 (progression): each 'G' chunk grows a gamma accumulator that
+//      indexes a table once it exceeds its cap.
+//   B6 (path-gated, branchless): ancillary-chunk flag combos bump a
+//      per-combo counter; three 0x0b combos in one image overflow
+//      chunktab.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeGdk() {
+  Subject S;
+  S.Name = "gdk";
+  S.Source = R"ml(
+// gdk: pixbuf loader analogue.
+global rows[20];
+global palette[16];
+global gamma_tab[10];
+global gstate[4];
+global chunkv[32];
+global chunktab[2];
+
+fn fill_rows(h, interlace) {
+  var step;
+  if (interlace == 7 && h % 2 == 1) {
+    step = 2;                     // rare interlace path
+  } else {
+    step = 1;
+  }
+  var r = 0;
+  var i = 0;
+  while (i < h && i < 12) {
+    rows[r] = i;                  // B3: r = 11*2 = 22 > 19 on rare path
+    r = r + step;
+    i = i + 1;
+  }
+  return r;
+}
+
+fn set_palette(idx, val, ctype) {
+  if (ctype == 3) {
+    if (idx < 16) { palette[idx] = val; }
+    return 1;
+  }
+  palette[idx] = val;             // B2: unchecked for other colour types
+  return 0;
+}
+
+fn parse_chunk_flags(pos) {
+  // Ancillary chunk bits: five independent decisions, no branch on the
+  // combination (B6 arm).
+  var flags = 0;
+  if (in(pos + 1) & 1) { flags = flags + 1; }
+  if (in(pos + 2) & 2) { flags = flags + 2; }
+  if (in(pos + 3) & 4) { flags = flags + 4; }
+  if (in(pos + 4) & 8) { flags = flags + 8; }
+  if (in(pos + 5) & 16) { flags = flags + 16; }
+  chunkv[flags] = chunkv[flags] + 300;
+  return pos + 6;
+}
+
+fn finish_chunks() {
+  // B6: three 0x0b-combo chunks in one image overflow chunktab.
+  var v = chunkv[0x0b];
+  chunktab[v / 301] = 1;
+  return v;
+}
+
+fn main() {
+  if (len() < 10) { return 0; }
+  if (in(0) != 'G' || in(1) != 'P' || in(2) != 'X') { return 0; }
+  var w = in(3);
+  var h = in(4);
+  var ctype = in(5) & 3;
+  var interlace = in(6) & 7;
+  if (w * h > 2000) { return 1; } // B1: misses the +stride term below
+  var stride = w + 3;
+  var pixels = w * h + stride;
+  if (ctype == 2) {
+    rows[stride % 26] = 1;        // B1: stride % 26 in [20, 25] overflows
+  }
+  if (w == 0) { return 2; }
+  var aspect = h * 100 / w;       // safe: w checked above
+  var ratio = 1000 / (h + 1 - (in(7) & 1)); // B4: h==0 and odd in(7) divides by 0
+  fill_rows(h, interlace);
+  var pos = 8;
+  var acc = 0;
+  while (pos + 2 <= len()) {
+    var op = in(pos);
+    var arg = in(pos + 1);
+    if (op == 'P') {
+      set_palette(arg % 24, pos, ctype);
+    } else if (op == 'G') {
+      acc = acc + (arg % 3);
+      if (acc > 9) {
+        gamma_tab[acc] = 1;       // B5: acc crept past the table
+      } else {
+        gamma_tab[acc] = 2;
+      }
+    } else if (op == 'C') {
+      pos = parse_chunk_flags(pos) - 2;
+    } else if (op == 'E') {
+      break;
+    }
+    pos = pos + 2;
+  }
+  finish_chunks();
+  gstate[0] = aspect + ratio + pixels;
+  return acc;
+}
+)ml";
+  S.Seeds = {
+      bytes({'G', 'P', 'X', 8, 6, 3, 0, 0, 'P', 4, 'G', 2, 'G', 1, 'E', 0}),
+      bytes({'G', 'P', 'X', 4, 9, 1, 7, 0, 'P', 10, 'E', 0, 0, 0}),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

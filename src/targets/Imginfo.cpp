@@ -1,0 +1,100 @@
+//===- Imginfo.cpp - imginfo subject (JasPer format dispatcher analogue) ------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics JasPer imginfo's magic-based format dispatch (a switch over the
+// detected codec). Planted bugs (the paper finds 2-3 here):
+//   B1 (plain): the PNM comment scanner writes into a fixed buffer with
+//      the raw comment length.
+//   B2 (path-gated): the JP2 box reader enables an "extended length" mode
+//      only on the (boxlen == 1) path; a later 'c' box then indexes the
+//      box table with the unchecked extended length.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeImginfo() {
+  Subject S;
+  S.Name = "imginfo";
+  S.Source = R"ml(
+// imginfo: image format inspector analogue.
+global boxes[16];
+global cbuf[12];
+global info[4];
+
+fn scan_pnm(pos) {
+  var i = pos;
+  while (i < len()) {
+    var c = in(i);
+    if (c == '#') {
+      var j = 0;
+      while (i + 1 + j < len() && in(i + 1 + j) != '\n' && j < 20) {
+        cbuf[j] = in(i + 1 + j);  // B1: comment up to 20 chars into 12 cells
+        j = j + 1;
+      }
+      i = i + 1 + j;
+    } else if (c == 'P') {
+      info[0] = info[0] + 1;
+      i = i + 1;
+    } else {
+      i = i + 1;
+    }
+  }
+  return info[0];
+}
+
+fn scan_jp2(pos) {
+  var extended = 0;
+  var p = pos;
+  var nbox = 0;
+  while (p + 2 <= len() && nbox < 24) {
+    var boxlen = in(p);
+    var boxtype = in(p + 1);
+    if (boxlen == 1) {
+      extended = in(p + 2) & 31;  // rare: extended-length mode
+      boxlen = 2;
+    }
+    if (boxtype == 'c') {
+      if (extended > 0) {
+        boxes[extended] = p;      // B2: extended in [16, 31] overflows
+      } else {
+        boxes[nbox % 16] = p;
+      }
+    }
+    if (boxlen < 2) { boxlen = 2; }
+    p = p + boxlen % 9 + 1;
+    nbox = nbox + 1;
+  }
+  return nbox;
+}
+
+fn main() {
+  if (len() < 4) { return 0; }
+  var m0 = in(0);
+  var m1 = in(1);
+  if (m0 == 'P' && m1 >= '1' && m1 <= '6') {
+    return scan_pnm(2);
+  }
+  if (m0 == 0x00 && m1 == 0x00 && in(2) == 0x0c) {
+    return scan_jp2(3);
+  }
+  if (m0 == 0xff && m1 == 0x4f) {
+    info[2] = 1;                  // raw codestream: header only
+    return 2;
+  }
+  return -1;
+}
+)ml";
+  S.Seeds = {
+      bytes("P5 4 4 255 # a comment\n0123456789abcdef"),
+      bytes({0x00, 0x00, 0x0c, 3, 'c', 0, 1, 'c', 9, 0, 5, 'c', 0, 0}),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

@@ -1,0 +1,141 @@
+//===- Infotocap.cpp - infotocap subject (terminfo compiler analogue) ---------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics ncurses infotocap's capability parsing. This subject is built to
+// reproduce the paper's most extreme queue-explosion case (Table I:
+// 191,297 path-queue items vs 3,538 for edges): parse_flags processes
+// eight independent flag bits in one function body, giving 2^8 acyclic
+// paths per call, and the escape decoder has a dense branch ladder.
+// Planted bugs:
+//   B1 (plain): capability names longer than the name buffer.
+//   B2 (path-gated): %-escape parameters push twice only on the
+//      (saw_percent && digit) path; the parameter stack then overruns.
+//   B3 (plain): delay values index the delay table modulo 20.
+//   B4/B5 (deep chains): extended %-capabilities hide OOB writes behind
+//      chains of three/four distinct byte checks — breadth bugs that
+//      reward the focused queue of an edge-coverage fuzzer (the paper's
+//      pcguard finds 5 bugs here vs path's 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeInfotocap() {
+  Subject S;
+  S.Name = "infotocap";
+  S.Source = R"ml(
+// infotocap: terminfo-to-termcap translator analogue.
+global names[10];
+global params[12];
+global delays[16];
+global flags[8];
+
+fn parse_flags(b) {
+  // Eight independent decisions: 256 acyclic paths through one call.
+  var score = 0;
+  if (b & 1) { flags[0] = 1; score = score + 1; }
+  if (b & 2) { flags[1] = 1; score = score + 2; }
+  if (b & 4) { flags[2] = 1; score = score + 4; }
+  if (b & 8) { flags[3] = 1; score = score + 1; }
+  if (b & 16) { flags[4] = 1; score = score + 3; }
+  if (b & 32) { flags[5] = 1; score = score + 2; }
+  if (b & 64) { flags[6] = 1; score = score + 5; }
+  if (b & 128) { flags[7] = 1; score = score + 1; }
+  return score;
+}
+
+fn parse_escape(pos) {
+  var sp = 0;
+  var i = pos;
+  var saw_percent = 0;
+  while (i < len() && in(i) != ';') {
+    var c = in(i);
+    if (c == '%') {
+      saw_percent = 1;
+    } else if (c >= '0' && c <= '9') {
+      if (saw_percent == 1) {
+        params[sp] = c - '0';     // B2 arm: double push on %-digit path
+        sp = sp + 1;
+        params[sp] = 0;           // B2: sp can step past 11 here
+        saw_percent = 0;
+      } else {
+        if (sp < 10) { params[sp] = c - '0'; }
+      }
+      sp = sp + 1;
+      if (sp > 11) { sp = 11; }
+    } else if (c == 'd' || c == 'x') {
+      if (sp > 0) { sp = sp - 1; }
+    }
+    i = i + 1;
+  }
+  return i;
+}
+
+fn main() {
+  var pos = 0;
+  var ncap = 0;
+  while (pos < len() && ncap < 64) {
+    var c = in(pos);
+    if (c == ',') {
+      pos = pos + 1;
+      continue;
+    }
+    if (c == '$') {
+      var d = in(pos + 1);
+      delays[d % 20] = d;         // B3: d % 20 in [16, 19] overflows
+      pos = pos + 2;
+    } else if (c == '\\') {
+      pos = parse_escape(pos + 1) + 1;
+    } else if (c == '=') {
+      var j = 0;
+      while (pos + 1 + j < len() && in(pos + 1 + j) != ',' && j < 14) {
+        names[j] = in(pos + 1 + j); // B1: names holds 10 cells
+        j = j + 1;
+      }
+      pos = pos + 1 + j;
+    } else if (c == '%') {
+      // Extended %-capability: a deep chain of distinct checks. Each
+      // level is a new edge the first time it is passed, so an edge-
+      // coverage fuzzer lays stepping stones; a path-aware fuzzer spends
+      // its budget on path diversity instead and tends to arrive later
+      // (B4/B5 — the bugs pcguard wins in the paper's infotocap row).
+      if (in(pos + 1) == 'g') {
+        if (in(pos + 2) == '1') {
+          if (in(pos + 3) == '}') {
+            names[in(pos + 4) & 15] = 1;     // B4: OOB for values in [10, 15]
+          }
+        }
+      } else if (in(pos + 1) == 'p') {
+        if (in(pos + 2) == '9') {
+          if (in(pos + 3) == '|') {
+            if (in(pos + 4) == '^') {
+              delays[14 + (in(pos + 5) & 3)] = 1; // B5: OOB at 16/17
+            }
+          }
+        }
+      }
+      pos = pos + 2;
+    } else if (c >= 'a' && c <= 'z') {
+      parse_flags(in(pos + 1));
+      pos = pos + 2;
+    } else {
+      pos = pos + 1;
+    }
+    ncap = ncap + 1;
+  }
+  return ncap;
+}
+)ml";
+  S.Seeds = {
+      bytes("am,xb,=smcup,\\%1d;,$5,co"),
+      bytes("k7,=cl,\\%%2x;,li,$3"),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

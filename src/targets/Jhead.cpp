@@ -1,0 +1,114 @@
+//===- Jhead.cpp - jhead subject (JPEG/EXIF marker scanner analogue) ----------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics jhead's JPEG marker scan and EXIF tag walk. The paper finds 6
+// bugs here, shared by essentially every fuzzer; accordingly most of the
+// planted bugs are "plain" (one branch chain away from a seed).
+//   B1 (plain): orientation tag slot computed modulo 24 into a 16-cell
+//      table.
+//   B2 (plain): comment segments trust the declared length when copying.
+//   B3 (plain): thumbnail offset arithmetic underflows the table index.
+//   B4 (path-gated): a density tag only corrupts state when the units
+//      byte took the rare '2' path in a prior tag of the same IFD.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeJhead() {
+  Subject S;
+  S.Name = "jhead";
+  S.Source = R"ml(
+// jhead: EXIF header inspector analogue.
+global tags[16];
+global comment[24];
+global state[4];
+
+fn parse_comment(pos, seglen) {
+  var n = seglen - 2;
+  if (n > 40) { n = 40; }
+  var i = 0;
+  while (i < n && pos + i < len()) {
+    comment[i] = in(pos + i);     // B2: n can reach 40 > 24
+    i = i + 1;
+  }
+  return i;
+}
+
+fn parse_exif(pos, seglen) {
+  if (seglen < 8) { return 0; }
+  var count = in(pos);
+  if (count > 12) { count = 12; }
+  var off = pos + 1;
+  var i = 0;
+  var units = 0;
+  while (i < count && off + 3 <= len()) {
+    var tag = in(off);
+    var val = in(off + 1) * 256 + in(off + 2);
+    if (tag == 1) {
+      tags[0] = val;
+    } else if (tag == 2) {
+      var slot = val % 24;
+      if (in(off + 3) == 0x2a) {
+        tags[slot] = 1;           // B1: slot in [16, 23] overflows
+      }
+    } else if (tag == 3) {
+      units = in(off + 3);        // remembered for later tags
+    } else if (tag == 4) {
+      if (units == 2) {
+        // B4: only after a tag-3 entry set units to 2 along this IFD
+        tags[14 + (val % 5)] = val;  // 14 + [0,4] -> up to 18, overflows
+      } else {
+        tags[14] = val;
+      }
+    } else if (tag == 5) {
+      var toff = val - 256;
+      if (toff > -20 && toff < 12) {
+        tags[toff + 4] = 9;       // B3: toff in (-20,-4] underflows
+      }
+    }
+    off = off + 4;
+    i = i + 1;
+  }
+  return i;
+}
+
+fn main() {
+  if (len() < 4) { return 0; }
+  if (in(0) != 0xff || in(1) != 0xd8) { return 0; }
+  var pos = 2;
+  var segs = 0;
+  while (pos + 4 <= len() && segs < 32) {
+    if (in(pos) != 0xff) { pos = pos + 1; continue; }
+    var marker = in(pos + 1);
+    var seglen = in(pos + 2) * 256 + in(pos + 3);
+    if (marker == 0xe1) {
+      parse_exif(pos + 4, seglen);
+    } else if (marker == 0xfe) {
+      parse_comment(pos + 4, seglen);
+    } else if (marker == 0xd9) {
+      break;
+    }
+    if (seglen < 2) { seglen = 2; }
+    if (seglen > 80) { seglen = 80; }
+    pos = pos + 2 + seglen;
+    segs = segs + 1;
+  }
+  return segs;
+}
+)ml";
+  S.Seeds = {
+      bytes({0xff, 0xd8, 0xff, 0xe1, 0x00, 0x10, 3, 1, 0x00, 0x10, 0x2a, 2,
+             0x00, 0x05, 0x2a, 3, 0x00, 0x00, 0x01, 0xff, 0xd9}),
+      bytes({0xff, 0xd8, 0xff, 0xfe, 0x00, 0x08, 'h', 'i', '!', 0, 0xff,
+             0xd9}),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

@@ -1,0 +1,109 @@
+//===- Jq.cpp - jq subject (JSON parser analogue) ------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics jq's recursive-descent JSON reader. The paper reports exactly one
+// bug found by every fuzzer, so a single moderately easy bug is planted:
+//   B1 (plain-ish): string escapes of the form \uXXXX write the decoded
+//      pair into a fixed scratch buffer indexed by the nesting depth; at
+//      depth >= 6 the write escapes the buffer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeJq() {
+  Subject S;
+  S.Name = "jq";
+  S.Source = R"ml(
+// jq: JSON processor analogue.
+global scratch[12];
+global jstate[4];
+
+fn skip_ws(pos) {
+  while (pos < len()) {
+    var c = in(pos);
+    if (c != ' ' && c != '\n' && c != '\t') { break; }
+    pos = pos + 1;
+  }
+  return pos;
+}
+
+fn parse_string(pos, depth) {
+  var i = pos;
+  while (i < len() && in(i) != '"') {
+    if (in(i) == '\\') {
+      var e = in(i + 1);
+      if (e == 'u') {
+        scratch[depth * 2] = in(i + 2);     // B1: depth >= 6 overflows
+        scratch[depth * 2 + 1] = in(i + 3);
+        i = i + 4;
+      }
+      i = i + 2;
+    } else {
+      i = i + 1;
+    }
+  }
+  return i + 1;
+}
+
+fn parse_value(pos, depth) {
+  pos = skip_ws(pos);
+  if (pos >= len() || depth > 24) { return pos; }
+  var c = in(pos);
+  if (c == '{') {
+    pos = pos + 1;
+    while (pos < len() && in(pos) != '}') {
+      pos = skip_ws(pos);
+      if (in(pos) == '"') { pos = parse_string(pos + 1, depth); }
+      pos = skip_ws(pos);
+      if (pos < len() && in(pos) == ':') {
+        pos = parse_value(pos + 1, depth + 1);
+      } else {
+        pos = pos + 1;
+      }
+      if (pos < len() && in(pos) == ',') { pos = pos + 1; }
+    }
+    return pos + 1;
+  }
+  if (c == '[') {
+    pos = pos + 1;
+    while (pos < len() && in(pos) != ']') {
+      pos = parse_value(pos, depth + 1);
+      if (pos < len() && in(pos) == ',') { pos = pos + 1; }
+      pos = skip_ws(pos);
+      if (pos < len() && in(pos) == 0) { break; }
+    }
+    return pos + 1;
+  }
+  if (c == '"') {
+    return parse_string(pos + 1, depth);
+  }
+  // numbers / literals
+  while (pos < len()) {
+    var d = in(pos);
+    if (d == ',' || d == '}' || d == ']' || d == ' ') { break; }
+    pos = pos + 1;
+  }
+  jstate[0] = jstate[0] + 1;
+  return pos;
+}
+
+fn main() {
+  if (len() == 0) { return 0; }
+  parse_value(0, 0);
+  return jstate[0];
+}
+)ml";
+  S.Seeds = {
+      bytes("{\"a\": [1, 2, {\"b\": \"c\\u0041d\"}], \"e\": 3}"),
+      bytes("[[1],[2,[3]]]"),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

@@ -1,0 +1,142 @@
+//===- Lame.cpp - lame subject (MP3 encoder analogue) --------------------------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics LAME's frame encoding loop with bit-reservoir bookkeeping. Like
+// infotocap, this subject exhibits heavy queue explosion under path
+// feedback (Table I: 69,590 vs 2,151): the psychoacoustic model takes
+// many independent per-band decisions per frame, and the reservoir value
+// threads state across frames. Planted bugs:
+//   B1 (progression): the bit reservoir creeps upward when frames
+//      repeatedly take the short-block path; the reservoir table write
+//      overflows at saturation.
+//   B2 (plain): granule index combines a header nibble with the mode,
+//      reaching past the granule table for high nibble + stereo mode.
+//   B3 (path-gated): the VBR path leaves the scale factor unclamped only
+//      when (mode == 1 && band 4 active); with an 'S' tag the write
+//      escapes the scalefac table.
+//   B4 (plain): zero sample rate divides the frame-time computation.
+//   B5 (path-gated, branchless): VBR tag flag combos bump per-combo
+//      counters; three 0x15 combos in one stream overflow vbrtab.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeLame() {
+  Subject S;
+  S.Name = "lame";
+  S.Source = R"ml(
+// lame: MP3 encoder analogue.
+global reservoir[24];
+global scalefac[18];
+global granules[20];
+global bands[8];
+global vbrv[32];
+global vbrtab[2];
+
+fn psy_model(b) {
+  // Independent band activations: many acyclic paths per frame.
+  var act = 0;
+  if (b & 1) { bands[0] = 1; act = act + 1; }
+  if (b & 2) { bands[1] = 1; act = act + 1; }
+  if (b & 4) { bands[2] = 1; act = act + 1; }
+  if (b & 8) { bands[3] = 1; act = act + 1; }
+  if (b & 16) { bands[4] = 1; act = act + 1; }
+  if (b & 32) { bands[5] = 1; act = act + 1; }
+  if (b & 64) { bands[6] = 1; act = act + 1; }
+  return act;
+}
+
+fn parse_vbr_tag(pos) {
+  // VBR header bits: five independent decisions, branchless combination
+  // (B5 arm).
+  var flags = 0;
+  if (in(pos + 1) & 1) { flags = flags + 1; }
+  if (in(pos + 2) & 2) { flags = flags + 2; }
+  if (in(pos + 3) & 4) { flags = flags + 4; }
+  if (in(pos + 4) & 8) { flags = flags + 8; }
+  if (in(pos + 5) & 16) { flags = flags + 16; }
+  vbrv[flags] = vbrv[flags] + 300;
+  return pos + 6;
+}
+
+fn finish_vbr() {
+  // B5: three 0x15-combo VBR tags in one stream overflow vbrtab.
+  var v = vbrv[0x15];
+  vbrtab[v / 301] = 1;
+  return v;
+}
+
+fn encode_granule(pos, mode, resv) {
+  var sf = in(pos) & 31;
+  var clamp;
+  if (mode == 1 && (in(pos + 1) & 16)) {
+    clamp = 0;                    // rare VBR path: unclamped
+  } else {
+    clamp = 1;
+  }
+  if (clamp == 1 && sf > 15) { sf = 15; }
+  if (in(pos + 2) == 'S') {
+    scalefac[sf] = resv;          // B3: sf in [18, 31] only on the VBR path
+  } else {
+    scalefac[sf % 16] = resv;
+  }
+  return sf;
+}
+
+fn main() {
+  if (len() < 6) { return 0; }
+  if (in(0) != 0xff || (in(1) & 0xe0) != 0xe0) { return 0; }
+  var srate = in(2) & 3;
+  if (srate == 3) { return 1; }
+  var tpf = 26000 / (srate * 7 % 5); // B4: srate * 7 % 5 == 0 when srate == 0
+  var pos = 3;
+  var resv = 0;
+  var frames = 0;
+  while (pos + 4 <= len() && frames < 48) {
+    var hdr = in(pos);
+    if (hdr == 'V') {
+      pos = parse_vbr_tag(pos);
+      frames = frames + 1;
+      continue;
+    }
+    var mode = hdr & 3;
+    var gr = (hdr >> 2) & 15;
+    granules[gr + mode * 2] = frames; // B2: gr + 2*mode reaches 21 > 19
+    psy_model(in(pos + 1));
+    if (mode == 2) {
+      resv = resv + 3;            // short blocks grow the reservoir
+    } else if (mode == 3) {
+      resv = resv - 2;
+      if (resv < 0) { resv = 0; }
+    } else {
+      resv = resv + 1;
+    }
+    if (resv > 23) {
+      reservoir[resv] = frames;   // B1: resv == 24 escapes at saturation
+      resv = 23;
+    } else {
+      reservoir[resv] = frames;
+    }
+    encode_granule(pos + 1, mode, resv);
+    pos = pos + 3 + (in(pos + 2) % 5);
+    frames = frames + 1;
+  }
+  finish_vbr();
+  return frames;
+}
+)ml";
+  S.Seeds = {
+      bytes({0xff, 0xe1, 0x01, 0x06, 0x13, 'S', 0x0a, 0x22, 0x00, 0x06,
+             0x51, 0x00, 0x0e, 0x33, 'S', 0x00}),
+      bytes({0xff, 0xe2, 0x02, 0x0b, 0x7f, 0x00, 0x07, 0x15, 0x00, 0x00}),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

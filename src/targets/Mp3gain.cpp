@@ -1,0 +1,93 @@
+//===- Mp3gain.cpp - mp3gain subject (MP3 frame gain analysis analogue) -------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics mp3gain's frame-header scan and ReplayGain accumulation.
+// Planted bugs:
+//   B1 (plain): bitrate index 0 ("free format") divides by zero in the
+//      frame-length computation.
+//   B2 (progression): the per-frame gain accumulates; gain_tab is indexed
+//      by 16 + acc/4 which only overflows once acc creeps to its +64
+//      saturation — requiring many frames that each took the positive-gain
+//      path.
+//   B3 (path-gated): analyze_frame sets a +9 boost only on the rare
+//      (mode == 3 && padded) path; the boost makes a later write with
+//      channel byte 'c' overflow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeMp3gain() {
+  Subject S;
+  S.Name = "mp3gain";
+  S.Source = R"ml(
+// mp3gain: ReplayGain analysis analogue.
+global gain_tab[32];
+global track[12];
+
+fn analyze_frame(pos, bitrate, mode) {
+  var gain = 0;
+  var padded = (in(pos + 3) & 1);
+  if (bitrate > 8) {
+    gain = 3;
+  } else if (bitrate > 2) {
+    gain = 1;
+  } else {
+    gain = -2;
+  }
+  var boost = 0;
+  if (mode == 3 && padded == 1) {
+    boost = 9;                    // rare path
+  } else {
+    boost = 0;
+  }
+  var chan = in(pos + 2) & 0x7f;
+  if (chan == 'c') {
+    track[boost + 3] = gain;      // B3: 3 + 9 = 12 overflows (size 12)
+  } else {
+    track[1] = track[1] + 1;
+  }
+  return gain;
+}
+
+fn main() {
+  if (len() < 4) { return 0; }
+  var pos = 0;
+  var frames = 0;
+  var acc = 0;
+  while (pos + 4 <= len() && frames < 64) {
+    if (in(pos) != 0xff) { pos = pos + 1; continue; }
+    var hdr = in(pos + 1);
+    if ((hdr & 0xe0) != 0xe0) { pos = pos + 1; continue; }
+    var bitrate = (in(pos + 2) >> 4) & 15;
+    var mode = (hdr >> 1) & 3;
+    var flen = 0;
+    if (bitrate == 15) { pos = pos + 2; continue; }
+    flen = 1152 / (bitrate * 3 % 7);   // B1: div-by-zero when bitrate*3 % 7 == 0
+    var gain = analyze_frame(pos, bitrate, mode);
+    acc = acc + gain;
+    if (acc > 64) { acc = 64; }
+    if (acc < -64) { acc = -64; }
+    frames = frames + 1;
+    pos = pos + 4 + (flen % 24);
+  }
+  if (frames > 3 && acc > 0) {
+    gain_tab[16 + acc / 4] = frames;   // B2: index 32 needs acc == 64
+  }
+  return frames;
+}
+)ml";
+  S.Seeds = {
+      bytes({0xff, 0xe2, 0x52, 0x01, 0, 0, 0, 0, 0xff, 0xe2, 0x52, 0x00, 0,
+             0, 0, 0, 0xff, 0xe2, 0x92, 0x01}),
+      bytes({0xff, 0xe0, 0x10, 0x00, 1, 2, 3, 4, 5, 6}),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

@@ -1,0 +1,146 @@
+//===- Mp42aac.cpp - mp42aac subject (MP4 box walker analogue) ----------------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics Bento4 mp42aac's ISO-BMFF box tree walk. The paper credits this
+// subject with zero-days found only by the path-aware fuzzers; the
+// hardest planted bug here (B4) follows that shape. Planted bugs:
+//   B1 (plain): a box size smaller than the header underflows the payload
+//      length when the 0x77 extension marker is present.
+//   B2 (plain): sample-table entry count trusted within one byte.
+//   B3 (path-gated): 'trak' boxes nested under a 'moov' with version 1
+//      take a wide-entry path; an 'stsc' there indexes with the wide
+//      stride.
+//   B5 (path-gated, branchless, hardest): 'udta' boxes take seven
+//      independent flag decisions; three 0x5a-combo boxes in one file
+//      overflow udtab. No branch tests the combination.
+//   B4 (path-gated + progression): each 'esds' box bumps a descriptor
+//      cursor only when the previous box on this level was 'stsd'
+//      (ordering state); after three such pairs a final 'Z' tag writes
+//      past the descriptor table. Edge coverage sees nothing new while
+//      the cursor creeps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeMp42aac() {
+  Subject S;
+  S.Name = "mp42aac";
+  S.Source = R"ml(
+// mp42aac: MP4-to-AAC extractor analogue.
+global samples[16];
+global stsc[12];
+global desc[8];
+global mstate[4];
+global udta[128];
+global udtab[2];
+
+fn parse_stsc(pos, count, wide) {
+  var stride;
+  if (wide == 1) { stride = 3; } else { stride = 1; }
+  var i = 0;
+  while (i < count && i < 4) {
+    stsc[i * stride + (in(pos + i) & 3)] = i;  // B3: 3*3 + 3 = 12 overflows wide
+    i = i + 1;
+  }
+  return i;
+}
+
+fn parse_stbl(pos, count) {
+  var i = 0;
+  while (i < count && pos + i < len()) {
+    samples[i] = in(pos + i);     // B2: count up to 255, table has 16
+    i = i + 1;
+  }
+  return i;
+}
+
+fn parse_udta(pos) {
+  // User-data boxes: SEVEN independent flag decisions (128 combos) with
+  // no branch on the combination — the hardest planted bug (B5), the
+  // analogue of the paper's mp42aac zero-days that only the path-aware
+  // fuzzers exposed.
+  var flags = 0;
+  if (in(pos + 1) & 1) { flags = flags + 1; }
+  if (in(pos + 2) & 2) { flags = flags + 2; }
+  if (in(pos + 3) & 4) { flags = flags + 4; }
+  if (in(pos + 4) & 8) { flags = flags + 8; }
+  if (in(pos + 5) & 16) { flags = flags + 16; }
+  if (in(pos + 6) & 32) { flags = flags + 32; }
+  if (in(pos + 7) & 64) { flags = flags + 64; }
+  udta[flags] = udta[flags] + 300;
+  return pos + 8;
+}
+
+fn finish_udta() {
+  // B5: three 0x5a-combo udta boxes in one file overflow udtab.
+  var v = udta[0x5a];
+  udtab[v / 301] = 1;
+  return v;
+}
+
+fn walk(pos, depth, version) {
+  var prev = 0;
+  while (pos + 3 <= len() && depth < 12) {
+    var size = in(pos);
+    var type = in(pos + 1);
+    if (size < 2 && in(pos + 2) == 0x77) {
+      var payload = size - 2;     // B1: payload underflows to -2 / -1
+      samples[payload + 17] = size;  // index 15/16: OOB write at 16
+    }
+    if (type == 'm') {
+      version = in(pos + 2) & 1;
+      walk(pos + 3, depth + 1, version);
+    } else if (type == 't') {
+      walk(pos + 2, depth + 1, version);
+    } else if (type == 's') {
+      parse_stsc(pos + 2, in(pos + 2) & 7, version);
+      prev = 's';
+    } else if (type == 'd') {
+      if (prev == 's') {
+        mstate[0] = mstate[0] + 3;  // descriptor cursor creeps (B4 arm)
+      }
+      prev = 'd';
+    } else if (type == 'Z') {
+      desc[mstate[0]] = depth;    // B4: cursor >= 8 after three s/d pairs
+      prev = 0;
+    } else if (type == 'b') {
+      parse_stbl(pos + 2, in(pos + 2));
+      prev = 0;
+    } else if (type == 'u') {
+      parse_udta(pos + 1);
+      prev = 0;
+    } else {
+      prev = 0;
+    }
+    if (size < 2) { size = 2; }
+    pos = pos + size % 11 + 2;
+  }
+  return pos;
+}
+
+fn main() {
+  if (len() < 8) { return 0; }
+  if (in(4) != 'f' || in(5) != 't' || in(6) != 'y' || in(7) != 'p') {
+    return 0;
+  }
+  walk(8, 0, 0);
+  finish_udta();
+  return mstate[0];
+}
+)ml";
+  S.Seeds = {
+      bytes({4, 0, 0, 0, 'f', 't', 'y', 'p', 4, 'm', 1, 0, 3, 's', 2, 0, 2,
+             'd', 0, 3, 'Z', 0, 2, 'b', 4, 1, 2, 3, 4}),
+      bytes({4, 0, 0, 0, 'f', 't', 'y', 'p', 3, 't', 0, 5, 's', 3, 1, 2, 0,
+             0}),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

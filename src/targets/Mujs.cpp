@@ -1,0 +1,102 @@
+//===- Mujs.cpp - mujs subject (JS expression evaluator analogue) -------------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics mujs's tokenizer and operator-precedence evaluation with an
+// operand stack. Planted bugs:
+//   B1 (plain): long identifiers overflow the name buffer.
+//   B2 (progression): consecutive unary operators push sentinel operands
+//      without popping; a chain of 10 creeps the stack past its end.
+//   B3 (path-gated): the regex-literal path sets a "sticky" flag slot
+//      from the flag character only when the literal was preceded by an
+//      operator (divide/regex ambiguity — the classic JS lexer hazard).
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeMujs() {
+  Subject S;
+  S.Name = "mujs";
+  S.Source = R"ml(
+// mujs: embeddable JavaScript interpreter analogue.
+global stack[10];
+global name[8];
+global rflags[6];
+global vstate[4];
+
+fn push(v) {
+  var sp = vstate[0];
+  stack[sp] = v;                  // B2: unchecked push
+  vstate[0] = sp + 1;
+  return sp;
+}
+
+fn pop() {
+  var sp = vstate[0];
+  if (sp > 0) { vstate[0] = sp - 1; }
+  return stack[vstate[0]];
+}
+
+fn lex_regex(pos, after_op) {
+  var i = pos;
+  while (i < len() && in(i) != '/') { i = i + 1; }
+  var flag = in(i + 1);
+  if (after_op == 1 && flag == 'y') {
+    rflags[(in(i + 2) & 7)] = 1;  // B3: index up to 7 > 5 on the regex path
+  } else if (flag == 'g') {
+    rflags[0] = 1;
+  }
+  return i + 2;
+}
+
+fn main() {
+  var pos = 0;
+  var after_op = 1;
+  while (pos < len()) {
+    var c = in(pos);
+    if (c >= 'a' && c <= 'z') {
+      var j = 0;
+      while (pos + j < len() && in(pos + j) >= 'a' && in(pos + j) <= 'z' && j < 12) {
+        name[j] = in(pos + j);    // B1: identifiers up to 12 chars, 8 cells
+        j = j + 1;
+      }
+      push(1);
+      pos = pos + j;
+      after_op = 0;
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      push(c - '0');
+      after_op = 0;
+    } else if (c == '+' || c == '*') {
+      var b = pop();
+      var a = pop();
+      push(a + b);
+      after_op = 1;
+    } else if (c == '!' || c == '~') {
+      push(-1);                   // B2 arm: unary pushes without popping
+      after_op = 1;
+    } else if (c == '/') {
+      pos = lex_regex(pos + 1, after_op);
+      after_op = 0;
+    } else if (c == ';') {
+      vstate[0] = 0;
+    }
+    pos = pos + 1;
+  }
+  return vstate[0];
+}
+)ml";
+  S.Seeds = {
+      bytes("ab + 3 * !4; x/re/g; 2+2"),
+      bytes("!~!1; foo/r/y7"),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

@@ -1,0 +1,85 @@
+//===- NmNew.cpp - nm-new subject (symbol lister analogue) --------------------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics binutils nm-new's symbol-table walk. The paper reports ZERO bugs
+// found on nm-new by every fuzzer (Table II), so this subject deliberately
+// contains no planted bugs: every table access is properly bounded. An
+// honest all-zero row is part of the reproduction — it also exercises the
+// harness's handling of bug-free subjects.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeNmNew() {
+  Subject S;
+  S.Name = "nm-new";
+  S.Source = R"ml(
+// nm-new: symbol lister analogue (no planted bugs).
+global symtab[32];
+global strtab[24];
+global nstate[4];
+
+fn classify(kind, value) {
+  if (kind == 'T' || kind == 't') { return 1; }
+  if (kind == 'D' || kind == 'd') { return 2; }
+  if (kind == 'B' || kind == 'b') { return 3; }
+  if (kind == 'U') {
+    if (value > 0) { return 5; }
+    return 4;
+  }
+  return 0;
+}
+
+fn store_symbol(idx, kind, value) {
+  if (idx < 0 || idx >= 32) { return 0; }
+  symtab[idx] = kind * 256 + (value & 255);
+  return 1;
+}
+
+fn store_name(pos, n) {
+  if (n > 24) { n = 24; }
+  var i = 0;
+  while (i < n && pos + i < len()) {
+    if (i < 24) { strtab[i] = in(pos + i); }
+    i = i + 1;
+  }
+  return i;
+}
+
+fn main() {
+  if (len() < 4) { return 0; }
+  if (in(0) != 0x7f || in(1) != 'E') { return 0; }
+  var pos = 2;
+  var nsyms = 0;
+  while (pos + 4 <= len() && nsyms < 40) {
+    var kind = in(pos);
+    var value = in(pos + 1);
+    var nlen = in(pos + 2) & 31;
+    var cls = classify(kind, value);
+    if (cls > 0) {
+      store_symbol(nsyms % 32, cls, value);
+      store_name(pos + 3, nlen);
+      nstate[0] = nstate[0] + 1;
+    } else {
+      nstate[1] = nstate[1] + 1;
+    }
+    pos = pos + 3 + (nlen % 9);
+    nsyms = nsyms + 1;
+  }
+  return nstate[0];
+}
+)ml";
+  S.Seeds = {
+      bytes({0x7f, 'E', 'T', 4, 4, 'm', 'a', 'i', 'n', 'U', 0, 2, 'x', 'y',
+             'D', 9, 3, 'f', 'o', 'o'}),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

@@ -1,0 +1,144 @@
+//===- Objdump.cpp - objdump subject (disassembler analogue) ------------------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics binutils objdump's opcode decode loop. The paper's best subject
+// for the culling strategy (12 bugs for cull vs 8 for pcguard); the
+// planted mix leans towards path-gated and progression bugs that reward
+// sustained exploration of already-covered decode paths:
+//   B1 (plain): immediate-operand displacement indexes the reloc table.
+//   B2 (path-gated): prefix 0x66 switches operand width; a following
+//      MOV-class opcode with the wide width writes past the operand log.
+//   B3 (progression): nested prefix count creeps per instruction and is
+//      never reset on the error path; the prefix stack overflows.
+//   B4 (path-gated): jump targets are cached only along the
+//      (conditional && backwards) path; a later 'X' opcode uses the
+//      unvalidated cached slot.
+//   B5 (plain): division by a zero scale byte on the SIB path.
+//   B6 (path-gated, branchless): extended-opcode flag combinations bump a
+//      per-combo counter; three 0x31 combos in one section overflow the
+//      extension table. Only per-path hit counts ladder towards it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeObjdump() {
+  Subject S;
+  S.Name = "objdump";
+  S.Source = R"ml(
+// objdump: disassembler analogue.
+global relocs[16];
+global operands[12];
+global prefixes[10];
+global jcache[8];
+global dstate[4];
+global extv[64];
+global exttab[2];
+
+fn decode_sib(pos) {
+  var sib = in(pos);
+  var scale = (sib >> 6) & 3;
+  var base = sib & 7;
+  return base * 64 / scale;       // B5: scale == 0 divides by zero
+}
+
+fn decode_extended(pos) {
+  // Two-byte opcodes: six modrm/rex-style decisions per instruction with
+  // no branch on the combination (B6 arm).
+  var flags = 0;
+  if (in(pos + 1) & 1) { flags = flags + 1; }
+  if (in(pos + 2) & 2) { flags = flags + 2; }
+  if (in(pos + 3) & 4) { flags = flags + 4; }
+  if (in(pos + 4) & 8) { flags = flags + 8; }
+  if (in(pos + 5) & 16) { flags = flags + 16; }
+  if (in(pos + 6) & 32) { flags = flags + 32; }
+  extv[flags] = extv[flags] + 300;
+  return 7;
+}
+
+fn finish_decode() {
+  // B6: three 0x31-combo extended opcodes in one section overflow exttab.
+  var v = extv[0x31];
+  exttab[v / 301] = 1;
+  return v;
+}
+
+fn decode_one(pos, width) {
+  var op = in(pos);
+  if (op == 0x89 || op == 0x8b) {
+    operands[4 + width * 5] = op; // B2: width 2 lands at 14 > 11
+    return 2;
+  }
+  if (op == 0xe8) {
+    var disp = in(pos + 1);
+    relocs[disp % 20] = pos;      // B1: disp % 20 in [16, 19]
+    return 3;
+  }
+  if (op == 0x70) {
+    var target = in(pos + 1);
+    if (target > 128) {           // conditional && backwards
+      dstate[1] = target % 11;    // cached, unvalidated (B4 arm)
+    }
+    return 2;
+  }
+  if (op == 'X') {
+    jcache[dstate[1]] = pos;      // B4: cached slot in [8, 10] escapes
+    return 1;
+  }
+  if (op == 0xf4) {
+    return decode_sib(pos + 1);
+  }
+  if (op == 0x0f) {
+    return decode_extended(pos);
+  }
+  return 1;
+}
+
+fn main() {
+  if (len() < 6) { return 0; }
+  if (in(0) != 0x7f || in(1) != 'E' || in(2) != 'L' || in(3) != 'F') {
+    return 0;
+  }
+  var pos = 4;
+  var npfx = 0;
+  var insns = 0;
+  while (pos + 2 <= len() && insns < 80) {
+    var b = in(pos);
+    var width = 1;
+    if (b == 0x66) {
+      width = 2;
+      npfx = npfx + 1;
+      prefixes[npfx] = b;         // B3: npfx never reset on the error path
+      pos = pos + 1;
+      b = in(pos);
+    }
+    var adv = decode_one(pos, width);
+    if (adv <= 0) {
+      // decode error: resync without resetting prefix state (B3 arm)
+      pos = pos + 1;
+    } else {
+      if (b != 0x66) { npfx = 0; }
+      pos = pos + adv;
+    }
+    insns = insns + 1;
+  }
+  finish_decode();
+  return insns;
+}
+)ml";
+  // Seeds exercise the decode loop without tripping any planted bug.
+  S.Seeds = {
+      bytes({0x7f, 'E', 'L', 'F', 0x89, 0x00, 0xe8, 0x05, 0x70, 0x60, 'X',
+             0xf4, 0x41, 0x01, 0x02}),
+      bytes({0x7f, 'E', 'L', 'F', 0x8b, 0x01, 0xe8, 0x0a, 0x70, 0x90, 0x90,
+             0x00, 0x00}),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

@@ -1,0 +1,159 @@
+//===- Pdftotext.cpp - pdftotext subject (PDF object parser analogue) ---------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics xpdf pdftotext's object/xref parsing and text extraction. This
+// is the paper's richest subject (cull finds 18 bugs, more than twice
+// pcguard's 9 in the median run); the planted set is correspondingly
+// large and biased towards bugs that need sustained re-exploration:
+//   B1 (plain): xref entry count trusted within a byte.
+//   B2 (plain): name objects longer than the name buffer.
+//   B3 (path-gated): generation numbers take a recycled-slot path only
+//      when (gen % 7 == 0 && gen > 0); a later 'R' reference then indexes
+//      with the recycled slot.
+//   B4 (progression): each stream object grows the text cursor by its
+//      filter count; the cursor is only clamped on the non-hex path.
+//   B5 (path-gated): hex strings toggle a nibble state; closing a string
+//      on the odd-nibble path with a '>' writes the pending nibble past
+//      the text buffer when the cursor is at its limit.
+//   B6 (plain): dictionary nesting depth beyond the fixed stack.
+//   B7 (path-gated, branchless): font descriptor flag combinations bump a
+//      per-combo counter with no branch on the combo; three 0x29-combo
+//      descriptors in one document overflow the font table. Only the path
+//      feedback's per-path hit counts ladder towards it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makePdftotext() {
+  Subject S;
+  S.Name = "pdftotext";
+  S.Source = R"ml(
+// pdftotext: PDF text extractor analogue.
+global xref[20];
+global names[10];
+global text[24];
+global dstack[6];
+global pstate[8];
+global fontv[64];
+global fonttab[2];
+
+fn parse_name(pos) {
+  var j = 0;
+  while (pos + j < len() && in(pos + j) > ' ' && j < 14) {
+    names[j] = in(pos + j);       // B2: names holds 10 cells
+    j = j + 1;
+  }
+  return pos + j;
+}
+
+fn parse_xref(pos, count) {
+  var i = 0;
+  while (i < count && pos + i < len()) {
+    xref[i] = in(pos + i);        // B1: count is a raw byte
+    i = i + 1;
+  }
+  return i;
+}
+
+fn parse_font_flags(pos) {
+  // Font descriptor flags: six independent decisions, no branch on the
+  // combination (B7 arm, the branchless combo gadget).
+  var flags = 0;
+  if (in(pos + 1) & 1) { flags = flags + 1; }
+  if (in(pos + 2) & 2) { flags = flags + 2; }
+  if (in(pos + 3) & 4) { flags = flags + 4; }
+  if (in(pos + 4) & 8) { flags = flags + 8; }
+  if (in(pos + 5) & 16) { flags = flags + 16; }
+  if (in(pos + 6) & 32) { flags = flags + 32; }
+  fontv[flags] = fontv[flags] + 300;
+  return pos + 7;
+}
+
+fn finish_fonts() {
+  // B7: three occurrences of the 0x29 flag combination overflow fonttab.
+  var v = fontv[0x29];
+  fonttab[v / 301] = 1;
+  return v;
+}
+
+fn object_slot(gen) {
+  if (gen % 7 == 0 && gen > 0) {
+    return 14 + gen % 9;          // rare recycled-slot path: up to 22
+  }
+  return gen % 14;
+}
+
+fn main() {
+  if (len() < 5) { return 0; }
+  if (in(0) != '%' || in(1) != 'P' || in(2) != 'D' || in(3) != 'F') {
+    return 0;
+  }
+  var pos = 4;
+  var cursor = 0;
+  var nibble = 0;
+  var depth = 0;
+  var slot = 0;
+  while (pos < len()) {
+    var c = in(pos);
+    if (c == 'x') {
+      parse_xref(pos + 1, in(pos + 1));
+      pos = pos + 2;
+    } else if (c == '/') {
+      pos = parse_name(pos + 1);
+    } else if (c == 'o') {
+      var gen = in(pos + 1);
+      slot = object_slot(gen);
+      pos = pos + 2;
+    } else if (c == 'R') {
+      xref[slot] = pos;           // B3: recycled slot in [20, 22] escapes
+      pos = pos + 1;
+    } else if (c == 's') {
+      var nf = in(pos + 1) & 7;
+      cursor = cursor + nf;
+      if (in(pos + 2) != 'h') {
+        if (cursor > 20) { cursor = 20; }
+      }
+      text[cursor] = c;           // B4: unclamped on the hex path
+      pos = pos + 3;
+    } else if (c == '<') {
+      if (in(pos + 1) == '<') {
+        dstack[depth] = pos;      // B6: depth unchecked past 6
+        depth = depth + 1;
+        pos = pos + 2;
+      } else {
+        nibble = 1 - nibble;
+        pos = pos + 1;
+      }
+    } else if (c == '>') {
+      if (nibble == 1) {
+        text[cursor + 1] = 0xf;   // B5: pending nibble at cursor limit
+        nibble = 0;
+      }
+      if (depth > 0) { depth = depth - 1; }
+      pos = pos + 1;
+    } else if (c == 'F') {
+      pos = parse_font_flags(pos);
+    } else {
+      pos = pos + 1;
+    }
+  }
+  finish_fonts();
+  pstate[0] = cursor;
+  return depth;
+}
+)ml";
+  S.Seeds = {
+      bytes("%PDF-1.4 o\x06R /Name <<x\x05"
+            "abcde>> s\x03h <ff> 2 0 R"),
+      bytes("%PDF o\x0d s\x02q <<<</K /V>>>> xref x\x08 trailer"),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

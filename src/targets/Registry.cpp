@@ -1,0 +1,70 @@
+//===- Registry.cpp - Subject registry ----------------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+#include "support/Env.h"
+
+namespace pathfuzz {
+namespace targets {
+
+fuzz::Input bytes(const char *S) {
+  fuzz::Input Out;
+  for (const char *P = S; *P; ++P)
+    Out.push_back(static_cast<uint8_t>(*P));
+  return Out;
+}
+
+fuzz::Input bytes(std::initializer_list<uint8_t> Bs) {
+  return fuzz::Input(Bs);
+}
+
+const std::vector<Subject> &allSubjects() {
+  static const std::vector<Subject> Suite = [] {
+    std::vector<Subject> S;
+    S.push_back(makeCflow());
+    S.push_back(makeExiv2());
+    S.push_back(makeFfmpeg());
+    S.push_back(makeFlvmeta());
+    S.push_back(makeGdk());
+    S.push_back(makeImginfo());
+    S.push_back(makeInfotocap());
+    S.push_back(makeJhead());
+    S.push_back(makeJq());
+    S.push_back(makeLame());
+    S.push_back(makeMp3gain());
+    S.push_back(makeMp42aac());
+    S.push_back(makeMujs());
+    S.push_back(makeNmNew());
+    S.push_back(makeObjdump());
+    S.push_back(makePdftotext());
+    S.push_back(makeSqlite3());
+    S.push_back(makeTiffsplit());
+    return S;
+  }();
+  return Suite;
+}
+
+const Subject *findSubject(const std::string &Name) {
+  for (const Subject &S : allSubjects())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+std::vector<Subject> subjectsFromEnv() {
+  std::vector<std::string> Names = envList("REPRO_SUBJECTS");
+  if (Names.empty())
+    return allSubjects();
+  std::vector<Subject> Out;
+  for (const std::string &Name : Names)
+    if (const Subject *S = findSubject(Name))
+      Out.push_back(*S);
+  return Out;
+}
+
+} // namespace targets
+} // namespace pathfuzz

@@ -1,0 +1,139 @@
+//===- Sqlite3.cpp - sqlite3 subject (SQL tokenizer/VM analogue) --------------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics sqlite3's SQL tokenizer and a small statement "VM". The paper
+// shows pcguard ahead of the path-aware fuzzers here (9 vs 5-7 bugs):
+// the planted bugs sit behind *breadth* (many distinct statement kinds),
+// which favors raw coverage reach over deep path re-exploration.
+//   B1 (plain): string literals copied with the raw quoted length.
+//   B2 (plain): column list index from the raw column count.
+//   B3 (plain): PRAGMA values index the pragma table modulo 12.
+//   B4 (deep): nested SELECT depth beyond the cursor stack.
+//   B5 (path-gated): a JOIN after an ON-clause path leaves a dangling
+//      cursor index used by the next FROM.
+//   B6/B7 (deep chains): WITH/WHERE keyword chains hide OOB writes behind
+//      three/four distinct byte checks (breadth bugs, pcguard-leaning).
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeSqlite3() {
+  Subject S;
+  S.Name = "sqlite3";
+  S.Source = R"ml(
+// sqlite3: SQL engine analogue.
+global strbuf[16];
+global cols[10];
+global pragmas[8];
+global cursors[6];
+global sstate[8];
+
+fn copy_string(pos) {
+  var j = 0;
+  while (pos + j < len() && in(pos + j) != 0x27 && j < 24) {
+    strbuf[j] = in(pos + j);      // B1: up to 24 chars into 16 cells
+    j = j + 1;
+  }
+  return pos + j + 1;
+}
+
+fn parse_columns(pos, count) {
+  var i = 0;
+  while (i < count && i < 14) {
+    cols[i] = in(pos + i);        // B2: count caps at 14 > 9
+    i = i + 1;
+  }
+  return i;
+}
+
+fn parse_select(pos, depth) {
+  if (depth > 8) {
+    cursors[depth - 4] = pos;     // B4: depth >= 10 escapes the stack
+  } else {
+    cursors[depth % 6] = pos;
+  }
+  var i = pos;
+  while (i < len()) {
+    var c = in(i);
+    if (c == '(') {
+      i = parse_select(i + 1, depth + 1);
+    } else if (c == ')') {
+      return i + 1;
+    } else if (c == 'J') {
+      // JOIN: cursor from the ON-clause state
+      if (sstate[2] == 1) {
+        cursors[sstate[3]] = i;   // B5: sstate[3] set unchecked on ON path
+      } else {
+        cursors[0] = i;
+      }
+    } else if (c == 'O') {
+      sstate[2] = 1;
+      sstate[3] = in(i + 1) % 9;  // can exceed 5
+    }
+    i = i + 1;
+  }
+  return i;
+}
+
+fn main() {
+  if (len() < 3) { return 0; }
+  var pos = 0;
+  var stmts = 0;
+  while (pos < len() && stmts < 32) {
+    var c = in(pos);
+    if (c == 'S') {
+      pos = parse_select(pos + 1, 0);
+    } else if (c == 0x27) {
+      pos = copy_string(pos + 1);
+    } else if (c == 'C') {
+      parse_columns(pos + 1, in(pos + 1) & 15);
+      pos = pos + 2;
+    } else if (c == 'P') {
+      var pv = in(pos + 1);
+      pragmas[pv % 12] = pv;      // B3: pv % 12 in [8, 11]
+      pos = pos + 2;
+    } else if (c == 'W') {
+      // WITH RECURSIVE handling: a deep chain of keyword byte checks
+      // (B6/B7) — breadth bugs favoring the focused edge-coverage queue,
+      // matching the paper's pcguard advantage on sqlite3.
+      if (in(pos + 1) == 'I') {
+        if (in(pos + 2) == 'T') {
+          if (in(pos + 3) == 'H') {
+            cursors[in(pos + 4) & 7] = pos;   // B6: OOB for values in [6, 7]
+          }
+        }
+      } else if (in(pos + 1) == 'H') {
+        if (in(pos + 2) == 'E') {
+          if (in(pos + 3) == 'R') {
+            if (in(pos + 4) == 'E') {
+              pragmas[6 + (in(pos + 5) & 3)] = 1; // B7: OOB at 8/9
+            }
+          }
+        }
+      }
+      pos = pos + 1;
+    } else if (c == ';') {
+      sstate[2] = 0;
+      stmts = stmts + 1;
+      pos = pos + 1;
+    } else {
+      pos = pos + 1;
+    }
+  }
+  return stmts;
+}
+)ml";
+  S.Seeds = {
+      bytes("SELECT (S a J b O3) ; C\x05 x y z ; P\x02 ; 'str'"),
+      bytes("S((S))J; 'abcdef'; P\x09"),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

@@ -1,0 +1,78 @@
+//===- Targets.h - The UNIFUZZ-analogue subject suite -----------*- C++ -*-===//
+//
+// Part of the pathfuzz project: a reproduction of "Towards Path-Aware
+// Coverage-Guided Fuzzing" (CGO 2026).
+//
+//===----------------------------------------------------------------------===//
+//
+// Eighteen MiniLang subjects standing in for the 18 UNIFUZZ programs the
+// paper evaluates on (Table I). Each mimics the input-format flavour of
+// its namesake (chunk parsers, token scanners, recursive structure walks)
+// and carries *planted* memory-safety bugs of three difficulty classes:
+//
+//   - plain bugs: reachable once the guarding branches are covered, the
+//     kind any coverage-guided fuzzer finds;
+//   - path-gated bugs: the faulting state is only set along a specific
+//     intra-procedural path whose edges are all individually coverable
+//     (Fig. 1's blind spot — where the path feedback should shine);
+//   - progression bugs: an index/accumulator must creep to a limit through
+//     repeated executions of the same edges (the cflow zero-day's shape).
+//
+// Ground-truth bug identity comes from the VM fault site, replacing the
+// paper's manual triage. nm-new intentionally carries no bugs: the paper
+// reports zero findings on it for every fuzzer, and an honest zero row is
+// part of the reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_TARGETS_TARGETS_H
+#define PATHFUZZ_TARGETS_TARGETS_H
+
+#include "strategy/Campaign.h"
+
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+namespace targets {
+
+using strategy::Subject;
+
+/// Build a seed from a C string (no NUL terminator included).
+fuzz::Input bytes(const char *S);
+/// Build a seed from raw bytes.
+fuzz::Input bytes(std::initializer_list<uint8_t> Bs);
+
+// One factory per subject (each in its own translation unit).
+Subject makeCflow();
+Subject makeExiv2();
+Subject makeFfmpeg();
+Subject makeFlvmeta();
+Subject makeGdk();
+Subject makeImginfo();
+Subject makeInfotocap();
+Subject makeJhead();
+Subject makeJq();
+Subject makeLame();
+Subject makeMp3gain();
+Subject makeMp42aac();
+Subject makeMujs();
+Subject makeNmNew();
+Subject makeObjdump();
+Subject makePdftotext();
+Subject makeSqlite3();
+Subject makeTiffsplit();
+
+/// The full suite in the paper's (alphabetical) order.
+const std::vector<Subject> &allSubjects();
+
+/// Look up one subject by name; nullptr if absent.
+const Subject *findSubject(const std::string &Name);
+
+/// Subset selection honoring the REPRO_SUBJECTS env list (all when unset).
+std::vector<Subject> subjectsFromEnv();
+
+} // namespace targets
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_TARGETS_TARGETS_H

@@ -1,0 +1,137 @@
+//===- Tiffsplit.cpp - tiffsplit subject (TIFF IFD walker analogue) -----------===//
+//
+// Part of the pathfuzz project.
+//
+// Mimics libtiff tiffsplit's IFD entry walk. The paper records very high
+// *unique crash* counts here relative to unique bugs (34-55 crashes over
+// 5-6 bugs): the planted bugs are reachable from several distinct call
+// chains, so one root cause yields many distinct stack hashes.
+//   B1 (plain): entry count trusted within a byte (two call sites).
+//   B2 (plain): strip offsets indexed by the raw strip number (reachable
+//      from both the strip and the tile reader).
+//   B3 (path-gated): BigTIFF mode widens the tag stride only on the
+//      (magic 43 && version 8) path; the tag table write then escapes.
+//   B4 (path-gated, branchless): GeoTIFF key flag combos bump per-combo
+//      counters; three 0x13 combos in one file overflow geotab.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+namespace pathfuzz {
+namespace targets {
+
+Subject makeTiffsplit() {
+  Subject S;
+  S.Name = "tiffsplit";
+  S.Source = R"ml(
+// tiffsplit: TIFF splitter analogue.
+global entries[18];
+global strips[12];
+global tagtab[16];
+global tstate[4];
+global geov[32];
+global geotab[2];
+
+fn read_entries(pos, count) {
+  var i = 0;
+  while (i < count && pos + i < len()) {
+    entries[i] = in(pos + i);     // B1: raw byte count into 18 cells
+    i = i + 1;
+  }
+  return i;
+}
+
+fn store_strip(n, v) {
+  strips[n] = v;                  // B2: callers pass raw strip numbers
+  return n;
+}
+
+fn read_strips(pos) {
+  var n = in(pos) & 15;
+  store_strip(n, pos);            // B2 via strips: n up to 15 > 11
+  return pos + 1;
+}
+
+fn read_tiles(pos) {
+  var n = in(pos) & 31;
+  if (n > 13) {
+    store_strip(n - 2, pos);      // B2 via tiles: a second call chain
+  } else {
+    store_strip(n % 12, pos);
+  }
+  return pos + 2;
+}
+
+fn read_geokeys(pos) {
+  // GeoTIFF key flags: five branchless combination decisions (B4 arm).
+  var flags = 0;
+  if (in(pos + 1) & 1) { flags = flags + 1; }
+  if (in(pos + 2) & 2) { flags = flags + 2; }
+  if (in(pos + 3) & 4) { flags = flags + 4; }
+  if (in(pos + 4) & 8) { flags = flags + 8; }
+  if (in(pos + 5) & 16) { flags = flags + 16; }
+  geov[flags] = geov[flags] + 300;
+  return flags;
+}
+
+fn finish_geokeys() {
+  // B4: three 0x13-combo geokey directories overflow geotab.
+  var v = geov[0x13];
+  geotab[v / 301] = 1;
+  return v;
+}
+
+fn walk_ifd(pos, big) {
+  var stride;
+  if (big == 1) { stride = 3; } else { stride = 1; }
+  var count = in(pos) & 7;
+  var i = 0;
+  while (i < count) {
+    var tag = in(pos + 1 + i);
+    tagtab[i * stride + (tag & 1)] = tag; // B3: 6*3+1 = 19 > 15 in BigTIFF
+    if (tag == 0x11) {
+      read_strips(pos + 2 + i);
+    } else if (tag == 0x45) {
+      read_tiles(pos + 2 + i);
+    } else if (tag == 0xfe) {
+      read_entries(pos + 2 + i, in(pos + 2 + i));
+    } else if (tag == 0x83) {
+      read_geokeys(pos + 1 + i);
+    }
+    i = i + 1;
+  }
+  return pos + count + 1;
+}
+
+fn main() {
+  if (len() < 6) { return 0; }
+  if (in(0) != 'I' || in(1) != 'I') { return 0; }
+  var magic = in(2);
+  var big = 0;
+  if (magic == 43 && in(3) == 8) {
+    big = 1;                      // BigTIFF path
+  } else if (magic != 42) {
+    return 1;
+  }
+  var pos = 4;
+  var ifds = 0;
+  while (pos + 2 <= len() && ifds < 24) {
+    pos = walk_ifd(pos, big);
+    ifds = ifds + 1;
+    if (in(pos) == 0) { break; }
+  }
+  finish_geokeys();
+  return ifds;
+}
+)ml";
+  S.Seeds = {
+      bytes({'I', 'I', 42, 0, 3, 0x11, 0x05, 0x45, 0x0c, 0xfe, 0x04, 1, 2,
+             3, 4, 5}),
+      bytes({'I', 'I', 43, 8, 2, 0x11, 0x09, 0x45, 0x10, 0, 0, 0}),
+  };
+  return S;
+}
+
+} // namespace targets
+} // namespace pathfuzz

@@ -1,0 +1,177 @@
+//===- Vm.h - MIR interpreter with memory-safety checking -------*- C++ -*-===//
+//
+// Part of the pathfuzz project: a reproduction of "Towards Path-Aware
+// Coverage-Guided Fuzzing" (CGO 2026).
+//
+//===----------------------------------------------------------------------===//
+//
+// The VM executes (instrumented) MIR programs on fuzz inputs, standing in
+// for native execution under AddressSanitizer in the paper's setup:
+//
+//  - A simulated heap with per-object bounds, free-state tracking and
+//    pointer validation turns memory-safety violations into deterministic
+//    Fault records carrying the faulting site and the call stack, enabling
+//    the paper's triage pipeline (stack-hash "unique crashes" and
+//    root-cause "unique bugs").
+//  - Coverage probes inserted by src/instrument are interpreted against a
+//    caller-provided coverage map (the AFL++ shared-memory map analogue).
+//  - Independent of the feedback mode, the VM can record the set of
+//    *shadow* edges traversed (see instrument/ShadowEdges.h), the
+//    afl-showmap analogue used for the paper's coverage study and for the
+//    culling strategy.
+//  - Comparison operands can be logged, feeding the input-to-state
+//    mutation stage (the cmplog/RedQueen analogue the paper enables).
+//  - A step budget bounds runaway executions (the timeout analogue); step
+//    exhaustion is a hang, not a crash.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_VM_VM_H
+#define PATHFUZZ_VM_VM_H
+
+#include "instrument/ShadowEdges.h"
+#include "mir/Mir.h"
+#include "support/Hashing.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace vm {
+
+/// Execution outcome kinds. Everything except None and StepLimit is a
+/// crash (StepLimit is the hang/timeout analogue).
+enum class FaultKind : uint8_t {
+  None,
+  OobRead,
+  OobWrite,
+  UseAfterFree,
+  DoubleFree,
+  InvalidFree,
+  BadPointer,
+  DivByZero,
+  Abort,
+  StackOverflow,
+  OutOfMemory,
+  StepLimit,
+};
+
+/// Whether the fault kind counts as a crash for the fuzzer.
+inline bool isCrash(FaultKind K) {
+  return K != FaultKind::None && K != FaultKind::StepLimit;
+}
+
+const char *faultKindName(FaultKind K);
+
+/// One frame of the call stack at fault time.
+struct StackFrameRef {
+  uint32_t Func = 0;
+  uint32_t Block = 0;
+  uint32_t InstrIdx = 0;
+};
+
+/// A crash report: the faulting site plus the call stack (innermost
+/// first).
+struct Fault {
+  FaultKind Kind = FaultKind::None;
+  uint32_t Func = 0;
+  uint32_t Block = 0;
+  uint32_t InstrIdx = 0;
+  std::vector<StackFrameRef> Stack;
+
+  /// Ground-truth bug identity: the faulting site and kind. This is the
+  /// analogue of the paper's *manual* crash-to-bug deduplication — with
+  /// planted bugs the root cause is known exactly.
+  uint64_t bugId() const {
+    uint64_t Id = (static_cast<uint64_t>(Func) << 40) |
+                  (static_cast<uint64_t>(Block) << 16) | InstrIdx;
+    return hashCombine(Id, static_cast<uint64_t>(Kind));
+  }
+
+  /// Stack-trace hash over the top `Frames` frames (default 5, as the
+  /// paper's crash clustering does): the "unique crash" identity.
+  uint64_t stackHash(unsigned Frames = 5) const;
+};
+
+/// Feedback plumbing: where probes write. Null Map disables feedback.
+struct FeedbackContext {
+  uint8_t *Map = nullptr;
+  uint32_t MapMask = 0; ///< map size minus one (size is a power of two)
+  /// Per-function keys for path-map indexing: (path_id ^ key) & MapMask,
+  /// the paper's (path_id XOR function) % map_size scheme.
+  const uint64_t *FuncKeys = nullptr;
+  /// PathAFL-style assist: hash the sequence of *selected* function calls
+  /// into the map (coarse whole-program path tracking).
+  bool CallPathHash = false;
+};
+
+/// Per-execution limits and switches.
+struct ExecOptions {
+  uint64_t StepLimit = 500000;
+  uint32_t MaxCallDepth = 192;
+  uint64_t HeapCellLimit = 1 << 22; ///< total allocatable cells per run
+  uint32_t MaxObjects = 1 << 16;
+  bool RecordShadowEdges = true;
+  bool LogCmps = false;
+  uint32_t MaxCmpLog = 128;
+};
+
+/// Result of one execution.
+struct ExecResult {
+  Fault TheFault;
+  uint64_t Steps = 0;
+  int64_t ReturnValue = 0;
+  /// Unique shadow edges covered, ascending (empty if not recorded).
+  std::vector<uint32_t> ShadowEdges;
+  /// Logged comparison operand values (for the cmplog stage).
+  std::vector<int64_t> CmpOperands;
+
+  bool crashed() const { return isCrash(TheFault.Kind); }
+  bool hung() const { return TheFault.Kind == FaultKind::StepLimit; }
+};
+
+/// The interpreter. One Vm per module; run() is reentrant per input and
+/// reuses internal buffers across executions for speed.
+class Vm {
+public:
+  /// Shadow may be null to disable shadow-edge recording entirely.
+  Vm(const mir::Module &M, const instr::ShadowEdgeIndex *Shadow = nullptr);
+
+  /// Execute @main on the given input.
+  ExecResult run(const uint8_t *Input, size_t Len, const ExecOptions &Opts,
+                 FeedbackContext *Fb = nullptr);
+
+  const mir::Module &module() const { return M; }
+
+private:
+  struct HeapObject {
+    uint32_t Size = 0;
+    uint32_t CellBase = 0; ///< offset into Cells
+    bool Freed = false;
+  };
+
+  struct Frame {
+    uint32_t Func = 0;
+    uint32_t Block = 0;
+    uint32_t InstrIdx = 0;
+    uint32_t RegBase = 0; ///< offset into RegStack
+    mir::Reg RetReg = 0;  ///< caller register receiving the return value
+  };
+
+  const mir::Module &M;
+  const instr::ShadowEdgeIndex *Shadow;
+  int MainIndex = -1;
+
+  // Reused per-execution state.
+  std::vector<int64_t> RegStack;
+  std::vector<Frame> Frames;
+  std::vector<HeapObject> Objects;
+  std::vector<int64_t> Cells;
+  std::vector<uint8_t> EdgeSeen;
+  std::vector<uint32_t> EdgeTouched;
+};
+
+} // namespace vm
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_VM_VM_H

@@ -1,0 +1,250 @@
+//===- BallLarusTest.cpp - Ball-Larus encoding properties ---------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bl/BallLarus.h"
+
+#include "TestUtil.h"
+#include "lang/Compile.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace pathfuzz;
+using namespace pathfuzz::bl;
+
+namespace {
+
+/// Simulate a probe plan over one acyclic path (as DAG edge indices) and
+/// return the value the flush probe would emit.
+int64_t simulatePlan(const BLDag &Dag, const PathProbePlan &Plan,
+                     const std::vector<uint32_t> &PathEdges) {
+  const std::vector<DagEdge> &Edges = Dag.edges();
+  EXPECT_FALSE(PathEdges.empty());
+
+  // Initial value: function entry or the reset constant of the back edge
+  // whose EntryDummy starts this path.
+  int64_t R = 0;
+  const DagEdge &First = Edges[PathEdges.front()];
+  if (First.Kind == DagEdgeKind::EntryToFirst) {
+    R = Plan.EntryInit;
+  } else {
+    EXPECT_EQ(First.Kind, DagEdgeKind::EntryDummy);
+    bool Found = false;
+    for (const auto &BP : Plan.BackProbes) {
+      if (BP.CfgEdgeIndex == First.CfgEdgeIndex) {
+        R = BP.Reset;
+        Found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(Found) << "missing back probe for the path's entry dummy";
+  }
+
+  // Real-edge increments.
+  for (size_t I = 1; I < PathEdges.size(); ++I) {
+    const DagEdge &E = Edges[PathEdges[I]];
+    if (E.Kind != DagEdgeKind::Real)
+      continue;
+    for (const auto &EI : Plan.EdgeIncs)
+      if (EI.CfgEdgeIndex == E.CfgEdgeIndex)
+        R += EI.Inc;
+  }
+
+  // Flush at the last edge.
+  const DagEdge &Last = Edges[PathEdges.back()];
+  if (Last.Kind == DagEdgeKind::RetToExit) {
+    for (const auto &RP : Plan.RetProbes)
+      if (RP.Block == Last.Src)
+        return R + RP.FlushAdd;
+    ADD_FAILURE() << "missing ret probe for block " << Last.Src;
+    return -1;
+  }
+  EXPECT_EQ(Last.Kind, DagEdgeKind::ExitDummy);
+  for (const auto &BP : Plan.BackProbes)
+    if (BP.CfgEdgeIndex == Last.CfgEdgeIndex)
+      return R + BP.FlushAdd;
+  ADD_FAILURE() << "missing back probe flush";
+  return -1;
+}
+
+/// Build the Fig. 1 function `foo` from the paper in MiniLang.
+mir::Module buildFig1() {
+  const char *Src = R"ml(
+global arr[56];
+fn main() {
+  var n = len();
+  if (n - 2 > 54 || n < 3) { return 0; }
+  var j;
+  if (n % 4 == 0 && n > 39) {
+    j = 3;
+  } else {
+    j = -2;
+  }
+  var c = in(0);
+  if (c == 'h') {
+    arr[n + j] = 7;
+  } else {
+    if (j < 0) { j = -j; }
+    arr[j] = 0;
+  }
+  return 0;
+}
+)ml";
+  lang::CompileResult CR = lang::compileSource(Src, "fig1");
+  EXPECT_TRUE(CR.ok()) << CR.message();
+  return std::move(*CR.Mod);
+}
+
+TEST(BallLarus, TrivialSingleBlock) {
+  mir::FunctionBuilder FB("f", 0);
+  FB.setRetConst(7);
+  mir::Function F = FB.take();
+  cfg::CfgView G(F);
+  auto Dag = BLDag::build(G);
+  ASSERT_TRUE(Dag.has_value());
+  EXPECT_EQ(Dag->numPaths(), 1u);
+  PathProbePlan Plan = Dag->makePlan(PlacementMode::Simple);
+  EXPECT_EQ(Plan.NumPaths, 1u);
+  EXPECT_TRUE(Plan.EdgeIncs.empty());
+  ASSERT_EQ(Plan.RetProbes.size(), 1u);
+  EXPECT_EQ(Plan.RetProbes[0].FlushAdd, 0);
+}
+
+TEST(BallLarus, DiamondHasTwoPaths) {
+  // entry -> (a | b) -> join -> ret
+  mir::FunctionBuilder FB("f", 1);
+  uint32_t A = FB.newBlock("a"), B = FB.newBlock("b"), J = FB.newBlock("j");
+  FB.setCondBr(0, A, B);
+  FB.setInsertPoint(A);
+  FB.setBr(J);
+  FB.setInsertPoint(B);
+  FB.setBr(J);
+  FB.setInsertPoint(J);
+  FB.setRet(0);
+  mir::Function F = FB.take();
+  cfg::CfgView G(F);
+  auto Dag = BLDag::build(G);
+  ASSERT_TRUE(Dag.has_value());
+  EXPECT_EQ(Dag->numPaths(), 2u);
+  EXPECT_EQ(Dag->enumerateAllPaths().size(), 2u);
+}
+
+TEST(BallLarus, LoopTruncatesAtBackEdge) {
+  // entry -> header; header -> (body | exit); body -> header (back edge)
+  mir::FunctionBuilder FB("f", 1);
+  uint32_t H = FB.newBlock("h"), Body = FB.newBlock("body"),
+           X = FB.newBlock("x");
+  FB.setBr(H);
+  FB.setInsertPoint(H);
+  FB.setCondBr(0, Body, X);
+  FB.setInsertPoint(Body);
+  FB.setBr(H);
+  FB.setInsertPoint(X);
+  FB.setRet(0);
+  mir::Function F = FB.take();
+  cfg::CfgView G(F);
+  ASSERT_EQ(G.numBackEdges(), 1u);
+  auto Dag = BLDag::build(G);
+  ASSERT_TRUE(Dag.has_value());
+  // Paths: entry->h->body(STOP), entry->h->x->ret, h->body(STOP),
+  // h->x->ret.
+  EXPECT_EQ(Dag->numPaths(), 4u);
+}
+
+TEST(BallLarus, Fig1MotivatingExampleHasDistinctBugPathId) {
+  mir::Module M = buildFig1();
+  const mir::Function &F = M.Funcs[static_cast<size_t>(M.findFunction("main"))];
+  cfg::CfgView G(F);
+  auto Dag = BLDag::build(G);
+  ASSERT_TRUE(Dag.has_value());
+  // The paper's `foo` has 5 acyclic paths; our lowering adds short-circuit
+  // blocks, so the count differs, but every path must get a unique ID and
+  // the encoding must be a bijection.
+  auto Paths = Dag->enumerateAllPaths();
+  EXPECT_EQ(Paths.size(), Dag->numPaths());
+  EXPECT_GE(Paths.size(), 5u);
+  for (uint64_t Id = 0; Id < Dag->numPaths(); ++Id)
+    EXPECT_EQ(Dag->reconstruct(Id), Paths[Id]) << "path " << Id;
+}
+
+TEST(BallLarus, OverflowGuardKicksIn) {
+  // A ladder of K diamonds has 2^K paths; cap below that.
+  mir::FunctionBuilder FB("f", 1);
+  uint32_t Prev = 0;
+  for (int K = 0; K < 8; ++K) {
+    uint32_t A = FB.newBlock(), B = FB.newBlock(), J = FB.newBlock();
+    FB.setInsertPoint(Prev);
+    FB.setCondBr(0, A, B);
+    FB.setInsertPoint(A);
+    FB.setBr(J);
+    FB.setInsertPoint(B);
+    FB.setBr(J);
+    Prev = J;
+  }
+  FB.setInsertPoint(Prev);
+  FB.setRet(0);
+  mir::Function F = FB.take();
+  cfg::CfgView G(F);
+  EXPECT_FALSE(BLDag::build(G, /*MaxPaths=*/255).has_value());
+  auto Dag = BLDag::build(G, /*MaxPaths=*/256);
+  ASSERT_TRUE(Dag.has_value());
+  EXPECT_EQ(Dag->numPaths(), 256u);
+}
+
+class BallLarusRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BallLarusRandom, EncodingIsABijectionAndPlansAgree) {
+  Rng R(GetParam());
+  mir::Function F = test::randomFunction(R);
+  cfg::CfgView G(F);
+  auto Dag = BLDag::build(G, /*MaxPaths=*/1 << 20);
+  if (!Dag)
+    GTEST_SKIP() << "path count above the test cap";
+
+  auto Paths = Dag->enumerateAllPaths();
+  ASSERT_EQ(Paths.size(), Dag->numPaths());
+
+  // IDs are exactly [0, NumPaths) and reconstruct() inverts them.
+  for (uint64_t Id = 0; Id < Dag->numPaths(); ++Id)
+    ASSERT_EQ(Dag->reconstruct(Id), Paths[Id]) << "path " << Id;
+
+  // Both placements emit exactly the enumeration index for every path.
+  auto PathEdges = Dag->enumerateAllPathEdges();
+  ASSERT_EQ(PathEdges.size(), Dag->numPaths());
+  PathProbePlan Simple = Dag->makePlan(PlacementMode::Simple);
+  PathProbePlan Tree = Dag->makePlan(PlacementMode::SpanningTree);
+  for (uint64_t Id = 0; Id < Dag->numPaths(); ++Id) {
+    ASSERT_EQ(simulatePlan(*Dag, Simple, PathEdges[Id]),
+              static_cast<int64_t>(Id))
+        << "simple placement, path " << Id;
+    ASSERT_EQ(simulatePlan(*Dag, Tree, PathEdges[Id]),
+              static_cast<int64_t>(Id))
+        << "spanning-tree placement, path " << Id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BallLarusRandom,
+                         ::testing::Range<uint64_t>(0, 60));
+
+TEST(BallLarus, SpanningTreePlacementBoundsProbesByChords) {
+  // The chord placement may only instrument off-tree real edges: every
+  // tree edge must carry a zero increment.
+  for (uint64_t Seed = 100; Seed < 140; ++Seed) {
+    Rng R(Seed);
+    mir::Function F = test::randomFunction(R);
+    cfg::CfgView G(F);
+    auto Dag = BLDag::build(G, 1 << 20);
+    if (!Dag)
+      continue;
+    Dag->computeChordIncrements();
+    for (const DagEdge &E : Dag->edges())
+      if (E.OnTree)
+        EXPECT_EQ(E.Inc, 0) << "seed " << Seed;
+  }
+}
+
+} // namespace

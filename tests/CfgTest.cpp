@@ -1,0 +1,170 @@
+//===- CfgTest.cpp - CFG analyses ----------------------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "TestUtil.h"
+#include "cfg/EdgeSplit.h"
+#include "mir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace pathfuzz;
+using namespace pathfuzz::cfg;
+
+namespace {
+
+/// entry -> header; header -> (body | exit); body -> header.
+mir::Function loopFunction() {
+  mir::FunctionBuilder FB("loop", 1);
+  uint32_t H = FB.newBlock("h"), B = FB.newBlock("b"), X = FB.newBlock("x");
+  FB.setBr(H);
+  FB.setInsertPoint(H);
+  FB.setCondBr(0, B, X);
+  FB.setInsertPoint(B);
+  FB.setBr(H);
+  FB.setInsertPoint(X);
+  FB.setRet(0);
+  return FB.take();
+}
+
+TEST(Cfg, EdgesAndPreds) {
+  mir::Function F = loopFunction();
+  CfgView G(F);
+  EXPECT_EQ(G.numBlocks(), 4u);
+  EXPECT_EQ(G.edges().size(), 4u); // entry->h, h->b, h->x, b->h
+  EXPECT_EQ(G.predEdges(1).size(), 2u);
+  EXPECT_EQ(G.succEdges(1).size(), 2u);
+  EXPECT_TRUE(G.isExitBlock(3));
+  EXPECT_FALSE(G.isExitBlock(1));
+}
+
+TEST(Cfg, BackEdgeDetection) {
+  mir::Function F = loopFunction();
+  CfgView G(F);
+  EXPECT_EQ(G.numBackEdges(), 1u);
+  unsigned Found = 0;
+  for (uint32_t E = 0; E < G.edges().size(); ++E) {
+    if (G.isBackEdge(E)) {
+      ++Found;
+      EXPECT_EQ(G.edges()[E].Src, 2u);
+      EXPECT_EQ(G.edges()[E].Dst, 1u);
+    }
+  }
+  EXPECT_EQ(Found, 1u);
+}
+
+TEST(Cfg, SelfLoopIsABackEdge) {
+  mir::FunctionBuilder FB("self", 1);
+  uint32_t L = FB.newBlock("l"), X = FB.newBlock("x");
+  FB.setBr(L);
+  FB.setInsertPoint(L);
+  FB.setCondBr(0, L, X);
+  FB.setInsertPoint(X);
+  FB.setRet(0);
+  mir::Function F = FB.take();
+  CfgView G(F);
+  EXPECT_EQ(G.numBackEdges(), 1u);
+}
+
+TEST(Cfg, TopoOrderRespectsForwardEdges) {
+  for (uint64_t Seed = 0; Seed < 30; ++Seed) {
+    Rng R(Seed);
+    mir::Function F = test::randomFunction(R);
+    CfgView G(F);
+    std::vector<int> Position(G.numBlocks(), -1);
+    const std::vector<uint32_t> &Topo = G.topoOrder();
+    for (size_t I = 0; I < Topo.size(); ++I)
+      Position[Topo[I]] = static_cast<int>(I);
+    EXPECT_EQ(Topo.empty() ? 0u : Topo.front(), 0u);
+    for (uint32_t E = 0; E < G.edges().size(); ++E) {
+      if (G.isBackEdge(E))
+        continue;
+      const Edge &Ed = G.edges()[E];
+      if (!G.isReachable(Ed.Src))
+        continue;
+      EXPECT_LT(Position[Ed.Src], Position[Ed.Dst])
+          << "seed " << Seed << " edge " << Ed.Src << "->" << Ed.Dst;
+    }
+  }
+}
+
+TEST(Cfg, UnreachableBlocksExcluded) {
+  mir::FunctionBuilder FB("u", 0);
+  uint32_t Dead = FB.newBlock("dead");
+  FB.setRetConst(0);
+  FB.setInsertPoint(Dead);
+  FB.setRetConst(1);
+  mir::Function F = FB.take();
+  CfgView G(F);
+  EXPECT_TRUE(G.isReachable(0));
+  EXPECT_FALSE(G.isReachable(Dead));
+  for (uint32_t B : G.topoOrder())
+    EXPECT_NE(B, Dead);
+}
+
+TEST(Cfg, Dominators) {
+  mir::Function F = loopFunction();
+  CfgView G(F);
+  DominatorTree DT(G);
+  EXPECT_EQ(DT.idom(1), 0u); // header dominated by entry
+  EXPECT_EQ(DT.idom(2), 1u);
+  EXPECT_EQ(DT.idom(3), 1u);
+  EXPECT_TRUE(DT.dominates(0, 3));
+  EXPECT_TRUE(DT.dominates(1, 2));
+  EXPECT_FALSE(DT.dominates(2, 3));
+  EXPECT_TRUE(DT.dominates(3, 3));
+}
+
+TEST(Cfg, LoopInfo) {
+  mir::Function F = loopFunction();
+  CfgView G(F);
+  LoopInfo LI = LoopInfo::compute(G);
+  ASSERT_EQ(LI.Headers.size(), 1u);
+  EXPECT_EQ(LI.Headers[0], 1u);
+  EXPECT_EQ(LI.InnermostHeader[1], 1u);
+  EXPECT_EQ(LI.InnermostHeader[2], 1u);
+  EXPECT_EQ(LI.InnermostHeader[0], UINT32_MAX);
+  EXPECT_EQ(LI.InnermostHeader[3], UINT32_MAX);
+}
+
+TEST(Cfg, CriticalEdgeDetectionAndSplit) {
+  // diamond with an extra edge entry->join: entry has 2 succs, join has 2
+  // preds, so entry->join is critical.
+  mir::FunctionBuilder FB("c", 1);
+  uint32_t A = FB.newBlock("a"), J = FB.newBlock("j");
+  FB.setCondBr(0, A, J);
+  FB.setInsertPoint(A);
+  FB.setBr(J);
+  FB.setInsertPoint(J);
+  FB.setRet(0);
+  mir::Function F = FB.take();
+  {
+    CfgView G(F);
+    uint32_t Critical = UINT32_MAX;
+    for (uint32_t E = 0; E < G.edges().size(); ++E)
+      if (G.isCriticalEdge(E))
+        Critical = E;
+    ASSERT_NE(Critical, UINT32_MAX);
+    EXPECT_EQ(G.edges()[Critical].Src, 0u);
+    EXPECT_EQ(G.edges()[Critical].Dst, J);
+  }
+  uint32_t NewBlock = splitEdge(F, 0, 1);
+  EXPECT_EQ(NewBlock, 3u);
+  EXPECT_EQ(F.Blocks[0].Term.Succs[1], NewBlock);
+  EXPECT_EQ(F.Blocks[NewBlock].Term.Succs[0], J);
+  mir::Module M;
+  M.Funcs.push_back(F);
+  M.Funcs.back().Name = "main";
+  EXPECT_TRUE(mir::verifyModule(M).ok());
+  CfgView G2(F);
+  for (uint32_t E = 0; E < G2.edges().size(); ++E)
+    EXPECT_FALSE(G2.isCriticalEdge(E));
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===- CovTest.cpp - Coverage map and novelty detection -----------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cov/CoverageMap.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathfuzz;
+using namespace pathfuzz::cov;
+
+namespace {
+
+TEST(CoverageMap, BucketingMatchesAfl) {
+  EXPECT_EQ(CoverageMap::bucketFor(0), 0);
+  EXPECT_EQ(CoverageMap::bucketFor(1), 1);
+  EXPECT_EQ(CoverageMap::bucketFor(2), 2);
+  EXPECT_EQ(CoverageMap::bucketFor(3), 4);
+  EXPECT_EQ(CoverageMap::bucketFor(4), 8);
+  EXPECT_EQ(CoverageMap::bucketFor(7), 8);
+  EXPECT_EQ(CoverageMap::bucketFor(8), 16);
+  EXPECT_EQ(CoverageMap::bucketFor(15), 16);
+  EXPECT_EQ(CoverageMap::bucketFor(16), 32);
+  EXPECT_EQ(CoverageMap::bucketFor(31), 32);
+  EXPECT_EQ(CoverageMap::bucketFor(32), 64);
+  EXPECT_EQ(CoverageMap::bucketFor(127), 64);
+  EXPECT_EQ(CoverageMap::bucketFor(128), 128);
+  EXPECT_EQ(CoverageMap::bucketFor(255), 128);
+}
+
+TEST(CoverageMap, ClassifiedValuesAreSingleBitBuckets) {
+  // Classified entries are one-hot bucket masks (that is what lets the
+  // virgin map track per-bucket novelty with bitwise AND). Note AFL's
+  // classification is deliberately *not* idempotent — it runs exactly
+  // once per trace.
+  CoverageMap Map(8);
+  Rng R(1);
+  for (int I = 0; I < 100; ++I)
+    Map.data()[R.below(Map.size())] = static_cast<uint8_t>(R.next());
+  Map.classifyCounts();
+  for (uint32_t I = 0; I < Map.size(); ++I) {
+    uint8_t V = Map.data()[I];
+    EXPECT_TRUE(V == 0 || (V & (V - 1)) == 0) << "value " << int(V);
+  }
+}
+
+TEST(CoverageMap, ClassifyMatchesScalarReference) {
+  CoverageMap Map(10);
+  Rng R(7);
+  std::vector<uint8_t> Ref(Map.size(), 0);
+  for (int I = 0; I < 500; ++I) {
+    uint32_t Idx = static_cast<uint32_t>(R.below(Map.size()));
+    uint8_t V = static_cast<uint8_t>(R.next());
+    Map.data()[Idx] = V;
+    Ref[Idx] = V;
+  }
+  Map.classifyCounts();
+  for (uint32_t I = 0; I < Map.size(); ++I)
+    ASSERT_EQ(Map.data()[I], CoverageMap::bucketFor(Ref[I])) << I;
+}
+
+TEST(CoverageMap, CountBytes) {
+  CoverageMap Map(8);
+  EXPECT_EQ(Map.countBytes(), 0u);
+  Map.data()[3] = 1;
+  Map.data()[200] = 128;
+  EXPECT_EQ(Map.countBytes(), 2u);
+  Map.reset();
+  EXPECT_EQ(Map.countBytes(), 0u);
+}
+
+TEST(VirginMap, DetectsNewEdgesThenNewCountsThenNothing) {
+  CoverageMap Trace(8);
+  VirginMap Virgin(Trace.size());
+
+  Trace.data()[10] = 1;
+  Trace.classifyCounts();
+  EXPECT_EQ(Virgin.hasNewBits(Trace), Novelty::NewEdges);
+  EXPECT_EQ(Virgin.hasNewBits(Trace), Novelty::None);
+
+  // Same entry, higher hit bucket: NewCounts.
+  Trace.reset();
+  Trace.data()[10] = 9; // bucket 16
+  Trace.classifyCounts();
+  EXPECT_EQ(Virgin.hasNewBits(Trace), Novelty::NewCounts);
+  EXPECT_EQ(Virgin.hasNewBits(Trace), Novelty::None);
+
+  // A different entry: NewEdges again, even with old entries present.
+  Trace.data()[99] = 1;
+  Trace.classifyCounts();
+  EXPECT_EQ(Virgin.hasNewBits(Trace), Novelty::NewEdges);
+  EXPECT_EQ(Virgin.coveredEntries(), 2u);
+}
+
+TEST(VirginMap, WouldHaveAgreesWithHas) {
+  Rng R(3);
+  for (int Round = 0; Round < 50; ++Round) {
+    CoverageMap Trace(6);
+    VirginMap Virgin(Trace.size());
+    // Pre-populate the virgin map.
+    for (int I = 0; I < 20; ++I) {
+      Trace.data()[R.below(Trace.size())] = static_cast<uint8_t>(R.next());
+    }
+    Trace.classifyCounts();
+    Virgin.hasNewBits(Trace);
+
+    CoverageMap Next(6);
+    for (int I = 0; I < 10; ++I)
+      Next.data()[R.below(Next.size())] = static_cast<uint8_t>(R.next());
+    Next.classifyCounts();
+    Novelty Predicted = Virgin.wouldHaveNewBits(Next);
+    Novelty Actual = Virgin.hasNewBits(Next);
+    ASSERT_EQ(Predicted, Actual) << "round " << Round;
+    ASSERT_EQ(Virgin.hasNewBits(Next), Novelty::None);
+  }
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- Fig1Test.cpp - The paper's motivating claim, as a test -------------------===//
+//
+// Part of the pathfuzz project.
+//
+// Section II-B's narrative, executed literally: after the fuzzer has seen
+// (a) an input taking the rare j=3 path with a non-'h' first byte and
+// (b) an input taking the common path with an 'h' first byte, a third
+// input combining the rare path WITH the 'h' branch is
+//
+//   - NOT novel under edge coverage (every edge was individually seen),
+//   - novel under the Ball-Larus path feedback (the combination is a new
+//     acyclic path),
+//
+// and a pure length mutation of that retained input triggers the planted
+// heap overflow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cov/CoverageMap.h"
+#include "instrument/Instrument.h"
+#include "lang/Compile.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathfuzz;
+
+namespace {
+
+const char *Fig1 = R"ml(
+global arr[56];
+fn main() {
+  var n = len();
+  if (n - 2 > 54 || n < 3) { return 0; }
+  var j;
+  if (n % 4 == 0 && n > 39) { j = 3; } else { j = -2; }
+  var c = in(0);
+  if (c == 'h') {
+    arr[n + j] = 7;
+  } else {
+    if (j < 0) { j = -j; }
+    arr[j] = 0;
+  }
+  return 0;
+}
+)ml";
+
+std::vector<uint8_t> inputOfLen(size_t N, char First) {
+  std::vector<uint8_t> In(N, 'x');
+  if (N)
+    In[0] = static_cast<uint8_t>(First);
+  return In;
+}
+
+struct Feedback {
+  mir::Module Mod;
+  instr::InstrumentReport Rep;
+  cov::CoverageMap Trace{16};
+  cov::VirginMap Virgin{1u << 16};
+  vm::Vm Machine;
+
+  // Mod and Rep are members declared before Machine, so instrumenting in
+  // Machine's initializer (comma expression) is safe and keeps Machine's
+  // module reference pointing at the instrumented copy.
+  Feedback(const mir::Module &Base, instr::Feedback Mode)
+      : Mod(Base), Machine((instrumentInto(Mod, Mode, Rep), Mod)) {}
+
+  static void instrumentInto(mir::Module &M, instr::Feedback Mode,
+                             instr::InstrumentReport &Rep) {
+    instr::InstrumentOptions IO;
+    IO.Mode = Mode;
+    Rep = instr::instrumentModule(M, IO);
+  }
+
+  /// Run an input; returns (novelty, crashed).
+  std::pair<cov::Novelty, bool> run(const std::vector<uint8_t> &In) {
+    Trace.reset();
+    vm::FeedbackContext Fb;
+    Fb.Map = Trace.data();
+    Fb.MapMask = Trace.mask();
+    Fb.FuncKeys = Rep.FuncKeys.data();
+    vm::ExecOptions EO;
+    vm::ExecResult R = Machine.run(In.data(), In.size(), EO, &Fb);
+    Trace.classifyCounts();
+    return {Virgin.hasNewBits(Trace), R.crashed()};
+  }
+};
+
+TEST(Fig1, PathFeedbackRetainsTheCrucialIntermediate) {
+  lang::CompileResult CR = lang::compileSource(Fig1, "fig1");
+  ASSERT_TRUE(CR.ok()) << CR.message();
+
+  Feedback Edge(*CR.Mod, instr::Feedback::EdgePrecise);
+  Feedback Path(*CR.Mod, instr::Feedback::Path);
+
+  // History: rare path without 'h', then common path with 'h'.
+  auto RareNoH = inputOfLen(44, 'x'); // 44 % 4 == 0 && 44 > 39 -> j = 3
+  auto CommonH = inputOfLen(21, 'h'); // common path, 'h' branch
+  for (auto *F : {&Edge, &Path}) {
+    EXPECT_NE(F->run(RareNoH).first, cov::Novelty::None);
+    EXPECT_NE(F->run(CommonH).first, cov::Novelty::None);
+  }
+
+  // The crucial intermediate: rare path AND 'h', still benign (44+3 < 56).
+  auto RareH = inputOfLen(44, 'h');
+  auto [EdgeNov, EdgeCrash] = Edge.run(RareH);
+  auto [PathNov, PathCrash] = Path.run(RareH);
+  ASSERT_FALSE(EdgeCrash);
+  ASSERT_FALSE(PathCrash);
+  EXPECT_EQ(EdgeNov, cov::Novelty::None)
+      << "edge coverage must consider the intermediate stale";
+  EXPECT_NE(PathNov, cov::Novelty::None)
+      << "the path feedback must retain the intermediate";
+
+  // A pure length mutation of the retained input triggers the bug.
+  auto Bug = inputOfLen(56, 'h'); // 56 % 4 == 0, 56 + 3 >= 56
+  EXPECT_TRUE(Path.run(Bug).second);
+}
+
+} // namespace

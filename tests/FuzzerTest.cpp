@@ -1,0 +1,146 @@
+//===- FuzzerTest.cpp - Fuzzing loop integration -------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "lang/Compile.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathfuzz;
+using namespace pathfuzz::fuzz;
+
+namespace {
+
+struct Harness {
+  mir::Module Mod;
+  instr::ShadowEdgeIndex Shadow;
+  instr::InstrumentReport Report;
+
+  Harness(const char *Src, instr::Feedback Mode) {
+    lang::CompileResult CR = lang::compileSource(Src, "t");
+    EXPECT_TRUE(CR.ok()) << CR.message();
+    Mod = std::move(*CR.Mod);
+    // Shadow numbering comes from the original module, pre-probes.
+    Shadow = instr::ShadowEdgeIndex::build(Mod);
+    instr::InstrumentOptions IO;
+    IO.Mode = Mode;
+    Report = instr::instrumentModule(Mod, IO);
+  }
+};
+
+const char *EasyBug = R"ml(
+fn main() {
+  var a[4];
+  if (in(0) == 'B') {
+    if (in(1) == 'U') {
+      a[in(2) % 8] = 1;   // OOB for in(2) % 8 >= 4
+    }
+  }
+  return 0;
+}
+)ml";
+
+TEST(Fuzzer, FindsAShallowBug) {
+  Harness H(EasyBug, instr::Feedback::EdgePrecise);
+  FuzzerOptions FO;
+  FO.Seed = 3;
+  Fuzzer F(H.Mod, H.Report, H.Shadow, FO);
+  F.addSeed({'B', 'U', 'G'});
+  F.run(20000);
+  EXPECT_GE(F.bugIds().size(), 1u);
+  EXPECT_GE(F.uniqueCrashes().size(), 1u);
+  EXPECT_GT(F.stats().Crashes, 0u);
+  // Crashing inputs are never queued.
+  for (const QueueEntry &E : F.corpus().entries()) {
+    vm::ExecResult R = F.executeRaw(E.Data);
+    EXPECT_FALSE(R.crashed());
+  }
+}
+
+TEST(Fuzzer, DeterministicCampaigns) {
+  for (instr::Feedback Mode :
+       {instr::Feedback::EdgePrecise, instr::Feedback::Path}) {
+    Harness H1(EasyBug, Mode);
+    Harness H2(EasyBug, Mode);
+    FuzzerOptions FO;
+    FO.Seed = 99;
+    Fuzzer F1(H1.Mod, H1.Report, H1.Shadow, FO);
+    Fuzzer F2(H2.Mod, H2.Report, H2.Shadow, FO);
+    F1.addSeed({'B', 'x'});
+    F2.addSeed({'B', 'x'});
+    F1.run(5000);
+    F2.run(5000);
+    EXPECT_EQ(F1.stats().Execs, F2.stats().Execs);
+    EXPECT_EQ(F1.corpus().size(), F2.corpus().size());
+    EXPECT_EQ(F1.stats().Crashes, F2.stats().Crashes);
+    EXPECT_EQ(F1.edgesCovered(), F2.edgesCovered());
+    EXPECT_EQ(F1.bugIds(), F2.bugIds());
+  }
+}
+
+TEST(Fuzzer, CrashingSeedIsRecordedNotQueued) {
+  Harness H(EasyBug, instr::Feedback::EdgePrecise);
+  FuzzerOptions FO;
+  Fuzzer F(H.Mod, H.Report, H.Shadow, FO);
+  F.addSeed({'B', 'U', 0x07}); // 7 % 8 = 7 >= 4: crashes
+  EXPECT_EQ(F.corpus().size(), 0u);
+  EXPECT_EQ(F.uniqueCrashes().size(), 1u);
+}
+
+TEST(Fuzzer, RunsWithoutSeeds) {
+  Harness H(EasyBug, instr::Feedback::EdgePrecise);
+  FuzzerOptions FO;
+  Fuzzer F(H.Mod, H.Report, H.Shadow, FO);
+  F.run(2000);
+  EXPECT_GE(F.stats().Execs, 2000u);
+  EXPECT_GE(F.corpus().size(), 1u);
+}
+
+TEST(Fuzzer, PathFeedbackRetainsMorePathDiversity) {
+  // A function whose two decisions produce 4 paths over the same edges
+  // once each branch direction was seen: the path feedback must keep more
+  // entries than edge feedback.
+  const char *Src = R"ml(
+fn f(a, b) {
+  var x;
+  if (a) { x = 1; } else { x = 2; }
+  if (b) { x = x + 10; } else { x = x * 3; }
+  return x;
+}
+fn main() {
+  return f(in(0) & 1, in(1) & 1);
+}
+)ml";
+  uint64_t QueueSizes[2];
+  int I = 0;
+  for (instr::Feedback Mode :
+       {instr::Feedback::EdgePrecise, instr::Feedback::Path}) {
+    Harness H(Src, Mode);
+    FuzzerOptions FO;
+    FO.Seed = 7;
+    Fuzzer F(H.Mod, H.Report, H.Shadow, FO);
+    F.addSeed({0, 0});
+    F.run(4000);
+    QueueSizes[I++] = F.corpus().size();
+  }
+  EXPECT_GT(QueueSizes[1], QueueSizes[0]);
+}
+
+TEST(Fuzzer, GrowthSamplesAccumulate) {
+  Harness H(EasyBug, instr::Feedback::EdgePrecise);
+  FuzzerOptions FO;
+  FO.GrowthSampleInterval = 512;
+  Fuzzer F(H.Mod, H.Report, H.Shadow, FO);
+  F.addSeed({'B'});
+  F.run(5000);
+  EXPECT_GE(F.stats().QueueGrowth.size(), 5u);
+  for (size_t I = 1; I < F.stats().QueueGrowth.size(); ++I)
+    EXPECT_LE(F.stats().QueueGrowth[I - 1].first,
+              F.stats().QueueGrowth[I].first);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+//===- InstrumentTest.cpp - Instrumentation pass properties -------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Instrument.h"
+
+#include "TestUtil.h"
+#include "cov/CoverageMap.h"
+#include "mir/Verifier.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathfuzz;
+using namespace pathfuzz::instr;
+
+namespace {
+
+std::vector<uint8_t> randomInput(Rng &R) {
+  std::vector<uint8_t> In(R.below(24));
+  for (auto &B : In)
+    B = static_cast<uint8_t>(R.next());
+  return In;
+}
+
+vm::ExecResult runOn(const mir::Module &M, const ShadowEdgeIndex &Shadow,
+                     const std::vector<uint8_t> &In, uint8_t *Map,
+                     uint32_t Mask, const uint64_t *Keys) {
+  vm::Vm Machine(M, &Shadow);
+  vm::ExecOptions EO;
+  EO.StepLimit = 200000;
+  vm::FeedbackContext Fb;
+  Fb.Map = Map;
+  Fb.MapMask = Mask;
+  Fb.FuncKeys = Keys;
+  return Machine.run(In.data(), In.size(), EO, Map ? &Fb : nullptr);
+}
+
+class InstrumentRandom : public ::testing::TestWithParam<uint64_t> {};
+
+/// Instrumentation must not change observable behaviour: same return
+/// value, same fault (site and kind, in normalized coordinates), and the
+/// same shadow edge set — across every feedback mode.
+TEST_P(InstrumentRandom, PreservesSemanticsAndShadowEdges) {
+  Rng R(GetParam());
+  mir::Module Base = test::moduleWith(test::randomFunction(R));
+  ASSERT_TRUE(mir::verifyModule(Base).ok());
+  ShadowEdgeIndex Shadow = ShadowEdgeIndex::build(Base);
+
+  std::vector<std::vector<uint8_t>> Inputs;
+  for (int I = 0; I < 8; ++I)
+    Inputs.push_back(randomInput(R));
+
+  for (Feedback Mode : {Feedback::EdgePrecise, Feedback::EdgeClassic,
+                        Feedback::Path}) {
+    mir::Module Inst = Base;
+    InstrumentOptions IO;
+    IO.Mode = Mode;
+    instrumentModule(Inst, IO);
+    ASSERT_TRUE(mir::verifyModule(Inst).ok());
+
+    for (const auto &In : Inputs) {
+      vm::ExecResult A = runOn(Base, Shadow, In, nullptr, 0, nullptr);
+      vm::ExecResult B = runOn(Inst, Shadow, In, nullptr, 0, nullptr);
+      if (A.hung() || B.hung()) {
+        // Probes add steps; a run near the limit may time out in one mode
+        // only. Loop-free comparisons below still hold for the rest.
+        continue;
+      }
+      ASSERT_EQ(A.ReturnValue, B.ReturnValue) << "mode " << int(Mode);
+      ASSERT_EQ(A.TheFault.Kind, B.TheFault.Kind);
+      ASSERT_EQ(A.TheFault.bugId(), B.TheFault.bugId());
+      ASSERT_EQ(A.TheFault.stackHash(), B.TheFault.stackHash());
+      ASSERT_EQ(A.ShadowEdges, B.ShadowEdges) << "mode " << int(Mode);
+    }
+  }
+}
+
+/// Path probes must emit IDs in [0, NumPaths) at run time: with a zero
+/// function key and a map larger than any per-function path count, every
+/// touched map index is a valid path ID.
+TEST_P(InstrumentRandom, RuntimePathIdsAreInRange) {
+  Rng R(GetParam() ^ 0xabcdef);
+  mir::Module M = test::moduleWith(test::randomFunction(R));
+  ShadowEdgeIndex Shadow = ShadowEdgeIndex::build(M);
+
+  InstrumentOptions IO;
+  IO.Mode = Feedback::Path;
+  InstrumentReport Rep = instrumentModule(M, IO);
+
+  uint64_t MaxPaths = 0;
+  for (const auto &Info : Rep.PerFunction)
+    MaxPaths = std::max(MaxPaths, Info.NumPaths);
+  if (MaxPaths == 0 || MaxPaths > (1u << 16) ||
+      Rep.TotalPathFallbacks > 0)
+    GTEST_SKIP() << "unsuitable path count for the in-range check";
+
+  cov::CoverageMap Map(16);
+  for (int I = 0; I < 16; ++I) {
+    Map.reset();
+    auto In = randomInput(R);
+    runOn(M, Shadow, In, Map.data(), Map.mask(), /*Keys=*/nullptr);
+    for (uint32_t Idx = 0; Idx < Map.size(); ++Idx)
+      if (Map.data()[Idx])
+        ASSERT_LT(Idx, MaxPaths) << "flushed path ID out of range";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InstrumentRandom,
+                         ::testing::Range<uint64_t>(0, 40));
+
+TEST(Instrument, EdgePreciseAssignsUniqueIds) {
+  Rng R(5);
+  mir::Module M = test::moduleWith(test::randomFunction(R));
+  InstrumentOptions IO;
+  IO.Mode = Feedback::EdgePrecise;
+  InstrumentReport Rep = instrumentModule(M, IO);
+  EXPECT_GT(Rep.NumEdgeIds, 0u);
+  EXPECT_EQ(Rep.TotalProbes, Rep.NumEdgeIds);
+
+  // Every probe ID appears exactly once in the module.
+  std::vector<int> Seen(Rep.NumEdgeIds, 0);
+  for (const auto &F : M.Funcs)
+    for (const auto &BB : F.Blocks)
+      for (const auto &I : BB.Instrs)
+        if (I.Op == mir::Opcode::EdgeProbe)
+          Seen[static_cast<size_t>(I.Imm)]++;
+  for (size_t I = 0; I < Seen.size(); ++I)
+    EXPECT_EQ(Seen[I], 1) << "edge id " << I;
+}
+
+TEST(Instrument, PathOverflowFallsBackToEdgeProbes) {
+  // 24 stacked diamonds: ~16M paths, above the configured cap.
+  mir::FunctionBuilder FB("wide", 0);
+  uint32_t Prev = 0;
+  mir::Reg C = FB.emitInLen();
+  for (int K = 0; K < 24; ++K) {
+    uint32_t A = FB.newBlock(), B = FB.newBlock(), J = FB.newBlock();
+    FB.setCondBr(C, A, B);
+    FB.setInsertPoint(A);
+    FB.setBr(J);
+    FB.setInsertPoint(B);
+    FB.setBr(J);
+    FB.setInsertPoint(J);
+    Prev = J;
+  }
+  FB.setInsertPoint(Prev);
+  FB.setRetConst(0);
+  mir::Module M;
+  M.Name = "m";
+  mir::Function F = FB.take();
+  F.Name = "main";
+  M.Funcs.push_back(std::move(F));
+
+  InstrumentOptions IO;
+  IO.Mode = Feedback::Path;
+  IO.MaxPathsPerFunction = 1 << 20;
+  InstrumentReport Rep = instrumentModule(M, IO);
+  EXPECT_EQ(Rep.TotalPathFallbacks, 1u);
+  EXPECT_GT(Rep.NumEdgeIds, 0u);
+  EXPECT_TRUE(mir::verifyModule(M).ok());
+}
+
+TEST(Instrument, ShadowEdgeIdsStableAcrossModes) {
+  Rng R(11);
+  mir::Module Base = test::moduleWith(test::randomFunction(R));
+  ShadowEdgeIndex Shadow = ShadowEdgeIndex::build(Base);
+  // Shadow numbering is built pre-instrumentation; trampolines added later
+  // must map to UINT32_MAX and original (block, slot) pairs keep their ID.
+  mir::Module Inst = Base;
+  InstrumentOptions IO;
+  IO.Mode = Feedback::Path;
+  instrumentModule(Inst, IO);
+  for (uint32_t FIdx = 0; FIdx < Base.Funcs.size(); ++FIdx) {
+    uint32_t Orig = Shadow.origBlocks(FIdx);
+    EXPECT_EQ(Orig, Base.Funcs[FIdx].numBlocks());
+    for (uint32_t B = 0; B < Inst.Funcs[FIdx].numBlocks(); ++B) {
+      if (B >= Orig)
+        EXPECT_EQ(Shadow.edgeId(FIdx, B, 0), UINT32_MAX);
+    }
+  }
+}
+
+} // namespace

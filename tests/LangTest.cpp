@@ -1,0 +1,225 @@
+//===- LangTest.cpp - MiniLang lexer, parser, and lowering --------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Compile.h"
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathfuzz;
+using namespace pathfuzz::lang;
+
+namespace {
+
+int64_t eval(const char *Src, const std::vector<uint8_t> &In = {}) {
+  CompileResult CR = compileSource(Src, "t");
+  EXPECT_TRUE(CR.ok()) << CR.message();
+  if (!CR.ok())
+    return INT64_MIN;
+  vm::Vm Machine(*CR.Mod);
+  vm::ExecOptions EO;
+  vm::ExecResult R = Machine.run(In.data(), In.size(), EO, nullptr);
+  EXPECT_FALSE(R.crashed()) << faultKindName(R.TheFault.Kind);
+  return R.ReturnValue;
+}
+
+std::vector<std::string> compileErrors(const char *Src) {
+  CompileResult CR = compileSource(Src, "t");
+  EXPECT_FALSE(CR.ok());
+  return CR.Errors;
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, TokensAndLiterals) {
+  Lexer L("fn x1 0x2a 'h' '\\n' 42 <= >> && != // comment\n /* c */ %");
+  std::vector<Token> Ts = L.lexAll();
+  ASSERT_TRUE(L.errors().empty());
+  ASSERT_EQ(Ts.size(), 12u);
+  EXPECT_EQ(Ts[0].Kind, TokKind::KwFn);
+  EXPECT_EQ(Ts[1].Kind, TokKind::Ident);
+  EXPECT_EQ(Ts[1].Text, "x1");
+  EXPECT_EQ(Ts[2].IntVal, 42);
+  EXPECT_EQ(Ts[3].IntVal, 'h');
+  EXPECT_EQ(Ts[4].IntVal, '\n');
+  EXPECT_EQ(Ts[5].IntVal, 42);
+  EXPECT_EQ(Ts[6].Kind, TokKind::Le);
+  EXPECT_EQ(Ts[7].Kind, TokKind::Shr);
+  EXPECT_EQ(Ts[8].Kind, TokKind::AmpAmp);
+  EXPECT_EQ(Ts[9].Kind, TokKind::NotEq);
+  EXPECT_EQ(Ts[10].Kind, TokKind::Percent);
+  EXPECT_EQ(Ts[11].Kind, TokKind::Eof);
+}
+
+TEST(Lexer, TracksLocations) {
+  Lexer L("fn\n  main");
+  Token A = L.next();
+  Token B = L.next();
+  EXPECT_EQ(A.Loc.Line, 1u);
+  EXPECT_EQ(B.Loc.Line, 2u);
+  EXPECT_EQ(B.Loc.Col, 3u);
+}
+
+TEST(Lexer, ReportsBadCharacters) {
+  Lexer L("fn @");
+  L.lexAll();
+  EXPECT_FALSE(L.errors().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, PrecedenceMatchesC) {
+  // 2 + 3 * 4 == 14, (2 | 1) == 3 with | looser than +
+  EXPECT_EQ(eval("fn main() { return 2 + 3 * 4; }"), 14);
+  EXPECT_EQ(eval("fn main() { return 2 | 1 + 0; }"), 3);
+  EXPECT_EQ(eval("fn main() { return 1 + 2 == 3; }"), 1);
+  EXPECT_EQ(eval("fn main() { return 10 - 3 - 2; }"), 5); // left assoc
+  EXPECT_EQ(eval("fn main() { return 2 * (3 + 4); }"), 14);
+  EXPECT_EQ(eval("fn main() { return -3 + 1; }"), -2);
+  EXPECT_EQ(eval("fn main() { return !0 + !5; }"), 1);
+}
+
+TEST(Parser, RejectsBadAssignmentTarget) {
+  auto Errs = compileErrors("fn main() { 1 + 2 = 3; return 0; }");
+  EXPECT_FALSE(Errs.empty());
+}
+
+TEST(Parser, RecoversAndReportsMultipleErrors) {
+  Parser P("fn main() { var ; return 0; } fn f( { }");
+  EXPECT_FALSE(P.parseProgram().has_value());
+  EXPECT_GE(P.errors().size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering / semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Compile, ShortCircuitEvaluation) {
+  // The right side of && must not run when the left is false: otherwise
+  // the division would fault.
+  EXPECT_EQ(eval("fn main() { return len() > 0 && 10 / len() > 0; }"), 0);
+  EXPECT_EQ(eval("fn main() { return 1 || 10 / len(); }"), 1);
+  EXPECT_EQ(eval("fn main() { return 2 && 3; }"), 1); // normalized to 0/1
+}
+
+TEST(Compile, WhileBreakContinue) {
+  EXPECT_EQ(eval(R"ml(
+fn main() {
+  var s = 0;
+  var i = 0;
+  while (i < 10) {
+    i = i + 1;
+    if (i % 2 == 0) { continue; }
+    if (i > 7) { break; }
+    s = s + i;
+  }
+  return s * 100 + i;
+}
+)ml"),
+            1609); // s = 1+3+5+7 = 16, i = 9
+}
+
+TEST(Compile, NestedScopesShadowing) {
+  EXPECT_EQ(eval(R"ml(
+fn main() {
+  var x = 1;
+  {
+    var x = 2;
+    x = x + 1;
+  }
+  return x;
+}
+)ml"),
+            1);
+}
+
+TEST(Compile, FunctionsAndRecursion) {
+  EXPECT_EQ(eval(R"ml(
+fn fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+fn main() { return fib(10); }
+)ml"),
+            55);
+}
+
+TEST(Compile, ForwardReferencesWork) {
+  EXPECT_EQ(eval(R"ml(
+fn main() { return later(3); }
+fn later(x) { return x * 2; }
+)ml"),
+            6);
+}
+
+TEST(Compile, GlobalsAndArrays) {
+  EXPECT_EQ(eval(R"ml(
+global tab[4] = {10, 20};
+fn main() {
+  var a[3];
+  a[0] = tab[0] + tab[1];
+  a[1] = tab[2];        // zero-initialized tail
+  tab[3] = 5;
+  return a[0] + a[1] + tab[3];
+}
+)ml"),
+            35);
+}
+
+TEST(Compile, DeadCodeAfterReturnIsTolerated) {
+  EXPECT_EQ(eval("fn main() { return 1; return 2; }"), 1);
+  EXPECT_EQ(eval(R"ml(
+fn main() {
+  var i = 0;
+  while (i < 3) { break; i = i + 1; }
+  return i;
+}
+)ml"),
+            0);
+}
+
+TEST(Compile, SemanticErrors) {
+  EXPECT_FALSE(compileErrors("fn main() { return x; }").empty());
+  EXPECT_FALSE(
+      compileErrors("fn main() { var a = 1; var a = 2; return a; }").empty());
+  EXPECT_FALSE(compileErrors("fn main() { break; return 0; }").empty());
+  EXPECT_FALSE(compileErrors("fn f(a) { return a; } fn main() { return f(); }")
+                   .empty());
+  EXPECT_FALSE(compileErrors("fn f() { return 0; }").empty()); // no main
+  EXPECT_FALSE(compileErrors("fn main(x) { return x; }").empty());
+  EXPECT_FALSE(compileErrors("fn main() { return nosuch(1); }").empty());
+  EXPECT_FALSE(
+      compileErrors("fn main() { return 0; } fn main() { return 1; }")
+          .empty());
+}
+
+TEST(Compile, BuiltinArityChecked) {
+  EXPECT_FALSE(compileErrors("fn main() { return len(1); }").empty());
+  EXPECT_FALSE(compileErrors("fn main() { return in(); }").empty());
+  EXPECT_FALSE(compileErrors("fn main() { return alloc(1, 2); }").empty());
+}
+
+TEST(Compile, InputDrivenControlFlow) {
+  const char *Src = R"ml(
+fn main() {
+  if (in(0) == 'a' && in(1) == 'b') { return 100; }
+  if (in(0) == 'a' || len() > 4) { return 50; }
+  return 7;
+}
+)ml";
+  EXPECT_EQ(eval(Src, {'a', 'b'}), 100);
+  EXPECT_EQ(eval(Src, {'a', 'x'}), 50);
+  EXPECT_EQ(eval(Src, {'q', 'q', 'q', 'q', 'q'}), 50);
+  EXPECT_EQ(eval(Src, {'q'}), 7);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+//===- MirTest.cpp - MIR builder, printer, verifier ----------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/Builder.h"
+#include "mir/Printer.h"
+#include "mir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathfuzz;
+using namespace pathfuzz::mir;
+
+namespace {
+
+Module wrap(Function F) {
+  Module M;
+  M.Name = "m";
+  F.Name = "main";
+  M.Funcs.push_back(std::move(F));
+  return M;
+}
+
+TEST(Builder, AllocatesRegistersAndBlocks) {
+  FunctionBuilder FB("f", 2);
+  EXPECT_EQ(FB.function().NumParams, 2);
+  Reg A = FB.emitConst(5);
+  Reg B = FB.emitBin(BinOp::Add, 0, A);
+  EXPECT_NE(A, B);
+  uint32_t BB = FB.newBlock("next");
+  FB.setBr(BB);
+  FB.setInsertPoint(BB);
+  FB.setRet(B);
+  Function F = FB.take();
+  EXPECT_EQ(F.numBlocks(), 2u);
+  EXPECT_EQ(F.Blocks[1].Name, "next");
+  EXPECT_GT(F.NumRegs, 2);
+}
+
+TEST(Builder, TakeTerminatesOpenBlocks) {
+  FunctionBuilder FB("f", 0);
+  FB.newBlock("dangling");
+  FB.setRetConst(1);
+  Function F = FB.take();
+  Module M = wrap(std::move(F));
+  EXPECT_TRUE(verifyModule(M).ok()) << verifyModule(M).message();
+}
+
+TEST(Printer, RendersInstructionsAndTerminators) {
+  FunctionBuilder FB("f", 1);
+  Reg C = FB.emitConst(9);
+  Reg S = FB.emitBin(BinOp::Mul, 0, C);
+  uint32_t T = FB.newBlock("t"), E = FB.newBlock("e");
+  FB.setCondBr(S, T, E);
+  FB.setInsertPoint(T);
+  FB.setRet(S);
+  FB.setInsertPoint(E);
+  FB.setRetConst(0);
+  Function F = FB.take();
+  std::string Out = printFunction(F);
+  EXPECT_NE(Out.find("= const 9"), std::string::npos);
+  EXPECT_NE(Out.find("mul"), std::string::npos);
+  EXPECT_NE(Out.find("condbr"), std::string::npos);
+  EXPECT_NE(Out.find("ret"), std::string::npos);
+  EXPECT_NE(Out.find("func @f(1)"), std::string::npos);
+}
+
+TEST(Printer, RendersProbesAndModule) {
+  Instr P;
+  P.Op = Opcode::PathFlushBack;
+  P.Imm = 4;
+  P.Imm2 = 2;
+  EXPECT_EQ(printInstr(P), "path.flush.back +4, reset 2");
+  P.Op = Opcode::EdgeProbe;
+  P.Imm = 17;
+  EXPECT_EQ(printInstr(P), "edge.probe 17");
+}
+
+TEST(Verifier, CatchesBadRegisters) {
+  FunctionBuilder FB("f", 0);
+  FB.setRetConst(0);
+  Function F = FB.take();
+  F.Blocks[0].Instrs[0].A = 200; // out of range destination
+  Module M = wrap(std::move(F));
+  VerifyResult R = verifyModule(M);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("out of range"), std::string::npos);
+}
+
+TEST(Verifier, CatchesBadSuccessors) {
+  FunctionBuilder FB("f", 0);
+  FB.setRetConst(0);
+  Function F = FB.take();
+  F.Blocks[0].Term.Kind = TermKind::Br;
+  F.Blocks[0].Term.Succs = {42};
+  Module M = wrap(std::move(F));
+  EXPECT_FALSE(verifyModule(M).ok());
+}
+
+TEST(Verifier, CatchesCallArityMismatch) {
+  Module M;
+  {
+    FunctionBuilder FB("callee", 2);
+    FB.setRetConst(0);
+    M.Funcs.push_back(FB.take());
+  }
+  {
+    FunctionBuilder FB("main", 0);
+    Reg A = FB.emitConst(1);
+    Reg R = FB.emitCall(0, {A}); // callee wants 2 args
+    FB.setRet(R);
+    M.Funcs.push_back(FB.take());
+  }
+  VerifyResult R = verifyModule(M);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("passes 1 args"), std::string::npos);
+}
+
+TEST(Verifier, CatchesSwitchArityAndMissingMain) {
+  FunctionBuilder FB("notmain", 0);
+  Reg C = FB.emitConst(0);
+  FB.setSwitch(C, {1, 2}, {0, 0}, 0);
+  Function F = FB.take();
+  F.Blocks[0].Term.CaseValues.pop_back(); // break the arity
+  Module M;
+  M.Funcs.push_back(std::move(F));
+  VerifyResult R = verifyModule(M);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("no @main"), std::string::npos);
+  EXPECT_NE(R.message().find("arity mismatch"), std::string::npos);
+}
+
+TEST(Verifier, CatchesStrayPathProbe) {
+  FunctionBuilder FB("f", 0);
+  FB.setRetConst(0);
+  Function F = FB.take();
+  Instr Probe;
+  Probe.Op = Opcode::PathAdd;
+  F.Blocks[0].Instrs.insert(F.Blocks[0].Instrs.begin(), Probe);
+  Module M = wrap(std::move(F)); // HasPathReg not set
+  EXPECT_FALSE(verifyModule(M).ok());
+}
+
+TEST(Module, LookupAndCounts) {
+  FunctionBuilder FB("main", 0);
+  FB.setRetConst(0);
+  Module M = wrap(FB.take());
+  EXPECT_EQ(M.findFunction("main"), 0);
+  EXPECT_EQ(M.findFunction("nope"), -1);
+  EXPECT_EQ(M.totalBlocks(), 1u);
+}
+
+} // namespace

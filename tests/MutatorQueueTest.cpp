@@ -1,0 +1,144 @@
+//===- MutatorQueueTest.cpp - Mutation engine and corpus ----------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+#include "fuzz/Queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace pathfuzz;
+using namespace pathfuzz::fuzz;
+
+namespace {
+
+TEST(Mutator, DeterministicForSeed) {
+  MutatorConfig MC;
+  Rng A(5), B(5);
+  Mutator MA(A, MC), MB(B, MC);
+  Input Da = {1, 2, 3, 4, 5}, Db = Da;
+  std::vector<int64_t> Dict = {0x41};
+  for (int I = 0; I < 50; ++I) {
+    MA.havoc(Da, Dict);
+    MB.havoc(Db, Dict);
+    ASSERT_EQ(Da, Db) << "iteration " << I;
+  }
+}
+
+TEST(Mutator, RespectsMaxLenAndNonEmpty) {
+  MutatorConfig MC;
+  MC.MaxLen = 32;
+  Rng R(9);
+  Mutator M(R, MC);
+  Input Data = {1};
+  for (int I = 0; I < 500; ++I) {
+    M.havoc(Data, {});
+    ASSERT_LE(Data.size(), MC.MaxLen);
+    ASSERT_FALSE(Data.empty());
+  }
+}
+
+TEST(Mutator, DictionaryValuesShowUp) {
+  MutatorConfig MC;
+  Rng R(13);
+  Mutator M(R, MC);
+  std::vector<int64_t> Dict = {0x77};
+  int Hits = 0;
+  for (int I = 0; I < 300; ++I) {
+    Input Data(16, 0);
+    M.havoc(Data, Dict);
+    for (uint8_t B : Data)
+      if (B == 0x77) {
+        ++Hits;
+        break;
+      }
+  }
+  EXPECT_GT(Hits, 20);
+}
+
+TEST(Mutator, SpliceMixesInputs) {
+  MutatorConfig MC;
+  Rng R(17);
+  Mutator M(R, MC);
+  Input A(20, 'a');
+  Input B(20, 'b');
+  bool SawB = false;
+  for (int I = 0; I < 50 && !SawB; ++I) {
+    Input Data = A;
+    M.splice(Data, B, {});
+    for (uint8_t C : Data)
+      SawB |= (C == 'b');
+  }
+  EXPECT_TRUE(SawB);
+}
+
+QueueEntry entry(uint64_t Steps, std::vector<uint32_t> MapSet,
+                 std::vector<uint32_t> EdgeSet = {}) {
+  QueueEntry E;
+  E.Data = {1};
+  E.Steps = Steps;
+  E.MapSet = std::move(MapSet);
+  E.EdgeSet = std::move(EdgeSet);
+  return E;
+}
+
+TEST(Corpus, FavoredMarksMinimalCoveringSet) {
+  Corpus Q(64);
+  Q.add(entry(10, {1, 2, 3}));
+  Q.add(entry(5, {1}));       // cheaper for index 1
+  Q.add(entry(100, {7}));     // sole owner of 7
+  Q.add(entry(1000, {2, 3})); // dominated: never favored
+  Q.cullIfNeeded();
+  EXPECT_TRUE(Q[0].Favored);  // cheapest for 2 and 3
+  EXPECT_TRUE(Q[1].Favored);  // cheapest for 1
+  EXPECT_TRUE(Q[2].Favored);
+  EXPECT_FALSE(Q[3].Favored);
+  EXPECT_EQ(Q.favoredCount(), 3u);
+  EXPECT_EQ(Q.pendingFavored(), 3u);
+  Q.markFuzzed(0);
+  EXPECT_EQ(Q.pendingFavored(), 2u);
+}
+
+TEST(Corpus, EdgePreservingSubsetCoversAllEdges) {
+  Corpus Q(16);
+  Q.add(entry(10, {0}, {100, 101}));
+  Q.add(entry(1, {1}, {101}));
+  Q.add(entry(10, {2}, {102}));
+  Q.add(entry(10, {3}, {100, 101, 102})); // expensive superset
+  std::vector<size_t> Sub = Q.edgePreservingSubset();
+
+  std::set<uint32_t> Covered;
+  for (size_t I : Sub)
+    for (uint32_t E : Q[I].EdgeSet)
+      Covered.insert(E);
+  EXPECT_EQ(Covered, (std::set<uint32_t>{100, 101, 102}));
+  EXPECT_LT(Sub.size(), Q.size());
+}
+
+TEST(Corpus, EdgeSubsetOnRandomCorpusNeverRegresses) {
+  Rng R(23);
+  Corpus Q(32);
+  std::set<uint32_t> All;
+  for (int I = 0; I < 60; ++I) {
+    std::vector<uint32_t> Edges;
+    unsigned N = 1 + R.below(6);
+    for (unsigned K = 0; K < N; ++K)
+      Edges.push_back(static_cast<uint32_t>(R.below(40)));
+    std::sort(Edges.begin(), Edges.end());
+    Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+    All.insert(Edges.begin(), Edges.end());
+    Q.add(entry(1 + R.below(100), {static_cast<uint32_t>(I % 32)}, Edges));
+  }
+  std::set<uint32_t> Covered;
+  for (size_t I : Q.edgePreservingSubset())
+    for (uint32_t E : Q[I].EdgeSet)
+      Covered.insert(E);
+  EXPECT_EQ(Covered, All) << "culling must preserve total edge coverage";
+}
+
+} // namespace

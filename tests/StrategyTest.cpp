@@ -1,0 +1,128 @@
+//===- StrategyTest.cpp - Campaign drivers --------------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "strategy/Campaign.h"
+#include "strategy/Evaluation.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathfuzz;
+using namespace pathfuzz::strategy;
+
+namespace {
+
+Subject smallSubject() {
+  Subject S;
+  S.Name = "small";
+  S.Source = R"ml(
+global tab[8];
+fn step(k, c) {
+  var j;
+  if (k % 3 == 0 && k > 4) { j = 2; } else { j = 0; }
+  if (c == 'z') {
+    tab[k % 7 + j] = 1;  // OOB when k % 7 == 6 and j == 2
+  } else {
+    tab[j] = 1;
+  }
+  return j;
+}
+fn main() {
+  var i = 0;
+  var k = 0;
+  while (i < len()) {
+    var c = in(i);
+    if (c == '.') { step(k, in(i + 1)); k = 0; } else { k = k + 1; }
+    i = i + 1;
+  }
+  return k;
+}
+)ml";
+  const char *Seed = "abc.z def.x";
+  S.Seeds = {fuzz::Input(Seed, Seed + 11)};
+  return S;
+}
+
+CampaignOptions smallOpts(FuzzerKind Kind, uint64_t Budget = 6000) {
+  CampaignOptions Opts;
+  Opts.Kind = Kind;
+  Opts.ExecBudget = Budget;
+  Opts.Seed = 5;
+  Opts.CullRounds = 3;
+  return Opts;
+}
+
+TEST(Campaign, EveryKindRunsToBudget) {
+  Subject S = smallSubject();
+  for (FuzzerKind Kind :
+       {FuzzerKind::Pcguard, FuzzerKind::Path, FuzzerKind::Cull,
+        FuzzerKind::CullRandom, FuzzerKind::Opp, FuzzerKind::Afl,
+        FuzzerKind::PathAfl}) {
+    CampaignResult R = runCampaign(S, smallOpts(Kind));
+    EXPECT_GE(R.Execs, 6000u) << fuzzerKindName(Kind);
+    EXPECT_GT(R.FinalQueueSize, 0u) << fuzzerKindName(Kind);
+    EXPECT_GT(R.edgesCovered(), 0u) << fuzzerKindName(Kind);
+    EXPECT_EQ(R.Kind, Kind);
+  }
+}
+
+TEST(Campaign, Deterministic) {
+  Subject S = smallSubject();
+  for (FuzzerKind Kind :
+       {FuzzerKind::Pcguard, FuzzerKind::Cull, FuzzerKind::Opp}) {
+    CampaignResult A = runCampaign(S, smallOpts(Kind));
+    CampaignResult B = runCampaign(S, smallOpts(Kind));
+    EXPECT_EQ(A.Execs, B.Execs);
+    EXPECT_EQ(A.FinalQueueSize, B.FinalQueueSize);
+    EXPECT_EQ(A.BugIds, B.BugIds);
+    EXPECT_EQ(A.CrashHashes, B.CrashHashes);
+    EXPECT_EQ(A.EdgeSet, B.EdgeSet);
+  }
+}
+
+TEST(Campaign, CullChargesCullingCostToBudget) {
+  Subject S = smallSubject();
+  CampaignResult R = runCampaign(S, smallOpts(FuzzerKind::Cull, 4000));
+  // Re-seeding executions are part of the accounted budget: total execs
+  // stay close to the nominal budget rather than exceeding it per round.
+  EXPECT_LT(R.Execs, 4000u + 2000u);
+}
+
+TEST(Campaign, UniqueCrashRecordsMatchHashes) {
+  Subject S = smallSubject();
+  CampaignResult R = runCampaign(S, smallOpts(FuzzerKind::Pcguard, 20000));
+  EXPECT_EQ(R.UniqueCrashes.size(), R.CrashHashes.size());
+  for (const fuzz::CrashRecord &C : R.UniqueCrashes) {
+    EXPECT_TRUE(R.CrashHashes.count(C.StackHash));
+    EXPECT_TRUE(R.BugIds.count(C.BugId));
+  }
+}
+
+TEST(Evaluation, RunsAndAggregates) {
+  Subject S = smallSubject();
+  CampaignOptions Base = smallOpts(FuzzerKind::Pcguard, 3000);
+  Evaluation E = evaluate({S}, {FuzzerKind::Pcguard, FuzzerKind::Path}, 3,
+                          Base);
+  ASSERT_EQ(E.SubjectNames.size(), 1u);
+  const RunSet &RS = E.at("small", FuzzerKind::Pcguard);
+  ASSERT_EQ(RS.Runs.size(), 3u);
+  EXPECT_GE(RS.medianQueueSize(), 1.0);
+  EXPECT_LT(RS.medianRunIndex(), 3u);
+  // Cumulative sets contain every run's findings.
+  auto Cum = RS.cumulativeBugs();
+  for (const CampaignResult &R : RS.Runs)
+    for (uint64_t B : R.BugIds)
+      EXPECT_TRUE(Cum.count(B));
+}
+
+TEST(Evaluation, SetAlgebra) {
+  std::set<uint64_t> A = {1, 2, 3}, B = {2, 3, 4};
+  EXPECT_EQ(setIntersectSize(A, B), 2u);
+  EXPECT_EQ(setSubtractSize(A, B), 1u);
+  EXPECT_EQ(setSubtractSize(B, A), 1u);
+  EXPECT_EQ(setUnion(A, B).size(), 4u);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- SupportTest.cpp - Support utilities --------------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Env.h"
+#include "support/Hashing.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace pathfuzz;
+
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng A(123), B(123), C(124);
+  bool AnyDiff = false;
+  for (int I = 0; I < 100; ++I) {
+    uint64_t Va = A.next();
+    EXPECT_EQ(Va, B.next());
+    AnyDiff |= (Va != C.next());
+  }
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (uint64_t Bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.below(Bound), Bound);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= (V == -3);
+    SawHi |= (V == 3);
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng R(11);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += R.chance(1, 4);
+  EXPECT_GT(Hits, 2200);
+  EXPECT_LT(Hits, 2800);
+}
+
+TEST(Stats, MedianAndGeomean) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0);
+  EXPECT_DOUBLE_EQ(geomean({2, 8}), 4);
+  EXPECT_DOUBLE_EQ(geomean({5}), 5);
+  EXPECT_DOUBLE_EQ(geomean({0, -3}), 0);  // non-positive skipped
+  EXPECT_DOUBLE_EQ(geomean({0, 4, 4}), 4);
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2);
+  Summary S = Summary::of({1, 5, 3});
+  EXPECT_DOUBLE_EQ(S.Min, 1);
+  EXPECT_DOUBLE_EQ(S.Max, 5);
+  EXPECT_DOUBLE_EQ(S.Median, 3);
+}
+
+TEST(Hashing, CombineAndFnv) {
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+  EXPECT_NE(mix64(0), mix64(1));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table T("title");
+  T.setHeader({"name", "v"});
+  T.addRow({"a", "1"});
+  T.addRow({"long-name", "22"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("title"), std::string::npos);
+  EXPECT_NE(Out.find("long-name"), std::string::npos);
+  EXPECT_NE(Out.find("22"), std::string::npos);
+  EXPECT_EQ(Table::pair(3, 14), "3 (14)");
+  EXPECT_EQ(Table::fixed(1.234, 1), "1.2");
+}
+
+TEST(Env, ParsesValuesAndLists) {
+  ::setenv("PF_TEST_INT", "42", 1);
+  EXPECT_EQ(envU64("PF_TEST_INT", 7), 42u);
+  ::setenv("PF_TEST_INT", "not-a-number", 1);
+  EXPECT_EQ(envU64("PF_TEST_INT", 7), 7u);
+  ::unsetenv("PF_TEST_INT");
+  EXPECT_EQ(envU64("PF_TEST_INT", 9), 9u);
+
+  ::setenv("PF_TEST_LIST", "a, b,c", 1);
+  std::vector<std::string> Xs = envList("PF_TEST_LIST");
+  ASSERT_EQ(Xs.size(), 3u);
+  EXPECT_EQ(Xs[0], "a");
+  EXPECT_EQ(Xs[1], "b");
+  EXPECT_EQ(Xs[2], "c");
+  ::unsetenv("PF_TEST_LIST");
+}
+
+} // namespace

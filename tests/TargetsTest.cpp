@@ -1,0 +1,161 @@
+//===- TargetsTest.cpp - Subject-suite sanity ----------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Targets.h"
+
+#include "lang/Compile.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathfuzz;
+using namespace pathfuzz::targets;
+
+namespace {
+
+TEST(Targets, SuiteHasThePapersEighteenSubjects) {
+  const auto &Suite = allSubjects();
+  ASSERT_EQ(Suite.size(), 18u);
+  for (const char *Name :
+       {"cflow", "exiv2", "ffmpeg", "flvmeta", "gdk", "imginfo", "infotocap",
+        "jhead", "jq", "lame", "mp3gain", "mp42aac", "mujs", "nm-new",
+        "objdump", "pdftotext", "sqlite3", "tiffsplit"})
+    EXPECT_NE(findSubject(Name), nullptr) << Name;
+  EXPECT_EQ(findSubject("wav2svf"), nullptr) << "excluded by the paper";
+}
+
+class TargetsEach : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TargetsEach, CompilesAndSeedsAreBenign) {
+  const Subject &S = allSubjects()[GetParam()];
+  lang::CompileResult CR = lang::compileSource(S.Source, S.Name);
+  ASSERT_TRUE(CR.ok()) << S.Name << ":\n" << CR.message();
+
+  // Seeds must execute cleanly: a crashing seed would hand the bug to
+  // every fuzzer for free and starve the queue.
+  vm::Vm Machine(*CR.Mod);
+  vm::ExecOptions EO;
+  EO.StepLimit = 100000;
+  ASSERT_FALSE(S.Seeds.empty()) << S.Name;
+  for (const fuzz::Input &Seed : S.Seeds) {
+    vm::ExecResult R = Machine.run(Seed.data(), Seed.size(), EO, nullptr);
+    EXPECT_FALSE(R.crashed())
+        << S.Name << " seed crashes: " << vm::faultKindName(R.TheFault.Kind)
+        << " in func " << R.TheFault.Func << " block " << R.TheFault.Block;
+    EXPECT_FALSE(R.hung()) << S.Name << " seed hangs";
+  }
+}
+
+TEST_P(TargetsEach, SeedsExerciseRealCode) {
+  const Subject &S = allSubjects()[GetParam()];
+  lang::CompileResult CR = lang::compileSource(S.Source, S.Name);
+  ASSERT_TRUE(CR.ok());
+  instr::ShadowEdgeIndex Shadow = instr::ShadowEdgeIndex::build(*CR.Mod);
+  vm::Vm Machine(*CR.Mod, &Shadow);
+  vm::ExecOptions EO;
+  size_t BestEdges = 0;
+  for (const fuzz::Input &Seed : S.Seeds) {
+    vm::ExecResult R = Machine.run(Seed.data(), Seed.size(), EO, nullptr);
+    BestEdges = std::max(BestEdges, R.ShadowEdges.size());
+  }
+  // At least one seed must get past the magic checks into the parser.
+  EXPECT_GE(BestEdges, 8u) << S.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, TargetsEach, ::testing::Range<size_t>(0, 18),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           std::string N = allSubjects()[Info.param].Name;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+/// Known triggering inputs for a few planted bugs: these pin down that the
+/// bugs are real and reachable, independent of any fuzzer.
+TEST(Targets, CflowProgressionBugTriggers) {
+  const Subject *S = findSubject("cflow");
+  lang::CompileResult CR = lang::compileSource(S->Source, S->Name);
+  vm::Vm Machine(*CR.Mod);
+  vm::ExecOptions EO;
+  // 25 one-char tokens with no ';' creep curs past token_stack.
+  std::string In;
+  for (int I = 0; I < 25; ++I)
+    In += "a ";
+  vm::ExecResult R = Machine.run(
+      reinterpret_cast<const uint8_t *>(In.data()), In.size(), EO, nullptr);
+  EXPECT_TRUE(R.crashed());
+  EXPECT_EQ(R.TheFault.Kind, vm::FaultKind::OobWrite);
+}
+
+TEST(Targets, CflowFig1StyleBugTriggers) {
+  const Subject *S = findSubject("cflow");
+  lang::CompileResult CR = lang::compileSource(S->Source, S->Name);
+  vm::Vm Machine(*CR.Mod);
+  vm::ExecOptions EO;
+  // Exactly 12 tokens starting with 'h', then ';': decl_info[15] OOB.
+  std::string In = "h a b c d e f g i j k l;";
+  vm::ExecResult R = Machine.run(
+      reinterpret_cast<const uint8_t *>(In.data()), In.size(), EO, nullptr);
+  EXPECT_TRUE(R.crashed());
+  EXPECT_EQ(R.TheFault.Kind, vm::FaultKind::OobWrite);
+
+  // The same 12 tokens without the 'h' start take the rare path benignly:
+  // this is the intermediate state only a path-aware fuzzer retains.
+  std::string Benign = "x a b c d e f g i j k l;";
+  vm::ExecResult R2 = Machine.run(
+      reinterpret_cast<const uint8_t *>(Benign.data()), Benign.size(), EO,
+      nullptr);
+  EXPECT_FALSE(R2.crashed());
+}
+
+TEST(Targets, CflowPragmaGadgetTriggers) {
+  const Subject *S = findSubject("cflow");
+  lang::CompileResult CR = lang::compileSource(S->Source, S->Name);
+  ASSERT_TRUE(CR.ok()) << CR.message();
+  vm::Vm Machine(*CR.Mod);
+  vm::ExecOptions EO;
+  // Three occurrences of flag combination 0x2c overflow attr_tab.
+  std::vector<uint8_t> One = {'@', 0x00, 0x00, 0x04, 0x08, 0x00, 0x20};
+  std::vector<uint8_t> In;
+  for (int K = 0; K < 3; ++K)
+    In.insert(In.end(), One.begin(), One.end());
+  vm::ExecResult R = Machine.run(In.data(), In.size(), EO, nullptr);
+  EXPECT_TRUE(R.crashed());
+  EXPECT_EQ(R.TheFault.Kind, vm::FaultKind::OobWrite);
+
+  // One or two occurrences are benign: the stepping stones only the path
+  // feedback's per-path hit counts distinguish.
+  vm::ExecResult R2 = Machine.run(One.data(), One.size(), EO, nullptr);
+  EXPECT_FALSE(R2.crashed());
+  std::vector<uint8_t> Two(In.begin(), In.begin() + 14);
+  vm::ExecResult R3 = Machine.run(Two.data(), Two.size(), EO, nullptr);
+  EXPECT_FALSE(R3.crashed());
+}
+
+TEST(Targets, NmNewHasNoPlantedBugs) {
+  // Short fuzzing on nm-new must stay crash-free (the paper's all-zero
+  // row).
+  const Subject *S = findSubject("nm-new");
+  strategy::CampaignOptions Opts;
+  Opts.Kind = strategy::FuzzerKind::Pcguard;
+  Opts.ExecBudget = 8000;
+  strategy::CampaignResult R = strategy::runCampaign(*S, Opts);
+  EXPECT_EQ(R.BugIds.size(), 0u);
+  EXPECT_EQ(R.TotalCrashes, 0u);
+}
+
+TEST(Targets, SubjectsFromEnvFilters) {
+  ::setenv("REPRO_SUBJECTS", "cflow,jq", 1);
+  std::vector<Subject> Subset = subjectsFromEnv();
+  ::unsetenv("REPRO_SUBJECTS");
+  ASSERT_EQ(Subset.size(), 2u);
+  EXPECT_EQ(Subset[0].Name, "cflow");
+  EXPECT_EQ(Subset[1].Name, "jq");
+  EXPECT_EQ(subjectsFromEnv().size(), 18u);
+}
+
+} // namespace

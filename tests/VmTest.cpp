@@ -1,0 +1,265 @@
+//===- VmTest.cpp - VM semantics and memory-safety checking -------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include "lang/Compile.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathfuzz;
+using namespace pathfuzz::vm;
+
+namespace {
+
+mir::Module compile(const char *Src) {
+  lang::CompileResult CR = lang::compileSource(Src, "t");
+  EXPECT_TRUE(CR.ok()) << CR.message();
+  return std::move(*CR.Mod);
+}
+
+ExecResult run(const mir::Module &M, const std::vector<uint8_t> &In = {},
+               uint64_t StepLimit = 100000) {
+  Vm Machine(M);
+  ExecOptions EO;
+  EO.StepLimit = StepLimit;
+  return Machine.run(In.data(), In.size(), EO, nullptr);
+}
+
+TEST(Vm, ReturnsMainValue) {
+  mir::Module M = compile("fn main() { return 41 + 1; }");
+  EXPECT_EQ(run(M).ReturnValue, 42);
+}
+
+TEST(Vm, ArithmeticSemantics) {
+  mir::Module M = compile(R"ml(
+fn main() {
+  var a = 7 / 2;
+  var b = -7 / 2;
+  var c = 7 % 3;
+  var d = -7 % 3;
+  var e = 1 << 10;
+  var f = -16 >> 2;
+  return a * 1000000 + (b + 10) * 10000 + c * 1000 + (d + 10) * 100
+       + (e / 128) * 10 + (f + 10);
+}
+)ml");
+  // a=3 b=-3 c=1 d=-1 e=1024 f=-4: 3 * 1e6 + 7*1e4 + 1000 + 900 + 80 + 6
+  EXPECT_EQ(run(M).ReturnValue, 3071986);
+}
+
+TEST(Vm, DivByZeroFaults) {
+  mir::Module M = compile("fn main() { return 1 / (len() - len()); }");
+  ExecResult R = run(M);
+  EXPECT_TRUE(R.crashed());
+  EXPECT_EQ(R.TheFault.Kind, FaultKind::DivByZero);
+}
+
+TEST(Vm, HeapOobWriteFaults) {
+  mir::Module M = compile(R"ml(
+fn main() {
+  var a[4];
+  a[len()] = 1;   // OOB when input length >= 4
+  return a[0];
+}
+)ml");
+  EXPECT_FALSE(run(M, {1, 2, 3}).crashed());
+  ExecResult R = run(M, {1, 2, 3, 4});
+  EXPECT_TRUE(R.crashed());
+  EXPECT_EQ(R.TheFault.Kind, FaultKind::OobWrite);
+}
+
+TEST(Vm, HeapOobReadAndNegativeIndexFault) {
+  mir::Module M = compile(R"ml(
+fn main() {
+  var a[4];
+  return a[0 - 1 - len()];
+}
+)ml");
+  ExecResult R = run(M);
+  EXPECT_EQ(R.TheFault.Kind, FaultKind::OobRead);
+}
+
+TEST(Vm, UseAfterFreeAndDoubleFree) {
+  mir::Module UAF = compile(R"ml(
+fn main() {
+  var a[4];
+  free(a);
+  return a[0];
+}
+)ml");
+  EXPECT_EQ(run(UAF).TheFault.Kind, FaultKind::UseAfterFree);
+
+  mir::Module DF = compile(R"ml(
+fn main() {
+  var a[4];
+  free(a);
+  free(a);
+  return 0;
+}
+)ml");
+  EXPECT_EQ(run(DF).TheFault.Kind, FaultKind::DoubleFree);
+}
+
+TEST(Vm, FreeingGlobalIsInvalid) {
+  mir::Module M = compile(R"ml(
+global g[4];
+fn main() { free(g); return 0; }
+)ml");
+  EXPECT_EQ(run(M).TheFault.Kind, FaultKind::InvalidFree);
+}
+
+TEST(Vm, WildPointerFaults) {
+  mir::Module M = compile(R"ml(
+fn main() {
+  var p = 12345;
+  return p[0];
+}
+)ml");
+  EXPECT_EQ(run(M).TheFault.Kind, FaultKind::BadPointer);
+}
+
+TEST(Vm, AbortBuiltinFaults) {
+  mir::Module M = compile("fn main() { abort(); return 0; }");
+  EXPECT_EQ(run(M).TheFault.Kind, FaultKind::Abort);
+}
+
+TEST(Vm, StackOverflowOnDeepRecursion) {
+  mir::Module M = compile(R"ml(
+fn rec(n) { return rec(n + 1); }
+fn main() { return rec(0); }
+)ml");
+  EXPECT_EQ(run(M).TheFault.Kind, FaultKind::StackOverflow);
+}
+
+TEST(Vm, StepLimitIsAHangNotACrash) {
+  mir::Module M = compile("fn main() { while (1) { } return 0; }");
+  ExecResult R = run(M, {}, 1000);
+  EXPECT_TRUE(R.hung());
+  EXPECT_FALSE(R.crashed());
+  EXPECT_EQ(R.TheFault.Kind, FaultKind::StepLimit);
+}
+
+TEST(Vm, NegativeAllocationIsOutOfMemory) {
+  mir::Module M = compile(R"ml(
+fn main() {
+  var a[0 - 5];
+  return 0;
+}
+)ml");
+  EXPECT_EQ(run(M).TheFault.Kind, FaultKind::OutOfMemory);
+}
+
+TEST(Vm, InputBuiltins) {
+  mir::Module M = compile(R"ml(
+fn main() {
+  if (in(100) != -1) { return -1; }   // out of range reads -1
+  return len() * 1000 + in(0) + in(len() - 1);
+}
+)ml");
+  EXPECT_EQ(run(M, {7, 1, 9}).ReturnValue, 3016);
+}
+
+TEST(Vm, GlobalsAreReinitializedPerRun) {
+  mir::Module M = compile(R"ml(
+global g[3] = {5, 6};
+fn main() {
+  var old = g[0];
+  g[0] = g[0] + 1;
+  return old * 100 + g[2];
+}
+)ml");
+  Vm Machine(M);
+  ExecOptions EO;
+  EXPECT_EQ(Machine.run(nullptr, 0, EO, nullptr).ReturnValue, 500);
+  // Second run must see the pristine initializer again.
+  EXPECT_EQ(Machine.run(nullptr, 0, EO, nullptr).ReturnValue, 500);
+}
+
+TEST(Vm, CallStackCapturedInnermostFirst) {
+  mir::Module M = compile(R"ml(
+fn inner() { var a[1]; return a[9]; }
+fn outer() { return inner(); }
+fn main() { return outer(); }
+)ml");
+  ExecResult R = run(M);
+  ASSERT_TRUE(R.crashed());
+  ASSERT_EQ(R.TheFault.Stack.size(), 3u);
+  int Inner = M.findFunction("inner");
+  int Main = M.findFunction("main");
+  EXPECT_EQ(R.TheFault.Stack.front().Func, static_cast<uint32_t>(Inner));
+  EXPECT_EQ(R.TheFault.Stack.back().Func, static_cast<uint32_t>(Main));
+}
+
+TEST(Vm, StackHashDistinguishesCallers) {
+  mir::Module M = compile(R"ml(
+fn crash() { var a[1]; return a[5]; }
+fn via1() { return crash(); }
+fn via2() { return crash(); }
+fn main() {
+  if (in(0) == 'a') { return via1(); }
+  return via2();
+}
+)ml");
+  ExecResult A = run(M, {'a'});
+  ExecResult B = run(M, {'b'});
+  ASSERT_TRUE(A.crashed());
+  ASSERT_TRUE(B.crashed());
+  // Same root cause, different stacks: the paper's unique-crash vs
+  // unique-bug distinction.
+  EXPECT_EQ(A.TheFault.bugId(), B.TheFault.bugId());
+  EXPECT_NE(A.TheFault.stackHash(), B.TheFault.stackHash());
+}
+
+TEST(Vm, CmpLoggingCollectsOperands) {
+  mir::Module M = compile(R"ml(
+fn main() {
+  if (in(0) == 77) { return 1; }
+  if (len() < 1234) { return 2; }
+  return 0;
+}
+)ml");
+  Vm Machine(M);
+  ExecOptions EO;
+  EO.LogCmps = true;
+  std::vector<uint8_t> In = {9};
+  ExecResult R = Machine.run(In.data(), In.size(), EO, nullptr);
+  bool Saw77 = false, Saw1234 = false;
+  for (int64_t V : R.CmpOperands) {
+    Saw77 |= (V == 77);
+    Saw1234 |= (V == 1234);
+  }
+  EXPECT_TRUE(Saw77);
+  EXPECT_TRUE(Saw1234);
+}
+
+TEST(Vm, ShadowEdgesRecordedAndSorted) {
+  mir::Module M = compile(R"ml(
+fn main() {
+  var i = 0;
+  var s = 0;
+  while (i < len()) { s = s + in(i); i = i + 1; }
+  return s;
+}
+)ml");
+  instr::ShadowEdgeIndex Shadow = instr::ShadowEdgeIndex::build(M);
+  Vm Machine(M, &Shadow);
+  ExecOptions EO;
+  std::vector<uint8_t> In = {1, 2};
+  ExecResult R = Machine.run(In.data(), In.size(), EO, nullptr);
+  ASSERT_FALSE(R.ShadowEdges.empty());
+  for (size_t I = 1; I < R.ShadowEdges.size(); ++I)
+    EXPECT_LT(R.ShadowEdges[I - 1], R.ShadowEdges[I]);
+  for (uint32_t Id : R.ShadowEdges)
+    EXPECT_LT(Id, Shadow.numEdges());
+
+  // A longer input takes the loop more times but adds no new edges.
+  std::vector<uint8_t> In2 = {1, 2, 3, 4};
+  ExecResult R2 = Machine.run(In2.data(), In2.size(), EO, nullptr);
+  EXPECT_EQ(R.ShadowEdges, R2.ShadowEdges);
+}
+
+} // namespace
