@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_queue_trajectories.cpp" "bench/CMakeFiles/fig2_queue_trajectories.dir/fig2_queue_trajectories.cpp.o" "gcc" "bench/CMakeFiles/fig2_queue_trajectories.dir/fig2_queue_trajectories.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/targets/CMakeFiles/pf_targets.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/pf_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/pf_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/cov/CMakeFiles/pf_cov.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/pf_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/pf_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/bl/CMakeFiles/pf_bl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/pf_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/pf_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/pf_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/pathafl/CMakeFiles/pf_pathafl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

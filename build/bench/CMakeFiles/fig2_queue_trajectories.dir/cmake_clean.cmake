@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_queue_trajectories.dir/fig2_queue_trajectories.cpp.o"
+  "CMakeFiles/fig2_queue_trajectories.dir/fig2_queue_trajectories.cpp.o.d"
+  "fig2_queue_trajectories"
+  "fig2_queue_trajectories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_queue_trajectories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

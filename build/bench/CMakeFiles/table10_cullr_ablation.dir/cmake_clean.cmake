@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_cullr_ablation.dir/table10_cullr_ablation.cpp.o"
+  "CMakeFiles/table10_cullr_ablation.dir/table10_cullr_ablation.cpp.o.d"
+  "table10_cullr_ablation"
+  "table10_cullr_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_cullr_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_queue_growth.dir/table1_queue_growth.cpp.o"
+  "CMakeFiles/table1_queue_growth.dir/table1_queue_growth.cpp.o.d"
+  "table1_queue_growth"
+  "table1_queue_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_queue_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_edge_coverage.dir/table4_edge_coverage.cpp.o"
+  "CMakeFiles/table4_edge_coverage.dir/table4_edge_coverage.cpp.o.d"
+  "table4_edge_coverage"
+  "table4_edge_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_edge_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

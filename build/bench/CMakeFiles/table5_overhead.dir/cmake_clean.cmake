@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_overhead.dir/table5_overhead.cpp.o"
+  "CMakeFiles/table5_overhead.dir/table5_overhead.cpp.o.d"
+  "table5_overhead"
+  "table5_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_median_bugs.dir/table6_median_bugs.cpp.o"
+  "CMakeFiles/table6_median_bugs.dir/table6_median_bugs.cpp.o.d"
+  "table6_median_bugs"
+  "table6_median_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_median_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_pathafl.dir/table7_pathafl.cpp.o"
+  "CMakeFiles/table7_pathafl.dir/table7_pathafl.cpp.o.d"
+  "table7_pathafl"
+  "table7_pathafl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_pathafl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

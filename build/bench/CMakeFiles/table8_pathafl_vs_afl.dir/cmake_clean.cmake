@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_pathafl_vs_afl.dir/table8_pathafl_vs_afl.cpp.o"
+  "CMakeFiles/table8_pathafl_vs_afl.dir/table8_pathafl_vs_afl.cpp.o.d"
+  "table8_pathafl_vs_afl"
+  "table8_pathafl_vs_afl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_pathafl_vs_afl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

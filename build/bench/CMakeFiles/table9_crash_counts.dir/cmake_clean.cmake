@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_crash_counts.dir/table9_crash_counts.cpp.o"
+  "CMakeFiles/table9_crash_counts.dir/table9_crash_counts.cpp.o.d"
+  "table9_crash_counts"
+  "table9_crash_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_crash_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

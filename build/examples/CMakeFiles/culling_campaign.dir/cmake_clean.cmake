@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culling_campaign.dir/culling_campaign.cpp.o"
+  "CMakeFiles/culling_campaign.dir/culling_campaign.cpp.o.d"
+  "culling_campaign"
+  "culling_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culling_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

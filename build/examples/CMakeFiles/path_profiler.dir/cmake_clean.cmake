@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_profiler.dir/path_profiler.cpp.o"
+  "CMakeFiles/path_profiler.dir/path_profiler.cpp.o.d"
+  "path_profiler"
+  "path_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

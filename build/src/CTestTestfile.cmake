@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("mir")
+subdirs("lang")
+subdirs("cfg")
+subdirs("bl")
+subdirs("instrument")
+subdirs("vm")
+subdirs("cov")
+subdirs("fuzz")
+subdirs("pathafl")
+subdirs("strategy")
+subdirs("targets")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_bl.dir/BallLarus.cpp.o"
+  "CMakeFiles/pf_bl.dir/BallLarus.cpp.o.d"
+  "libpf_bl.a"
+  "libpf_bl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_bl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

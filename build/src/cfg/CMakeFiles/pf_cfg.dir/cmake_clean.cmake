@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/pf_cfg.dir/Cfg.cpp.o.d"
+  "CMakeFiles/pf_cfg.dir/EdgeSplit.cpp.o"
+  "CMakeFiles/pf_cfg.dir/EdgeSplit.cpp.o.d"
+  "libpf_cfg.a"
+  "libpf_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_cov.dir/CoverageMap.cpp.o"
+  "CMakeFiles/pf_cov.dir/CoverageMap.cpp.o.d"
+  "libpf_cov.a"
+  "libpf_cov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

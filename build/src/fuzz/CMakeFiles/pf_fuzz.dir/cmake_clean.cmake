@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_fuzz.dir/Fuzzer.cpp.o"
+  "CMakeFiles/pf_fuzz.dir/Fuzzer.cpp.o.d"
+  "CMakeFiles/pf_fuzz.dir/Mutator.cpp.o"
+  "CMakeFiles/pf_fuzz.dir/Mutator.cpp.o.d"
+  "CMakeFiles/pf_fuzz.dir/Queue.cpp.o"
+  "CMakeFiles/pf_fuzz.dir/Queue.cpp.o.d"
+  "libpf_fuzz.a"
+  "libpf_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/Instrument.cpp" "src/instrument/CMakeFiles/pf_instrument.dir/Instrument.cpp.o" "gcc" "src/instrument/CMakeFiles/pf_instrument.dir/Instrument.cpp.o.d"
+  "/root/repo/src/instrument/ShadowEdges.cpp" "src/instrument/CMakeFiles/pf_instrument.dir/ShadowEdges.cpp.o" "gcc" "src/instrument/CMakeFiles/pf_instrument.dir/ShadowEdges.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bl/CMakeFiles/pf_bl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/pf_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/pf_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_instrument.dir/Instrument.cpp.o"
+  "CMakeFiles/pf_instrument.dir/Instrument.cpp.o.d"
+  "CMakeFiles/pf_instrument.dir/ShadowEdges.cpp.o"
+  "CMakeFiles/pf_instrument.dir/ShadowEdges.cpp.o.d"
+  "libpf_instrument.a"
+  "libpf_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_lang.dir/Compile.cpp.o"
+  "CMakeFiles/pf_lang.dir/Compile.cpp.o.d"
+  "CMakeFiles/pf_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/pf_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/pf_lang.dir/Parser.cpp.o"
+  "CMakeFiles/pf_lang.dir/Parser.cpp.o.d"
+  "libpf_lang.a"
+  "libpf_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mir/Builder.cpp" "src/mir/CMakeFiles/pf_mir.dir/Builder.cpp.o" "gcc" "src/mir/CMakeFiles/pf_mir.dir/Builder.cpp.o.d"
+  "/root/repo/src/mir/Printer.cpp" "src/mir/CMakeFiles/pf_mir.dir/Printer.cpp.o" "gcc" "src/mir/CMakeFiles/pf_mir.dir/Printer.cpp.o.d"
+  "/root/repo/src/mir/Verifier.cpp" "src/mir/CMakeFiles/pf_mir.dir/Verifier.cpp.o" "gcc" "src/mir/CMakeFiles/pf_mir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

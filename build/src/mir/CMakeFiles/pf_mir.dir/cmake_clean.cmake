@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_mir.dir/Builder.cpp.o"
+  "CMakeFiles/pf_mir.dir/Builder.cpp.o.d"
+  "CMakeFiles/pf_mir.dir/Printer.cpp.o"
+  "CMakeFiles/pf_mir.dir/Printer.cpp.o.d"
+  "CMakeFiles/pf_mir.dir/Verifier.cpp.o"
+  "CMakeFiles/pf_mir.dir/Verifier.cpp.o.d"
+  "libpf_mir.a"
+  "libpf_mir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_mir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_pathafl.dir/PathAfl.cpp.o"
+  "CMakeFiles/pf_pathafl.dir/PathAfl.cpp.o.d"
+  "libpf_pathafl.a"
+  "libpf_pathafl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_pathafl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

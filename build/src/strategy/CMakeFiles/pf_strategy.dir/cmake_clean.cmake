@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_strategy.dir/Campaign.cpp.o"
+  "CMakeFiles/pf_strategy.dir/Campaign.cpp.o.d"
+  "CMakeFiles/pf_strategy.dir/Evaluation.cpp.o"
+  "CMakeFiles/pf_strategy.dir/Evaluation.cpp.o.d"
+  "libpf_strategy.a"
+  "libpf_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_support.dir/Env.cpp.o"
+  "CMakeFiles/pf_support.dir/Env.cpp.o.d"
+  "CMakeFiles/pf_support.dir/Rng.cpp.o"
+  "CMakeFiles/pf_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/pf_support.dir/Stats.cpp.o"
+  "CMakeFiles/pf_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/pf_support.dir/Table.cpp.o"
+  "CMakeFiles/pf_support.dir/Table.cpp.o.d"
+  "libpf_support.a"
+  "libpf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/targets/Cflow.cpp" "src/targets/CMakeFiles/pf_targets.dir/Cflow.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Cflow.cpp.o.d"
+  "/root/repo/src/targets/Exiv2.cpp" "src/targets/CMakeFiles/pf_targets.dir/Exiv2.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Exiv2.cpp.o.d"
+  "/root/repo/src/targets/Ffmpeg.cpp" "src/targets/CMakeFiles/pf_targets.dir/Ffmpeg.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Ffmpeg.cpp.o.d"
+  "/root/repo/src/targets/Flvmeta.cpp" "src/targets/CMakeFiles/pf_targets.dir/Flvmeta.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Flvmeta.cpp.o.d"
+  "/root/repo/src/targets/Gdk.cpp" "src/targets/CMakeFiles/pf_targets.dir/Gdk.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Gdk.cpp.o.d"
+  "/root/repo/src/targets/Imginfo.cpp" "src/targets/CMakeFiles/pf_targets.dir/Imginfo.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Imginfo.cpp.o.d"
+  "/root/repo/src/targets/Infotocap.cpp" "src/targets/CMakeFiles/pf_targets.dir/Infotocap.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Infotocap.cpp.o.d"
+  "/root/repo/src/targets/Jhead.cpp" "src/targets/CMakeFiles/pf_targets.dir/Jhead.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Jhead.cpp.o.d"
+  "/root/repo/src/targets/Jq.cpp" "src/targets/CMakeFiles/pf_targets.dir/Jq.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Jq.cpp.o.d"
+  "/root/repo/src/targets/Lame.cpp" "src/targets/CMakeFiles/pf_targets.dir/Lame.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Lame.cpp.o.d"
+  "/root/repo/src/targets/Mp3gain.cpp" "src/targets/CMakeFiles/pf_targets.dir/Mp3gain.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Mp3gain.cpp.o.d"
+  "/root/repo/src/targets/Mp42aac.cpp" "src/targets/CMakeFiles/pf_targets.dir/Mp42aac.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Mp42aac.cpp.o.d"
+  "/root/repo/src/targets/Mujs.cpp" "src/targets/CMakeFiles/pf_targets.dir/Mujs.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Mujs.cpp.o.d"
+  "/root/repo/src/targets/NmNew.cpp" "src/targets/CMakeFiles/pf_targets.dir/NmNew.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/NmNew.cpp.o.d"
+  "/root/repo/src/targets/Objdump.cpp" "src/targets/CMakeFiles/pf_targets.dir/Objdump.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Objdump.cpp.o.d"
+  "/root/repo/src/targets/Pdftotext.cpp" "src/targets/CMakeFiles/pf_targets.dir/Pdftotext.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Pdftotext.cpp.o.d"
+  "/root/repo/src/targets/Registry.cpp" "src/targets/CMakeFiles/pf_targets.dir/Registry.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Registry.cpp.o.d"
+  "/root/repo/src/targets/Sqlite3.cpp" "src/targets/CMakeFiles/pf_targets.dir/Sqlite3.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Sqlite3.cpp.o.d"
+  "/root/repo/src/targets/Tiffsplit.cpp" "src/targets/CMakeFiles/pf_targets.dir/Tiffsplit.cpp.o" "gcc" "src/targets/CMakeFiles/pf_targets.dir/Tiffsplit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/strategy/CMakeFiles/pf_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/pf_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/cov/CMakeFiles/pf_cov.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/pf_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/pf_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/bl/CMakeFiles/pf_bl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/pf_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/pf_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/pf_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/pathafl/CMakeFiles/pf_pathafl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

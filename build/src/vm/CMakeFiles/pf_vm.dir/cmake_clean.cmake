@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_vm.dir/Vm.cpp.o"
+  "CMakeFiles/pf_vm.dir/Vm.cpp.o.d"
+  "libpf_vm.a"
+  "libpf_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BallLarusTest"
+  "BallLarusTest.pdb"
+  "BallLarusTest[1]_tests.cmake"
+  "CMakeFiles/BallLarusTest.dir/BallLarusTest.cpp.o"
+  "CMakeFiles/BallLarusTest.dir/BallLarusTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BallLarusTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

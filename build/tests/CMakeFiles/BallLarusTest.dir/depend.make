@@ -1,0 +1,2 @@
+# Empty dependencies file for BallLarusTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CovTest.dir/CovTest.cpp.o"
+  "CMakeFiles/CovTest.dir/CovTest.cpp.o.d"
+  "CovTest"
+  "CovTest.pdb"
+  "CovTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CovTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

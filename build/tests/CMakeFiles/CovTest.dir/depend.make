@@ -1,0 +1,2 @@
+# Empty dependencies file for CovTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EdgeCasesTest.dir/EdgeCasesTest.cpp.o"
+  "CMakeFiles/EdgeCasesTest.dir/EdgeCasesTest.cpp.o.d"
+  "EdgeCasesTest"
+  "EdgeCasesTest.pdb"
+  "EdgeCasesTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EdgeCasesTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/Fig1Test.dir/Fig1Test.cpp.o"
+  "CMakeFiles/Fig1Test.dir/Fig1Test.cpp.o.d"
+  "Fig1Test"
+  "Fig1Test.pdb"
+  "Fig1Test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/Fig1Test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

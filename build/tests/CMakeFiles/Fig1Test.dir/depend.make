@@ -1,0 +1,2 @@
+# Empty dependencies file for Fig1Test.
+# This may be replaced when dependencies are built.

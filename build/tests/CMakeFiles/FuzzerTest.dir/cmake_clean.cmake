@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FuzzerTest.dir/FuzzerTest.cpp.o"
+  "CMakeFiles/FuzzerTest.dir/FuzzerTest.cpp.o.d"
+  "FuzzerTest"
+  "FuzzerTest.pdb"
+  "FuzzerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FuzzerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

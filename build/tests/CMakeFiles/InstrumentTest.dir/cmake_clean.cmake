@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/InstrumentTest.dir/InstrumentTest.cpp.o"
+  "CMakeFiles/InstrumentTest.dir/InstrumentTest.cpp.o.d"
+  "InstrumentTest"
+  "InstrumentTest.pdb"
+  "InstrumentTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/InstrumentTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MirTest.dir/MirTest.cpp.o"
+  "CMakeFiles/MirTest.dir/MirTest.cpp.o.d"
+  "MirTest"
+  "MirTest.pdb"
+  "MirTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MirTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

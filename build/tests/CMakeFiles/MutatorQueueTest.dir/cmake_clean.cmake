@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MutatorQueueTest.dir/MutatorQueueTest.cpp.o"
+  "CMakeFiles/MutatorQueueTest.dir/MutatorQueueTest.cpp.o.d"
+  "MutatorQueueTest"
+  "MutatorQueueTest.pdb"
+  "MutatorQueueTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MutatorQueueTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

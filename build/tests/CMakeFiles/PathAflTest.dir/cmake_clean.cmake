@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PathAflTest.dir/PathAflTest.cpp.o"
+  "CMakeFiles/PathAflTest.dir/PathAflTest.cpp.o.d"
+  "PathAflTest"
+  "PathAflTest.pdb"
+  "PathAflTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PathAflTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

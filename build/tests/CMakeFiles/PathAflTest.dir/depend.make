@@ -1,0 +1,2 @@
+# Empty dependencies file for PathAflTest.
+# This may be replaced when dependencies are built.

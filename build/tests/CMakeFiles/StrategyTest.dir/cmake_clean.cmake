@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StrategyTest.dir/StrategyTest.cpp.o"
+  "CMakeFiles/StrategyTest.dir/StrategyTest.cpp.o.d"
+  "StrategyTest"
+  "StrategyTest.pdb"
+  "StrategyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StrategyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TargetsTest.dir/TargetsTest.cpp.o"
+  "CMakeFiles/TargetsTest.dir/TargetsTest.cpp.o.d"
+  "TargetsTest"
+  "TargetsTest.pdb"
+  "TargetsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TargetsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

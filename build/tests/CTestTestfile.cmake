@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/SupportTest[1]_include.cmake")
+include("/root/repo/build/tests/MirTest[1]_include.cmake")
+include("/root/repo/build/tests/LangTest[1]_include.cmake")
+include("/root/repo/build/tests/CfgTest[1]_include.cmake")
+include("/root/repo/build/tests/BallLarusTest[1]_include.cmake")
+include("/root/repo/build/tests/InstrumentTest[1]_include.cmake")
+include("/root/repo/build/tests/VmTest[1]_include.cmake")
+include("/root/repo/build/tests/CovTest[1]_include.cmake")
+include("/root/repo/build/tests/MutatorQueueTest[1]_include.cmake")
+include("/root/repo/build/tests/FuzzerTest[1]_include.cmake")
+include("/root/repo/build/tests/StrategyTest[1]_include.cmake")
+include("/root/repo/build/tests/PathAflTest[1]_include.cmake")
+include("/root/repo/build/tests/TargetsTest[1]_include.cmake")
+include("/root/repo/build/tests/Fig1Test[1]_include.cmake")
+include("/root/repo/build/tests/EdgeCasesTest[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Fig1.PathFeedbackRetainsTheCrucialIntermediate]=]  /root/repo/build/tests/Fig1Test [==[--gtest_filter=Fig1.PathFeedbackRetainsTheCrucialIntermediate]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Fig1.PathFeedbackRetainsTheCrucialIntermediate]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  Fig1Test_TESTS Fig1.PathFeedbackRetainsTheCrucialIntermediate)
