@@ -15,12 +15,16 @@
 //   REPRO_SEED      base seed                         (default 7)
 //   REPRO_LONG      multiply the budget by 8 (the "1-week campaign")
 //   REPRO_VERBOSE   progress lines on stderr
+//   PATHFUZZ_JOBS   worker threads for the campaign batch runner
+//                   (default: hardware concurrency; results are
+//                   byte-identical at any value)
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef PATHFUZZ_BENCH_BENCHCOMMON_H
 #define PATHFUZZ_BENCH_BENCHCOMMON_H
 
+#include "strategy/Batch.h"
 #include "strategy/Evaluation.h"
 #include "support/Env.h"
 #include "support/Hashing.h"
@@ -61,13 +65,17 @@ struct BenchConfig {
 
   void printHeader(const char *What) const {
     std::printf("=== %s ===\n", What);
-    std::printf("(%u run(s) x %llu execs per <subject, fuzzer>; "
-                "REPRO_RUNS/REPRO_EXECS/REPRO_SUBJECTS scale this)\n\n",
-                Runs, static_cast<unsigned long long>(Execs));
+    std::printf("(%u run(s) x %llu execs per <subject, fuzzer> on %zu "
+                "thread(s); REPRO_RUNS/REPRO_EXECS/REPRO_SUBJECTS/"
+                "PATHFUZZ_JOBS scale this)\n\n",
+                Runs, static_cast<unsigned long long>(Execs),
+                strategy::resolvedJobCount());
   }
 };
 
-/// Run the standard evaluation for this binary's fuzzers.
+/// Run the standard evaluation for this binary's fuzzers. Campaigns fan
+/// out across the batch runner's thread pool; output stays byte-identical
+/// at any PATHFUZZ_JOBS value.
 inline strategy::Evaluation
 runEvaluation(const BenchConfig &C,
               const std::vector<strategy::FuzzerKind> &Kinds) {

@@ -28,19 +28,28 @@ int main() {
   if (!S)
     S = &C.Subjects.front();
 
+  // The four trajectories are independent campaigns over one shared
+  // subject build: batch them and print in the fixed kind order.
+  const std::vector<FuzzerKind> Kinds = {FuzzerKind::Path, FuzzerKind::Cull,
+                                         FuzzerKind::Opp, FuzzerKind::Pcguard};
+  std::vector<BatchJob> Jobs;
+  for (FuzzerKind Kind : Kinds) {
+    BatchJob J;
+    J.S = S;
+    J.Opts = C.campaignOptions();
+    J.Opts.Kind = Kind;
+    J.Opts.GrowthSampleInterval =
+        static_cast<uint32_t>(std::max<uint64_t>(256, C.Execs / 40));
+    Jobs.push_back(J);
+  }
+  std::vector<CampaignResult> Results = runCampaigns(Jobs);
+
   std::printf("subject: %s\n\n", S->Name.c_str());
   std::printf("fuzzer,execs,queue\n");
-  for (FuzzerKind Kind : {FuzzerKind::Path, FuzzerKind::Cull, FuzzerKind::Opp,
-                          FuzzerKind::Pcguard}) {
-    CampaignOptions Opts = C.campaignOptions();
-    Opts.Kind = Kind;
-    Opts.GrowthSampleInterval =
-        static_cast<uint32_t>(std::max<uint64_t>(256, C.Execs / 40));
-    CampaignResult R = runCampaign(*S, Opts);
-    for (auto [Execs, Queue] : R.QueueGrowth)
-      std::printf("%s,%llu,%llu\n", fuzzerKindName(Kind),
+  for (size_t I = 0; I < Kinds.size(); ++I)
+    for (auto [Execs, Queue] : Results[I].QueueGrowth)
+      std::printf("%s,%llu,%llu\n", fuzzerKindName(Kinds[I]),
                   static_cast<unsigned long long>(Execs),
                   static_cast<unsigned long long>(Queue));
-  }
   return 0;
 }

@@ -14,6 +14,8 @@
 
 #include "lang/Compile.h"
 
+#include <chrono>
+
 using namespace pathfuzz;
 using namespace pathfuzz::bench;
 using namespace pathfuzz::strategy;
@@ -22,21 +24,39 @@ int main() {
   BenchConfig C = BenchConfig::fromEnv();
   C.printHeader("Table I: queue items after an edge vs path campaign");
 
+  // All (subject, kind) campaigns are independent: submit the whole
+  // cross product to the batch runner and read the results back in row
+  // order. Each subject is compiled once and instrumented once per
+  // feedback mode, shared by both campaigns.
+  std::vector<BatchJob> Jobs;
+  for (const Subject &S : C.Subjects)
+    for (FuzzerKind Kind : {FuzzerKind::Pcguard, FuzzerKind::Path}) {
+      BatchJob J;
+      J.S = &S;
+      J.Opts = C.campaignOptions();
+      J.Opts.Kind = Kind;
+      Jobs.push_back(J);
+    }
+
+  auto Start = std::chrono::steady_clock::now();
+  BatchStats BS;
+  std::vector<CampaignResult> Results = runCampaigns(Jobs, 0, &BS);
+  double WallSec = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+
   Table T;
   T.setHeader({"Benchmark", "Functions", "Queue (edge)", "Queue (path)",
                "path/edge"});
 
   std::vector<double> Ratios;
-  for (const Subject &S : C.Subjects) {
+  for (size_t I = 0; I < C.Subjects.size(); ++I) {
+    const Subject &S = C.Subjects[I];
     lang::CompileResult CR = lang::compileSource(S.Source, S.Name);
     uint64_t Functions = CR.ok() ? CR.Mod->Funcs.size() : 0;
 
-    CampaignOptions Opts = C.campaignOptions();
-    Opts.Kind = FuzzerKind::Pcguard;
-    CampaignResult Edge = runCampaign(S, Opts);
-    Opts.Kind = FuzzerKind::Path;
-    CampaignResult Path = runCampaign(S, Opts);
-
+    const CampaignResult &Edge = Results[2 * I];
+    const CampaignResult &Path = Results[2 * I + 1];
     double Ratio = Edge.FinalQueueSize
                        ? double(Path.FinalQueueSize) / Edge.FinalQueueSize
                        : 0.0;
@@ -46,5 +66,10 @@ int main() {
   }
   T.addRow({"GEOMEAN", "", "", "", Table::fixed(geomean(Ratios))});
   T.print();
+
+  std::printf("\n%zu campaigns on %zu thread(s) in %.2fs; %zu subject "
+              "compile(s), %zu instrumented build(s)\n",
+              Jobs.size(), BS.Threads, WallSec, BS.SubjectsCompiled,
+              BS.ModulesInstrumented);
   return 0;
 }

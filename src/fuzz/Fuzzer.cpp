@@ -78,8 +78,23 @@ bool Fuzzer::processResult(const Input &Data, const vm::ExecResult &Res,
     }
     return false;
   }
+  // Speed baseline for the energy bonus: every non-crashing execution
+  // contributes. (Accumulating only over saved queue entries drifted the
+  // average toward novelty-bearing — often slower — runs.)
+  AvgStepsNum += Res.Steps;
+  AvgStepsDen += 1;
+
   if (Res.hung()) {
     ++Stats.Hangs;
+    uint64_t Hash = fnv1a(Data.data(), Data.size());
+    if (HangHashes.insert(Hash).second) {
+      HangRecord H;
+      H.Data = Data;
+      H.Steps = Res.Steps;
+      H.AtExec = Stats.Execs;
+      H.InputHash = Hash;
+      Hangs.push_back(std::move(H));
+    }
     return false;
   }
 
@@ -107,9 +122,6 @@ bool Fuzzer::processResult(const Input &Data, const vm::ExecResult &Res,
         E.MapSet.push_back(I);
   }
   E.Density = static_cast<uint32_t>(E.MapSet.size());
-
-  AvgStepsNum += Res.Steps;
-  AvgStepsDen += 1;
 
   Stats.LastFindExec = Stats.Execs;
   Q.add(std::move(E));
@@ -160,8 +172,8 @@ void Fuzzer::run(uint64_t ExecBudget) {
   }
 
   while (Stats.Execs < ExecBudget) {
-    size_t Index = CurIdx % Q.size();
-    CurIdx = (CurIdx + 1) % (Q.size() ? Q.size() : 1);
+    size_t Index = Sched.next(Q.size());
+    Stats.QueueCycles = Sched.completedCycles();
     Q.cullIfNeeded();
     QueueEntry &E = Q[Index];
 
@@ -188,8 +200,12 @@ void Fuzzer::run(uint64_t ExecBudget) {
       Input Data = Base;
       bool DoSplice = Q.size() > 1 && R.chance(Opts.SplicePercent, 100);
       if (DoSplice) {
-        const QueueEntry &Other = Q[R.index(Q.size())];
-        Mut.splice(Data, Other.Data, CmpDict);
+        // Re-draw when the donor is the entry being fuzzed (AFL does the
+        // same): splicing an input with itself is a no-op mutation.
+        size_t Donor = R.index(Q.size());
+        while (Donor == Index)
+          Donor = R.index(Q.size());
+        Mut.splice(Data, Q[Donor].Data, CmpDict);
       } else {
         Mut.havoc(Data, CmpDict);
       }

@@ -60,8 +60,9 @@ struct FuzzerOptions {
 struct FuzzStats {
   uint64_t Execs = 0;
   uint64_t Crashes = 0; ///< total crashing executions
-  uint64_t Hangs = 0;
+  uint64_t Hangs = 0;   ///< total hung (step-limited) executions
   uint64_t LastFindExec = 0; ///< exec index of the last queue addition
+  uint64_t QueueCycles = 0;  ///< completed full passes over the queue
   /// (execs, queue size) samples.
   std::vector<std::pair<uint64_t, uint64_t>> QueueGrowth;
 };
@@ -73,6 +74,41 @@ struct CrashRecord {
   uint64_t StackHash = 0;
   uint64_t BugId = 0;
   uint64_t AtExec = 0;
+};
+
+/// A deduplicated hang (one per distinct input): the step-limited input
+/// and how far it got. The Table V overhead discussion reads these off
+/// CampaignResult instead of losing them to a bare counter.
+struct HangRecord {
+  Input Data;
+  uint64_t Steps = 0;     ///< steps executed when the limit hit
+  uint64_t AtExec = 0;    ///< exec index at which the hang was recorded
+  uint64_t InputHash = 0; ///< content hash used for deduplication
+};
+
+/// AFL-style queue-cycle cursor. The cycle length is latched when a cycle
+/// begins, so entries appended mid-cycle are first scheduled at the start
+/// of the next cycle. (The previous cursor advanced modulo the *live*
+/// queue size: when the queue grew mid-cycle it wrapped early, starving
+/// newly added tail entries for an entire extra pass.)
+struct CycleScheduler {
+  size_t CurIdx = 0;
+  size_t CycleEnd = 0; ///< queue size latched when the cycle began
+  uint64_t Cycles = 0; ///< cycles started (AFL's queue_cycle)
+
+  /// Next queue index to schedule; QueueSize must be nonzero and may only
+  /// grow between calls.
+  size_t next(size_t QueueSize) {
+    if (CurIdx >= CycleEnd) {
+      CurIdx = 0;
+      CycleEnd = QueueSize;
+      ++Cycles;
+    }
+    return CurIdx++;
+  }
+
+  /// Completed full passes over the queue.
+  uint64_t completedCycles() const { return Cycles ? Cycles - 1 : 0; }
 };
 
 class Fuzzer {
@@ -104,6 +140,8 @@ public:
   const Corpus &corpus() const { return Q; }
   const FuzzStats &stats() const { return Stats; }
   const std::vector<CrashRecord> &uniqueCrashes() const { return Crashes; }
+  /// Deduplicated step-limited inputs (one record per distinct input).
+  const std::vector<HangRecord> &uniqueHangs() const { return Hangs; }
 
   /// Number of distinct shadow edges covered so far (crashing runs
   /// included).
@@ -140,13 +178,16 @@ private:
   std::unordered_set<uint64_t> CrashHashes;
   std::unordered_set<uint64_t> Bugs;
 
+  std::vector<HangRecord> Hangs;
+  std::unordered_set<uint64_t> HangHashes;
+
   std::vector<uint8_t> EdgeCovered; ///< dense bitmap over shadow edge IDs
   uint32_t EdgeCoveredCount = 0;
 
   std::vector<int64_t> CmpDict;
   std::unordered_set<int64_t> CmpDictSet;
 
-  size_t CurIdx = 0;
+  CycleScheduler Sched;
   uint64_t AvgStepsNum = 0, AvgStepsDen = 0;
 };
 

@@ -1,0 +1,58 @@
+//===- Batch.cpp - Parallel campaign batch runner -----------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "strategy/Batch.h"
+
+#include "strategy/BuildCache.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+namespace pathfuzz {
+namespace strategy {
+
+uint64_t trialSeed(uint64_t BaseSeed, FuzzerKind K, uint32_t Trial) {
+  return BaseSeed + 1000003ULL * Trial +
+         1000000007ULL * static_cast<uint64_t>(K);
+}
+
+size_t resolvedJobCount(size_t Override) {
+  return Override ? Override : ThreadPool::defaultThreadCount();
+}
+
+std::vector<CampaignResult> runCampaigns(const std::vector<BatchJob> &Jobs,
+                                         size_t ThreadsOverride,
+                                         BatchStats *Stats) {
+  std::vector<CampaignResult> Results(Jobs.size());
+  BuildCache Cache;
+
+  size_t Threads = resolvedJobCount(ThreadsOverride);
+  Threads = std::max<size_t>(1, std::min(Threads, Jobs.size()));
+
+  if (Threads == 1) {
+    // No pool for the serial case: identical code path, zero thread
+    // overhead, and the 1-thread/N-thread identity test stays honest.
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      Results[I] = runCampaign(Cache.get(*Jobs[I].S), Jobs[I].Opts);
+  } else {
+    ThreadPool Pool(Threads);
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      Pool.submit([&Jobs, &Results, &Cache, I] {
+        Results[I] = runCampaign(Cache.get(*Jobs[I].S), Jobs[I].Opts);
+      });
+    Pool.wait();
+  }
+
+  if (Stats) {
+    Stats->Threads = Threads;
+    Stats->SubjectsCompiled = Cache.subjectsCompiled();
+    Stats->ModulesInstrumented = Cache.modulesInstrumented();
+  }
+  return Results;
+}
+
+} // namespace strategy
+} // namespace pathfuzz

@@ -1,0 +1,62 @@
+//===- Batch.h - Parallel campaign batch runner -----------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's evaluation fans out 18 subjects x 7 fuzzer configurations x
+// N trials, all mutually independent. runCampaigns() executes such a
+// batch across a work-stealing thread pool, sharing subject builds (see
+// BuildCache.h) so each subject is compiled once and instrumented once
+// per feedback configuration instead of once per trial.
+//
+// Determinism guarantee: every campaign's randomness flows from its own
+// seed through its own Rng, and shared builds are bit-identical to fresh
+// ones, so Results[i] is byte-identical to the serial
+// runCampaign(*Jobs[i].S, Jobs[i].Opts) — at any thread count, in any
+// completion order. The table drivers rely on this to emit output
+// independent of PATHFUZZ_JOBS.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_STRATEGY_BATCH_H
+#define PATHFUZZ_STRATEGY_BATCH_H
+
+#include "strategy/Campaign.h"
+
+namespace pathfuzz {
+namespace strategy {
+
+/// One (subject, configuration) campaign to run. Opts carries the fuzzer
+/// kind and the trial's RNG seed; S must outlive the batch call.
+struct BatchJob {
+  const Subject *S = nullptr;
+  CampaignOptions Opts;
+};
+
+/// Bookkeeping from one runCampaigns() call.
+struct BatchStats {
+  size_t Threads = 1;             ///< worker threads used
+  size_t SubjectsCompiled = 0;    ///< front-end compilations performed
+  size_t ModulesInstrumented = 0; ///< instrumentation passes performed
+};
+
+/// Deterministic per-trial seed derivation, shared by the serial and the
+/// batch evaluation paths so their campaigns are interchangeable.
+uint64_t trialSeed(uint64_t BaseSeed, FuzzerKind K, uint32_t Trial);
+
+/// The worker count runCampaigns() will use for the given override
+/// (0 = PATHFUZZ_JOBS when set, else the hardware concurrency).
+size_t resolvedJobCount(size_t Override = 0);
+
+/// Run every job, fanning out across a work-stealing thread pool.
+/// Results[i] is the outcome of Jobs[i], byte-identical to the serial
+/// runner for the same options regardless of thread count.
+std::vector<CampaignResult> runCampaigns(const std::vector<BatchJob> &Jobs,
+                                         size_t ThreadsOverride = 0,
+                                         BatchStats *Stats = nullptr);
+
+} // namespace strategy
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_STRATEGY_BATCH_H

@@ -1,0 +1,79 @@
+//===- BuildCache.cpp - Shared subject build cache ----------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "strategy/BuildCache.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pathfuzz {
+namespace strategy {
+
+namespace {
+
+mir::Module compileSubject(const Subject &S) {
+  lang::CompileResult CR = lang::compileSource(S.Source, S.Name);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "subject '%s' failed to compile:\n%s", S.Name.c_str(),
+                 CR.message().c_str());
+    std::abort();
+  }
+  return std::move(*CR.Mod);
+}
+
+} // namespace
+
+SubjectBuild::SubjectBuild(const Subject &S)
+    : S(&S), Base(compileSubject(S)),
+      Shadow(instr::ShadowEdgeIndex::build(Base)) {}
+
+const InstrumentedBuild &
+SubjectBuild::instrumented(instr::Feedback Mode, const CampaignOptions &Opts) {
+  Key K{static_cast<uint8_t>(Mode), static_cast<uint8_t>(Opts.Placement),
+        Opts.MapSizeLog2};
+  std::lock_guard<std::mutex> L(M);
+  std::unique_ptr<InstrumentedBuild> &Slot = Builds[K];
+  if (!Slot) {
+    Slot = std::make_unique<InstrumentedBuild>();
+    Slot->Mod = Base; // copy, then rewrite in place
+    instr::InstrumentOptions IO;
+    IO.Mode = Mode;
+    IO.Placement = Opts.Placement;
+    IO.MapSizeLog2 = Opts.MapSizeLog2;
+    IO.Seed = 0x5eed0000 + Opts.MapSizeLog2; // stable across runs
+    Slot->Report = instr::instrumentModule(Slot->Mod, IO);
+  }
+  return *Slot;
+}
+
+size_t SubjectBuild::instrumentCount() const {
+  std::lock_guard<std::mutex> L(M);
+  return Builds.size();
+}
+
+SubjectBuild &BuildCache::get(const Subject &S) {
+  std::lock_guard<std::mutex> L(M);
+  std::unique_ptr<SubjectBuild> &Slot = Subjects[S.Name];
+  if (!Slot)
+    Slot = std::make_unique<SubjectBuild>(S);
+  return *Slot;
+}
+
+size_t BuildCache::subjectsCompiled() const {
+  std::lock_guard<std::mutex> L(M);
+  return Subjects.size();
+}
+
+size_t BuildCache::modulesInstrumented() const {
+  std::lock_guard<std::mutex> L(M);
+  size_t N = 0;
+  for (const auto &[Name, Build] : Subjects)
+    N += Build->instrumentCount();
+  return N;
+}
+
+} // namespace strategy
+} // namespace pathfuzz

@@ -1,0 +1,98 @@
+//===- BuildCache.h - Shared subject build cache ----------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's evaluation is embarrassingly parallel: 18 subjects x 7
+// fuzzer configurations x several trials. What is *not* independent is
+// the build work — compiling a subject and instrumenting it for a
+// feedback mode is identical across trials, and the serial drivers used
+// to redo it per campaign. This cache compiles each subject exactly once
+// and instruments it once per (feedback mode, placement, map size),
+// sharing the resulting modules read-only across every trial and every
+// worker thread.
+//
+// Sharing is sound because everything downstream takes const references:
+// the Fuzzer, the Vm and the shadow-edge index never mutate the module.
+// It is *deterministic* because compilation and instrumentation derive
+// only from the subject source and a stable instrumentation seed, so a
+// cached build is bit-identical to the one a fresh serial campaign would
+// construct.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_STRATEGY_BUILDCACHE_H
+#define PATHFUZZ_STRATEGY_BUILDCACHE_H
+
+#include "strategy/Campaign.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+namespace pathfuzz {
+namespace strategy {
+
+/// One instrumented variant of a subject: the rewritten module plus its
+/// instrumentation report (per-function keys etc.).
+struct InstrumentedBuild {
+  mir::Module Mod;
+  instr::InstrumentReport Report;
+};
+
+/// Compiled artifacts for one subject, shared read-only across campaign
+/// trials and threads: the base module, its shadow-edge index, and one
+/// instrumented module per feedback configuration.
+class SubjectBuild {
+public:
+  /// Compiles the subject. Aborts on compile errors — subjects are part
+  /// of the repository, not user input.
+  explicit SubjectBuild(const Subject &S);
+
+  const Subject &subject() const { return *S; }
+  const mir::Module &base() const { return Base; }
+  const instr::ShadowEdgeIndex &shadow() const { return Shadow; }
+
+  /// The instrumented build for a feedback mode under the given campaign
+  /// options; built on first use, then shared. Thread-safe. The returned
+  /// reference stays valid for the lifetime of this SubjectBuild.
+  const InstrumentedBuild &instrumented(instr::Feedback Mode,
+                                        const CampaignOptions &Opts);
+
+  /// Instrumentation passes run so far on this subject.
+  size_t instrumentCount() const;
+
+private:
+  /// Everything instrumentModule's output depends on besides the module.
+  using Key = std::tuple<uint8_t /*Feedback*/, uint8_t /*PlacementMode*/,
+                         uint32_t /*MapSizeLog2*/>;
+
+  const Subject *S;
+  mir::Module Base;
+  instr::ShadowEdgeIndex Shadow;
+
+  mutable std::mutex M;
+  std::map<Key, std::unique_ptr<InstrumentedBuild>> Builds;
+};
+
+/// Lazily compiles each subject exactly once and hands out the shared
+/// per-subject builds. Thread-safe; one cache per batch run.
+class BuildCache {
+public:
+  /// The (possibly freshly compiled) build for S, keyed by subject name.
+  SubjectBuild &get(const Subject &S);
+
+  size_t subjectsCompiled() const;
+  size_t modulesInstrumented() const;
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<SubjectBuild>> Subjects;
+};
+
+} // namespace strategy
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_STRATEGY_BUILDCACHE_H

@@ -6,12 +6,11 @@
 
 #include "strategy/Campaign.h"
 
+#include "strategy/BuildCache.h"
 #include "support/Rng.h"
 
 #include <algorithm>
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
 
 namespace pathfuzz {
 namespace strategy {
@@ -37,36 +36,6 @@ const char *fuzzerKindName(FuzzerKind K) {
 }
 
 namespace {
-
-/// Everything needed to spin up fuzzer instances for one subject in one
-/// feedback mode.
-struct Build {
-  mir::Module Mod;
-  instr::InstrumentReport Report;
-};
-
-mir::Module compileSubject(const Subject &S) {
-  lang::CompileResult CR = lang::compileSource(S.Source, S.Name);
-  if (!CR.ok()) {
-    std::fprintf(stderr, "subject '%s' failed to compile:\n%s", S.Name.c_str(),
-                 CR.message().c_str());
-    std::abort();
-  }
-  return std::move(*CR.Mod);
-}
-
-Build instrumentFor(const mir::Module &Base, instr::Feedback Mode,
-                    const CampaignOptions &Opts) {
-  Build B;
-  B.Mod = Base; // copy, then rewrite in place
-  instr::InstrumentOptions IO;
-  IO.Mode = Mode;
-  IO.Placement = Opts.Placement;
-  IO.MapSizeLog2 = Opts.MapSizeLog2;
-  IO.Seed = 0x5eed0000 + Opts.MapSizeLog2; // stable across runs
-  B.Report = instr::instrumentModule(B.Mod, IO);
-  return B;
-}
 
 fuzz::FuzzerOptions fuzzerOptions(const CampaignOptions &Opts, uint64_t Seed,
                                   bool PathAflAssist) {
@@ -94,6 +63,10 @@ void accumulate(CampaignResult &R, const fuzz::Fuzzer &F,
     if (R.CrashHashes.insert(C.StackHash).second)
       R.UniqueCrashes.push_back(C);
   }
+  for (const fuzz::HangRecord &H : F.uniqueHangs()) {
+    if (R.HangHashes.insert(H.InputHash).second)
+      R.UniqueHangs.push_back(H);
+  }
   for (uint64_t Bug : F.bugIds())
     R.BugIds.insert(Bug);
 
@@ -108,14 +81,12 @@ void accumulate(CampaignResult &R, const fuzz::Fuzzer &F,
     R.QueueGrowth.push_back({ExecOffset + Execs, QueueSize});
 }
 
-CampaignResult runPlain(const mir::Module &Base, const Subject &S,
-                        const CampaignOptions &Opts, instr::Feedback Mode,
-                        bool PathAflAssist) {
-  Build B = instrumentFor(Base, Mode, Opts);
-  instr::ShadowEdgeIndex Shadow = instr::ShadowEdgeIndex::build(Base);
-  fuzz::Fuzzer F(B.Mod, B.Report, Shadow,
+CampaignResult runPlain(SubjectBuild &SB, const CampaignOptions &Opts,
+                        instr::Feedback Mode, bool PathAflAssist) {
+  const InstrumentedBuild &B = SB.instrumented(Mode, Opts);
+  fuzz::Fuzzer F(B.Mod, B.Report, SB.shadow(),
                  fuzzerOptions(Opts, Opts.Seed, PathAflAssist));
-  for (const fuzz::Input &Seed : S.Seeds)
+  for (const fuzz::Input &Seed : SB.subject().Seeds)
     F.addSeed(Seed);
   F.run(Opts.ExecBudget);
 
@@ -126,17 +97,16 @@ CampaignResult runPlain(const mir::Module &Base, const Subject &S,
   return R;
 }
 
-CampaignResult runCull(const mir::Module &Base, const Subject &S,
-                       const CampaignOptions &Opts, bool RandomCull) {
-  Build B = instrumentFor(Base, instr::Feedback::Path, Opts);
-  instr::ShadowEdgeIndex Shadow = instr::ShadowEdgeIndex::build(Base);
+CampaignResult runCull(SubjectBuild &SB, const CampaignOptions &Opts,
+                       bool RandomCull) {
+  const InstrumentedBuild &B = SB.instrumented(instr::Feedback::Path, Opts);
 
   CampaignResult R;
   R.Kind = Opts.Kind;
 
   uint32_t Rounds = std::max<uint32_t>(1, Opts.CullRounds);
   uint64_t PerRound = std::max<uint64_t>(1, Opts.ExecBudget / Rounds);
-  std::vector<fuzz::Input> RoundSeeds = S.Seeds;
+  std::vector<fuzz::Input> RoundSeeds = SB.subject().Seeds;
   std::vector<int64_t> CarriedDict;
   Rng CullRng(Opts.Seed ^ 0xc0ffee);
   uint64_t ExecOffset = 0;
@@ -147,7 +117,7 @@ CampaignResult runCull(const mir::Module &Base, const Subject &S,
     uint64_t Remaining =
         Opts.ExecBudget > ExecOffset ? Opts.ExecBudget - ExecOffset : 0;
     uint64_t Budget = (Round + 1 == Rounds) ? Remaining : PerRound;
-    fuzz::Fuzzer F(B.Mod, B.Report, Shadow,
+    fuzz::Fuzzer F(B.Mod, B.Report, SB.shadow(),
                    fuzzerOptions(Opts, Opts.Seed + Round * 7919, false));
     // Carry the cmp dictionary across instances (AFL++ re-mines cmplog
     // from the seed queue on restart).
@@ -187,20 +157,18 @@ CampaignResult runCull(const mir::Module &Base, const Subject &S,
       }
     }
     if (RoundSeeds.empty())
-      RoundSeeds = S.Seeds;
+      RoundSeeds = SB.subject().Seeds;
   }
   return R;
 }
 
-CampaignResult runOpp(const mir::Module &Base, const Subject &S,
-                      const CampaignOptions &Opts) {
-  instr::ShadowEdgeIndex Shadow = instr::ShadowEdgeIndex::build(Base);
-
+CampaignResult runOpp(SubjectBuild &SB, const CampaignOptions &Opts) {
   // Phase 1: edge-coverage exploration for half the budget.
-  Build EdgeBuild = instrumentFor(Base, instr::Feedback::EdgePrecise, Opts);
-  fuzz::Fuzzer Phase1(EdgeBuild.Mod, EdgeBuild.Report, Shadow,
+  const InstrumentedBuild &EdgeBuild =
+      SB.instrumented(instr::Feedback::EdgePrecise, Opts);
+  fuzz::Fuzzer Phase1(EdgeBuild.Mod, EdgeBuild.Report, SB.shadow(),
                       fuzzerOptions(Opts, Opts.Seed ^ 0x0bb, false));
-  for (const fuzz::Input &Seed : S.Seeds)
+  for (const fuzz::Input &Seed : SB.subject().Seeds)
     Phase1.addSeed(Seed);
   uint64_t Phase1Budget = Opts.ExecBudget / 2;
   Phase1.run(Phase1Budget);
@@ -212,12 +180,13 @@ CampaignResult runOpp(const mir::Module &Base, const Subject &S,
   for (size_t Index : Q1.edgePreservingSubset())
     Handoff.push_back(Q1[Index].Data);
   if (Handoff.empty())
-    Handoff = S.Seeds;
+    Handoff = SB.subject().Seeds;
 
   // Phase 2: path-aware fuzzing on the inherited queue. Only this phase's
   // findings count as opp's (the paper does not credit phase-1 bugs).
-  Build PathBuild = instrumentFor(Base, instr::Feedback::Path, Opts);
-  fuzz::Fuzzer Phase2(PathBuild.Mod, PathBuild.Report, Shadow,
+  const InstrumentedBuild &PathBuild =
+      SB.instrumented(instr::Feedback::Path, Opts);
+  fuzz::Fuzzer Phase2(PathBuild.Mod, PathBuild.Report, SB.shadow(),
                       fuzzerOptions(Opts, Opts.Seed ^ 0x0bb1e5, false));
   Phase2.seedDict(Phase1.cmpDict()); // cmplog re-mining on the handoff
   for (const fuzz::Input &Seed : Handoff)
@@ -243,22 +212,26 @@ CampaignResult runOpp(const mir::Module &Base, const Subject &S,
 } // namespace
 
 CampaignResult runCampaign(const Subject &S, const CampaignOptions &Opts) {
-  mir::Module Base = compileSubject(S);
+  SubjectBuild B(S);
+  return runCampaign(B, Opts);
+}
+
+CampaignResult runCampaign(SubjectBuild &B, const CampaignOptions &Opts) {
   switch (Opts.Kind) {
   case FuzzerKind::Pcguard:
-    return runPlain(Base, S, Opts, instr::Feedback::EdgePrecise, false);
+    return runPlain(B, Opts, instr::Feedback::EdgePrecise, false);
   case FuzzerKind::Path:
-    return runPlain(Base, S, Opts, instr::Feedback::Path, false);
+    return runPlain(B, Opts, instr::Feedback::Path, false);
   case FuzzerKind::Cull:
-    return runCull(Base, S, Opts, /*RandomCull=*/false);
+    return runCull(B, Opts, /*RandomCull=*/false);
   case FuzzerKind::CullRandom:
-    return runCull(Base, S, Opts, /*RandomCull=*/true);
+    return runCull(B, Opts, /*RandomCull=*/true);
   case FuzzerKind::Opp:
-    return runOpp(Base, S, Opts);
+    return runOpp(B, Opts);
   case FuzzerKind::Afl:
-    return runPlain(Base, S, Opts, instr::Feedback::EdgeClassic, false);
+    return runPlain(B, Opts, instr::Feedback::EdgeClassic, false);
   case FuzzerKind::PathAfl:
-    return runPlain(Base, S, Opts, instr::Feedback::EdgeClassic, true);
+    return runPlain(B, Opts, instr::Feedback::EdgeClassic, true);
   }
   return {};
 }

@@ -93,6 +93,8 @@ struct CampaignResult {
   uint64_t TotalHangs = 0;
   /// Stack-hash-deduplicated crashes ("unique crashes").
   std::set<uint64_t> CrashHashes;
+  /// Input-hash-deduplicated hangs across fuzzer instances.
+  std::set<uint64_t> HangHashes;
   /// Ground-truth bug identities ("unique bugs").
   std::set<uint64_t> BugIds;
   /// Union of covered shadow edges, sorted ("afl-showmap" coverage).
@@ -101,16 +103,28 @@ struct CampaignResult {
   std::vector<std::pair<uint64_t, uint64_t>> QueueGrowth;
   /// One representative crash per distinct stack hash.
   std::vector<fuzz::CrashRecord> UniqueCrashes;
+  /// One representative hang per distinct input (Table V's overhead
+  /// discussion references the step-limited tail).
+  std::vector<fuzz::HangRecord> UniqueHangs;
 
   uint32_t edgesCovered() const {
     return static_cast<uint32_t>(EdgeSet.size());
   }
+  uint64_t uniqueHangs() const { return HangHashes.size(); }
 };
+
+class SubjectBuild;
 
 /// Compile, instrument and fuzz a subject under the given configuration.
 /// The subject source must compile (this is asserted: subjects are part of
 /// the repository, not user input).
 CampaignResult runCampaign(const Subject &S, const CampaignOptions &Opts);
+
+/// Same campaign, but on a pre-compiled shared build (see BuildCache.h).
+/// Produces byte-identical results to the Subject overload for the same
+/// options; the batch runner uses this to compile each subject once per
+/// (feedback mode, placement, map size) instead of once per trial.
+CampaignResult runCampaign(SubjectBuild &B, const CampaignOptions &Opts);
 
 } // namespace strategy
 } // namespace pathfuzz

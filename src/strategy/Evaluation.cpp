@@ -6,6 +6,7 @@
 
 #include "strategy/Evaluation.h"
 
+#include "strategy/Batch.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -64,17 +65,33 @@ std::set<uint64_t> RunSet::medianRunBugs() const {
 Evaluation evaluate(const std::vector<Subject> &Subjects,
                     const std::vector<FuzzerKind> &Kinds, uint32_t Runs,
                     const CampaignOptions &Base, bool Verbose) {
+  // Fan every (subject, kind, run) campaign out through the batch
+  // runner, then fold results back in the fixed nesting order below, so
+  // the Evaluation is identical to the old serial loop for the same
+  // seeds at any thread count.
+  std::vector<BatchJob> Jobs;
+  Jobs.reserve(Subjects.size() * Kinds.size() * Runs);
+  for (const Subject &S : Subjects)
+    for (FuzzerKind K : Kinds)
+      for (uint32_t Run = 0; Run < Runs; ++Run) {
+        BatchJob J;
+        J.S = &S;
+        J.Opts = Base;
+        J.Opts.Kind = K;
+        J.Opts.Seed = trialSeed(Base.Seed, K, Run);
+        Jobs.push_back(J);
+      }
+
+  std::vector<CampaignResult> Results = runCampaigns(Jobs);
+
   Evaluation E;
+  size_t Next = 0;
   for (const Subject &S : Subjects) {
     E.SubjectNames.push_back(S.Name);
     for (FuzzerKind K : Kinds) {
       RunSet &RS = E.Data[S.Name][K];
       for (uint32_t Run = 0; Run < Runs; ++Run) {
-        CampaignOptions Opts = Base;
-        Opts.Kind = K;
-        Opts.Seed = Base.Seed + 1000003ULL * Run +
-                    1000000007ULL * static_cast<uint64_t>(K);
-        RS.Runs.push_back(runCampaign(S, Opts));
+        RS.Runs.push_back(std::move(Results[Next++]));
         if (Verbose) {
           const CampaignResult &R = RS.Runs.back();
           std::fprintf(stderr,

@@ -1,0 +1,106 @@
+//===- ThreadPool.cpp - Work-stealing thread pool -----------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "support/Env.h"
+
+#include <algorithm>
+
+namespace pathfuzz {
+
+ThreadPool::ThreadPool(size_t Threads) {
+  Threads = std::max<size_t>(1, Threads);
+  Queues.reserve(Threads);
+  for (size_t I = 0; I < Threads; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(Threads);
+  for (size_t I = 0; I < Threads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> L(SleepM);
+    Stop.store(true);
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  size_t Target = NextQueue.fetch_add(1) % Queues.size();
+  Pending.fetch_add(1);
+  Queued.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> L(Queues[Target]->M);
+    Queues[Target]->Jobs.push_back(std::move(Job));
+  }
+  // Taking SleepM pairs with the waiter's predicate check: a worker that
+  // saw Queued == 0 is fully parked before we can acquire the lock, so
+  // the notify cannot be lost.
+  { std::lock_guard<std::mutex> L(SleepM); }
+  WorkCv.notify_one();
+}
+
+bool ThreadPool::tryRunOne(size_t Self) {
+  std::function<void()> Job;
+  const size_t N = Queues.size();
+  for (size_t K = 0; K < N && !Job; ++K) {
+    WorkerQueue &W = *Queues[(Self + K) % N];
+    std::lock_guard<std::mutex> L(W.M);
+    if (W.Jobs.empty())
+      continue;
+    if (K == 0) {
+      Job = std::move(W.Jobs.front());
+      W.Jobs.pop_front();
+    } else {
+      // Steal from the cold end of a peer's deque.
+      Job = std::move(W.Jobs.back());
+      W.Jobs.pop_back();
+    }
+    Queued.fetch_sub(1);
+  }
+  if (!Job)
+    return false;
+  Job();
+  if (Pending.fetch_sub(1) == 1) {
+    { std::lock_guard<std::mutex> L(SleepM); }
+    IdleCv.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::workerLoop(size_t Self) {
+  for (;;) {
+    if (tryRunOne(Self))
+      continue;
+    std::unique_lock<std::mutex> L(SleepM);
+    WorkCv.wait(L, [this] { return Stop.load() || Queued.load() > 0; });
+    if (Stop.load())
+      return;
+  }
+}
+
+void ThreadPool::wait() {
+  // The caller scans from queue 0; any index works since it only steals.
+  while (tryRunOne(0))
+    ;
+  std::unique_lock<std::mutex> L(SleepM);
+  IdleCv.wait(L, [this] { return Pending.load() == 0; });
+}
+
+size_t ThreadPool::defaultThreadCount() {
+  uint64_t Env = envU64("PATHFUZZ_JOBS", 0);
+  if (Env > 0)
+    return static_cast<size_t>(Env);
+  unsigned Hw = std::thread::hardware_concurrency();
+  return Hw ? Hw : 1;
+}
+
+} // namespace pathfuzz

@@ -1,0 +1,88 @@
+//===- ThreadPool.h - Work-stealing thread pool -----------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// A small work-stealing thread pool for fanning out independent campaign
+// jobs (subject x configuration x trial) across cores. Jobs are
+// distributed round-robin over per-worker deques; an idle worker pops
+// from the front of its own deque and steals from the *back* of a peer's,
+// so long-queued (cold) jobs migrate while each worker keeps locality on
+// its recent submissions. Campaign jobs run for milliseconds to seconds,
+// so one mutex per deque costs nothing measurable — the stealing
+// discipline is what matters for load balance, not lock-freedom.
+//
+// The pool carries no result plumbing: callers write into pre-sized
+// result slots from inside their jobs (each job owns its slot), which is
+// how runCampaigns keeps batch output byte-identical to the serial runner
+// regardless of completion order.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_SUPPORT_THREADPOOL_H
+#define PATHFUZZ_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pathfuzz {
+
+class ThreadPool {
+public:
+  /// Spawns `Threads` workers (clamped to at least one).
+  explicit ThreadPool(size_t Threads);
+
+  /// Drains all outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueue one job; never blocks. Jobs must not submit further jobs
+  /// (the campaign batch is fully known up front).
+  void submit(std::function<void()> Job);
+
+  /// Block until every submitted job has finished. The calling thread
+  /// helps drain the queues while it waits.
+  void wait();
+
+  size_t threadCount() const { return Workers.size(); }
+
+  /// Worker-count policy shared by every batch entry point: the
+  /// PATHFUZZ_JOBS environment override when set, else the hardware
+  /// concurrency (at least 1).
+  static size_t defaultThreadCount();
+
+private:
+  struct WorkerQueue {
+    std::mutex M;
+    std::deque<std::function<void()>> Jobs;
+  };
+
+  /// Run one job if any is available (own deque first, then steal).
+  bool tryRunOne(size_t Self);
+  void workerLoop(size_t Self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  std::mutex SleepM;
+  std::condition_variable WorkCv; ///< signalled on submit and shutdown
+  std::condition_variable IdleCv; ///< signalled when Pending reaches zero
+  std::atomic<size_t> Queued{0};  ///< jobs sitting in deques
+  std::atomic<size_t> Pending{0}; ///< jobs submitted but not yet finished
+  std::atomic<size_t> NextQueue{0};
+  std::atomic<bool> Stop{false};
+};
+
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_SUPPORT_THREADPOOL_H

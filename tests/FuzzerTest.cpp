@@ -130,6 +130,73 @@ fn main() {
   EXPECT_GT(QueueSizes[1], QueueSizes[0]);
 }
 
+TEST(Fuzzer, CycleSchedulerLatchesCycleEndAtCycleStart) {
+  // Regression for the queue-cycle wrap bug: the old cursor advanced
+  // modulo the *live* queue size, so growth mid-cycle made it wrap early
+  // and starve the new tail entries for an entire pass. The cycle length
+  // must be latched when the cycle starts and the grown tail picked up by
+  // the very next cycle.
+  CycleScheduler S;
+  EXPECT_EQ(S.next(3), 0u);
+  EXPECT_EQ(S.next(3), 1u);
+  // Queue grows from 3 to 6 mid-cycle: the current cycle still ends at 3.
+  EXPECT_EQ(S.next(6), 2u);
+  EXPECT_EQ(S.completedCycles(), 0u);
+  // Next cycle re-latches and covers all six entries exactly once.
+  for (size_t I = 0; I < 6; ++I)
+    EXPECT_EQ(S.next(6), I);
+  EXPECT_EQ(S.completedCycles(), 1u);
+  // A cursor that wrapped modulo live size would never hand out 6 here.
+  EXPECT_EQ(S.next(7), 0u);
+  EXPECT_EQ(S.next(7), 1u);
+  for (size_t I = 2; I < 7; ++I)
+    EXPECT_EQ(S.next(7), I);
+  EXPECT_EQ(S.completedCycles(), 2u);
+}
+
+TEST(Fuzzer, QueueCyclesAdvanceDuringARun) {
+  Harness H(EasyBug, instr::Feedback::EdgePrecise);
+  FuzzerOptions FO;
+  FO.Seed = 11;
+  Fuzzer F(H.Mod, H.Report, H.Shadow, FO);
+  F.addSeed({'B', 'U'});
+  F.run(20000);
+  // Small corpus + big budget: the cursor must complete many full passes.
+  EXPECT_GE(F.stats().QueueCycles, 2u);
+}
+
+const char *HangProne = R"ml(
+fn main() {
+  if (in(0) == 'L') {
+    var i = 0;
+    while (i >= 0) { i = i + 1; }
+  }
+  return 0;
+}
+)ml";
+
+TEST(Fuzzer, HangsAreRecordedAndDeduplicated) {
+  Harness H(HangProne, instr::Feedback::EdgePrecise);
+  FuzzerOptions FO;
+  FO.Exec.StepLimit = 500;
+  Fuzzer F(H.Mod, H.Report, H.Shadow, FO);
+
+  F.addSeed({'L'});
+  EXPECT_EQ(F.corpus().size(), 0u); // hung seeds are not queued
+  ASSERT_EQ(F.uniqueHangs().size(), 1u);
+  EXPECT_EQ(F.stats().Hangs, 1u);
+  EXPECT_GE(F.uniqueHangs()[0].Steps, 500u);
+  EXPECT_EQ(F.uniqueHangs()[0].Data, Input({'L'}));
+
+  F.addSeed({'L'}); // same input: counted, not re-recorded
+  EXPECT_EQ(F.stats().Hangs, 2u);
+  EXPECT_EQ(F.uniqueHangs().size(), 1u);
+
+  F.addSeed({'L', 'x'}); // distinct hanging input: new record
+  EXPECT_EQ(F.stats().Hangs, 3u);
+  EXPECT_EQ(F.uniqueHangs().size(), 2u);
+}
+
 TEST(Fuzzer, GrowthSamplesAccumulate) {
   Harness H(EasyBug, instr::Feedback::EdgePrecise);
   FuzzerOptions FO;

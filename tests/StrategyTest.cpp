@@ -4,6 +4,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "strategy/Batch.h"
+#include "strategy/BuildCache.h"
 #include "strategy/Campaign.h"
 #include "strategy/Evaluation.h"
 
@@ -115,6 +117,91 @@ TEST(Evaluation, RunsAndAggregates) {
   for (const CampaignResult &R : RS.Runs)
     for (uint64_t B : R.BugIds)
       EXPECT_TRUE(Cum.count(B));
+}
+
+TEST(Batch, MatchesSerialRunnerAtEveryThreadCount) {
+  // The determinism guarantee behind the parallel evaluation: for the
+  // same seeds, runCampaigns produces byte-identical per-campaign results
+  // to the serial runner at 1, 2 and 4 threads.
+  Subject S = smallSubject();
+  const std::vector<FuzzerKind> Kinds = {FuzzerKind::Pcguard, FuzzerKind::Path,
+                                         FuzzerKind::Cull, FuzzerKind::Opp};
+  std::vector<BatchJob> Jobs;
+  std::vector<CampaignResult> Serial;
+  for (FuzzerKind K : Kinds)
+    for (uint32_t Trial = 0; Trial < 2; ++Trial) {
+      BatchJob J;
+      J.S = &S;
+      J.Opts = smallOpts(K, 3000);
+      J.Opts.Seed = trialSeed(J.Opts.Seed, K, Trial);
+      Jobs.push_back(J);
+      Serial.push_back(runCampaign(S, J.Opts));
+    }
+
+  for (size_t Threads : {1u, 2u, 4u}) {
+    BatchStats BS;
+    std::vector<CampaignResult> Got = runCampaigns(Jobs, Threads, &BS);
+    ASSERT_EQ(Got.size(), Serial.size());
+    for (size_t I = 0; I < Got.size(); ++I) {
+      SCOPED_TRACE("job " + std::to_string(I) + " @" +
+                   std::to_string(Threads) + " threads");
+      EXPECT_EQ(Got[I].Kind, Serial[I].Kind);
+      EXPECT_EQ(Got[I].Execs, Serial[I].Execs);
+      EXPECT_EQ(Got[I].FinalQueueSize, Serial[I].FinalQueueSize);
+      EXPECT_EQ(Got[I].TotalCrashes, Serial[I].TotalCrashes);
+      EXPECT_EQ(Got[I].TotalHangs, Serial[I].TotalHangs);
+      EXPECT_EQ(Got[I].BugIds, Serial[I].BugIds);
+      EXPECT_EQ(Got[I].CrashHashes, Serial[I].CrashHashes);
+      EXPECT_EQ(Got[I].HangHashes, Serial[I].HangHashes);
+      EXPECT_EQ(Got[I].EdgeSet, Serial[I].EdgeSet);
+      EXPECT_EQ(Got[I].QueueGrowth, Serial[I].QueueGrowth);
+    }
+    // The shared build cache compiled the one subject exactly once and
+    // instrumented it once per feedback mode ({EdgePrecise, Path} here).
+    EXPECT_EQ(BS.SubjectsCompiled, 1u);
+    EXPECT_EQ(BS.ModulesInstrumented, 2u);
+    EXPECT_EQ(BS.Threads, Threads);
+  }
+}
+
+TEST(Batch, SharedBuildIsReusableAcrossCampaigns) {
+  Subject S = smallSubject();
+  SubjectBuild B(S);
+  CampaignOptions Opts = smallOpts(FuzzerKind::Path, 2000);
+  CampaignResult FromShared = runCampaign(B, Opts);
+  CampaignResult FromShared2 = runCampaign(B, Opts);
+  CampaignResult Fresh = runCampaign(S, Opts);
+  EXPECT_EQ(FromShared.Execs, Fresh.Execs);
+  EXPECT_EQ(FromShared.BugIds, Fresh.BugIds);
+  EXPECT_EQ(FromShared.EdgeSet, Fresh.EdgeSet);
+  EXPECT_EQ(FromShared2.FinalQueueSize, Fresh.FinalQueueSize);
+  // Two path campaigns plus the instrumentation cache: one build total.
+  EXPECT_EQ(B.instrumentCount(), 1u);
+}
+
+TEST(Evaluation, EvaluateIsIndependentOfJobCount) {
+  // evaluate() routes through the batch runner; PATHFUZZ_JOBS must not
+  // change what it computes.
+  Subject S = smallSubject();
+  CampaignOptions Base = smallOpts(FuzzerKind::Pcguard, 2000);
+  ::setenv("PATHFUZZ_JOBS", "1", 1);
+  Evaluation A = evaluate({S}, {FuzzerKind::Pcguard, FuzzerKind::Path}, 2,
+                          Base);
+  ::setenv("PATHFUZZ_JOBS", "4", 1);
+  Evaluation B = evaluate({S}, {FuzzerKind::Pcguard, FuzzerKind::Path}, 2,
+                          Base);
+  ::unsetenv("PATHFUZZ_JOBS");
+  for (FuzzerKind K : {FuzzerKind::Pcguard, FuzzerKind::Path}) {
+    const RunSet &RA = A.at("small", K);
+    const RunSet &RB = B.at("small", K);
+    ASSERT_EQ(RA.Runs.size(), RB.Runs.size());
+    for (size_t I = 0; I < RA.Runs.size(); ++I) {
+      EXPECT_EQ(RA.Runs[I].Execs, RB.Runs[I].Execs);
+      EXPECT_EQ(RA.Runs[I].BugIds, RB.Runs[I].BugIds);
+      EXPECT_EQ(RA.Runs[I].EdgeSet, RB.Runs[I].EdgeSet);
+      EXPECT_EQ(RA.Runs[I].FinalQueueSize, RB.Runs[I].FinalQueueSize);
+    }
+  }
 }
 
 TEST(Evaluation, SetAlgebra) {

@@ -9,10 +9,14 @@
 #include "support/Rng.h"
 #include "support/Stats.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 using namespace pathfuzz;
 
@@ -110,6 +114,60 @@ TEST(Env, ParsesValuesAndLists) {
   EXPECT_EQ(Xs[1], "b");
   EXPECT_EQ(Xs[2], "c");
   ::unsetenv("PF_TEST_LIST");
+}
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  for (size_t Threads : {1u, 2u, 4u}) {
+    ThreadPool Pool(Threads);
+    constexpr size_t N = 500;
+    std::vector<std::atomic<int>> Ran(N);
+    for (auto &R : Ran)
+      R.store(0);
+    for (size_t I = 0; I < N; ++I)
+      Pool.submit([&Ran, I] { Ran[I].fetch_add(1); });
+    Pool.wait();
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_EQ(Ran[I].load(), 1) << "job " << I << " @" << Threads;
+  }
+}
+
+TEST(ThreadPool, StealsAcrossWorkers) {
+  // One slow job pins a worker; the fast jobs round-robined onto its
+  // deque must be stolen and finished by its peers well before the slow
+  // job completes.
+  ThreadPool Pool(4);
+  std::atomic<int> FastDone{0};
+  std::atomic<bool> Release{false};
+  Pool.submit([&] {
+    while (!Release.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&] {
+      if (FastDone.fetch_add(1) + 1 == 100)
+        Release.store(true);
+    });
+  Pool.wait();
+  EXPECT_EQ(FastDone.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.submit([&] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1);
+  Pool.submit([&] { Count.fetch_add(1); });
+  Pool.submit([&] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 3);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvOverride) {
+  ::setenv("PATHFUZZ_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+  ::unsetenv("PATHFUZZ_JOBS");
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
 }
 
 } // namespace
