@@ -85,6 +85,15 @@ public:
 
   const uint8_t *data() const { return Virgin.data(); }
 
+  /// Overwrite the accumulated view with Size bytes captured from another
+  /// virgin map (snapshot restore); false on size mismatch.
+  bool restoreFrom(const uint8_t *Data, size_t Size) {
+    if (Size != Virgin.size())
+      return false;
+    std::memcpy(Virgin.data(), Data, Size);
+    return true;
+  }
+
 private:
   std::vector<uint8_t> Virgin;
 };

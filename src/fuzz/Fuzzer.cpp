@@ -171,7 +171,30 @@ void Fuzzer::run(uint64_t ExecBudget) {
       return; // even the default input crashes at depth 0
   }
 
-  while (Stats.Execs < ExecBudget) {
+  // The watchdog stop: a campaign driver may bound this instance harder
+  // than the budget. Checked wherever the budget is checked, so a tripped
+  // limit stops the loop at the next execution boundary.
+  auto stopNow = [this] {
+    return Opts.ExecHardLimit && Stats.Execs >= Opts.ExecHardLimit;
+  };
+
+  // Checkpoints fire at the top of the scheduling loop — a safe point
+  // where no mid-entry mutation state is live — each time the campaign-
+  // cumulative exec count crosses an interval multiple. NextCkpt is
+  // recomputed the same way after a restore, so a resumed run emits the
+  // same remaining checkpoint schedule as the uninterrupted one.
+  const uint64_t Interval = Opts.OnCheckpoint ? Opts.CheckpointInterval : 0;
+  uint64_t NextCkpt =
+      Interval
+          ? ((Opts.CheckpointBase + Stats.Execs) / Interval + 1) * Interval
+          : 0;
+
+  while (Stats.Execs < ExecBudget && !stopNow()) {
+    if (Interval && Opts.CheckpointBase + Stats.Execs >= NextCkpt) {
+      Opts.OnCheckpoint(*this);
+      NextCkpt =
+          ((Opts.CheckpointBase + Stats.Execs) / Interval + 1) * Interval;
+    }
     size_t Index = Sched.next(Q.size());
     Stats.QueueCycles = Sched.completedCycles();
     Q.cullIfNeeded();
@@ -196,7 +219,8 @@ void Fuzzer::run(uint64_t ExecBudget) {
     Input Base = E.Data; // E may be invalidated by queue growth
     Q.markFuzzed(Index);
 
-    for (uint32_t I = 0; I < Energy && Stats.Execs < ExecBudget; ++I) {
+    for (uint32_t I = 0; I < Energy && Stats.Execs < ExecBudget && !stopNow();
+         ++I) {
       Input Data = Base;
       bool DoSplice = Q.size() > 1 && R.chance(Opts.SplicePercent, 100);
       if (DoSplice) {

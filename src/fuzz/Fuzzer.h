@@ -36,10 +36,13 @@
 #include "instrument/Instrument.h"
 #include "vm/Vm.h"
 
+#include <functional>
 #include <unordered_set>
 
 namespace pathfuzz {
 namespace fuzz {
+
+class Fuzzer;
 
 struct FuzzerOptions {
   uint32_t MapSizeLog2 = 16;
@@ -55,6 +58,22 @@ struct FuzzerOptions {
   /// Queue-size sampling interval in executions (Fig. 2 / Table I data).
   uint32_t GrowthSampleInterval = 2048;
   size_t MaxCmpDict = 512;
+
+  /// Checkpoint hook: OnCheckpoint fires at a safe point (the top of the
+  /// scheduling loop) each time CheckpointBase + Execs crosses a multiple
+  /// of CheckpointInterval. Purely observational — it never perturbs the
+  /// schedule, so runs with and without checkpointing are byte-identical.
+  /// CheckpointBase offsets the interval arithmetic for multi-instance
+  /// campaigns (culling rounds, opportunistic phases) so checkpoints pace
+  /// by campaign-cumulative executions. 0 disables.
+  uint64_t CheckpointInterval = 0;
+  uint64_t CheckpointBase = 0;
+  std::function<void(const Fuzzer &)> OnCheckpoint;
+
+  /// Watchdog plumbing: run() additionally stops once Execs reaches this
+  /// instance-local count (0 = no limit), letting a campaign driver convert
+  /// a runaway instance into a recorded error instead of a wedged worker.
+  uint64_t ExecHardLimit = 0;
 };
 
 struct FuzzStats {
@@ -129,8 +148,31 @@ public:
   /// and opportunistic drivers carry the dictionary across instances).
   void seedDict(const std::vector<int64_t> &Values);
 
-  /// Fuzz until the *cumulative* execution count reaches ExecBudget.
+  /// Fuzz until the *cumulative* execution count reaches ExecBudget (or
+  /// the ExecHardLimit watchdog stop, whichever comes first).
   void run(uint64_t ExecBudget);
+
+  /// Adjust the watchdog stop after construction (campaign drivers set it
+  /// per instance from the campaign-cumulative allowance).
+  void setExecHardLimit(uint64_t Limit) { Opts.ExecHardLimit = Limit; }
+  /// True when run() returned because of ExecHardLimit rather than the
+  /// budget: the instance was declared runaway.
+  bool hardLimitHit() const {
+    return Opts.ExecHardLimit && Stats.Execs >= Opts.ExecHardLimit;
+  }
+
+  /// Serialize the complete mutable fuzzer state (corpus + metadata,
+  /// virgin/coverage bookkeeping, shadow edge set, RNG stream position,
+  /// stats, crash/hang/bug records, cmp dictionary, schedule cursor) into
+  /// a versioned, checksummed blob. Defined in Snapshot.cpp.
+  std::vector<uint8_t> snapshot() const;
+
+  /// Restore state captured by snapshot() on a compatibly-configured
+  /// fuzzer (same map size, same module/shadow index). Returns false —
+  /// without touching any state — on envelope corruption, version
+  /// mismatch or structural mismatch. A restored fuzzer continues run()
+  /// byte-identically to the instance that was snapshotted.
+  bool restore(const std::vector<uint8_t> &Blob);
 
   /// Execute one input under this fuzzer's feedback without corpus or
   /// novelty bookkeeping (exposed for tools, calibration and tests).

@@ -63,6 +63,15 @@ void Corpus::recomputeFavored() {
     PendingFavoredCount += (E.Favored && !E.WasFuzzed);
 }
 
+void Corpus::restoreState(std::vector<QueueEntry> NewEntries,
+                          std::vector<int32_t> NewTopRated, bool NewNeedCull,
+                          uint32_t NewPendingFavored) {
+  Entries = std::move(NewEntries);
+  TopRated = std::move(NewTopRated);
+  NeedCull = NewNeedCull;
+  PendingFavoredCount = NewPendingFavored;
+}
+
 uint32_t Corpus::favoredCount() const {
   uint32_t N = 0;
   for (const QueueEntry &E : Entries)

@@ -83,6 +83,18 @@ public:
   /// favored-corpus approximation of set cover).
   std::vector<size_t> edgePreservingSubset() const;
 
+  // -- Snapshot support (fuzz/Snapshot.cpp). The corpus is serialized
+  //    exactly — including the top-rated table and the deferred-cull flag —
+  //    so a restored fuzzer replays the favored-marking schedule
+  //    byte-identically instead of merely equivalently.
+  const std::vector<int32_t> &topRatedTable() const { return TopRated; }
+  bool cullPending() const { return NeedCull; }
+  /// Replace the whole corpus state with deserialized contents. TopRated
+  /// must have the same size as the map this corpus was built for.
+  void restoreState(std::vector<QueueEntry> NewEntries,
+                    std::vector<int32_t> NewTopRated, bool NewNeedCull,
+                    uint32_t NewPendingFavored);
+
 private:
   std::vector<QueueEntry> Entries;
   std::vector<int32_t> TopRated; ///< per map index: best entry or -1

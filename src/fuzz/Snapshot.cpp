@@ -1,0 +1,308 @@
+//===- Snapshot.cpp - Versioned, checksummed fuzzer-state snapshots -----------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Snapshot.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+
+namespace pathfuzz {
+namespace fuzz {
+
+std::vector<uint8_t> sealSnapshot(std::vector<uint8_t> Payload) {
+  ByteWriter W;
+  W.u32(SnapshotMagic);
+  W.u32(SnapshotVersion);
+  W.u64(Payload.size());
+  W.u64(fnv1a(Payload.data(), Payload.size()));
+  W.bytes(Payload.data(), Payload.size());
+  return W.take();
+}
+
+bool openSnapshot(const std::vector<uint8_t> &Blob,
+                  std::vector<uint8_t> &Payload) {
+  ByteReader R(Blob);
+  if (R.u32() != SnapshotMagic)
+    return false;
+  if (R.u32() != SnapshotVersion)
+    return false;
+  uint64_t Len = R.u64();
+  uint64_t Checksum = R.u64();
+  if (!R.ok() || Len != R.remaining())
+    return false;
+  std::vector<uint8_t> P = R.raw(Len);
+  if (!R.done() || fnv1a(P.data(), P.size()) != Checksum)
+    return false;
+  Payload = std::move(P);
+  return true;
+}
+
+void writeInput(ByteWriter &W, const Input &Data) { W.blob(Data); }
+
+Input readInput(ByteReader &R) { return R.blob(); }
+
+namespace {
+
+void writeFault(ByteWriter &W, const vm::Fault &F) {
+  W.u8(static_cast<uint8_t>(F.Kind));
+  W.u32(F.Func);
+  W.u32(F.Block);
+  W.u32(F.InstrIdx);
+  W.u64(F.Stack.size());
+  for (const vm::StackFrameRef &Fr : F.Stack) {
+    W.u32(Fr.Func);
+    W.u32(Fr.Block);
+    W.u32(Fr.InstrIdx);
+  }
+}
+
+vm::Fault readFault(ByteReader &R) {
+  vm::Fault F;
+  F.Kind = static_cast<vm::FaultKind>(R.u8());
+  F.Func = R.u32();
+  F.Block = R.u32();
+  F.InstrIdx = R.u32();
+  uint64_t N = R.u64();
+  if (N > R.remaining() / 12) {
+    // Poison the reader; the caller's done()/ok() check rejects the blob.
+    R.invalidate();
+    N = 0;
+  }
+  F.Stack.resize(N);
+  for (vm::StackFrameRef &Fr : F.Stack) {
+    Fr.Func = R.u32();
+    Fr.Block = R.u32();
+    Fr.InstrIdx = R.u32();
+  }
+  return F;
+}
+
+} // namespace
+
+void writeCrashRecord(ByteWriter &W, const CrashRecord &C) {
+  writeInput(W, C.Data);
+  writeFault(W, C.TheFault);
+  W.u64(C.StackHash);
+  W.u64(C.BugId);
+  W.u64(C.AtExec);
+}
+
+CrashRecord readCrashRecord(ByteReader &R) {
+  CrashRecord C;
+  C.Data = readInput(R);
+  C.TheFault = readFault(R);
+  C.StackHash = R.u64();
+  C.BugId = R.u64();
+  C.AtExec = R.u64();
+  return C;
+}
+
+void writeHangRecord(ByteWriter &W, const HangRecord &H) {
+  writeInput(W, H.Data);
+  W.u64(H.Steps);
+  W.u64(H.AtExec);
+  W.u64(H.InputHash);
+}
+
+HangRecord readHangRecord(ByteReader &R) {
+  HangRecord H;
+  H.Data = readInput(R);
+  H.Steps = R.u64();
+  H.AtExec = R.u64();
+  H.InputHash = R.u64();
+  return H;
+}
+
+namespace {
+
+void writeQueueEntry(ByteWriter &W, const QueueEntry &E) {
+  W.blob(E.Data);
+  W.u64(E.Checksum);
+  W.u32(E.Density);
+  W.u64(E.Steps);
+  W.u32(E.Depth);
+  W.u8(E.Favored);
+  W.u8(E.WasFuzzed);
+  W.u64(E.FoundAtExec);
+  W.vecU32(E.MapSet);
+  W.vecU32(E.EdgeSet);
+}
+
+QueueEntry readQueueEntry(ByteReader &R) {
+  QueueEntry E;
+  E.Data = R.blob();
+  E.Checksum = R.u64();
+  E.Density = R.u32();
+  E.Steps = R.u64();
+  E.Depth = R.u32();
+  E.Favored = R.u8() != 0;
+  E.WasFuzzed = R.u8() != 0;
+  E.FoundAtExec = R.u64();
+  E.MapSet = R.vecU32();
+  E.EdgeSet = R.vecU32();
+  return E;
+}
+
+} // namespace
+
+std::vector<uint8_t> Fuzzer::snapshot() const {
+  ByteWriter W;
+
+  // Structural fingerprint, validated before restore() mutates anything.
+  W.u32(Trace.size());
+  W.u32(static_cast<uint32_t>(EdgeCovered.size()));
+
+  // RNG stream position and schedule cursor.
+  uint64_t RngState[4];
+  R.saveState(RngState);
+  for (uint64_t S : RngState)
+    W.u64(S);
+  W.u64(Sched.CurIdx);
+  W.u64(Sched.CycleEnd);
+  W.u64(Sched.Cycles);
+
+  // Stats.
+  W.u64(Stats.Execs);
+  W.u64(Stats.Crashes);
+  W.u64(Stats.Hangs);
+  W.u64(Stats.LastFindExec);
+  W.u64(Stats.QueueCycles);
+  W.u64(Stats.QueueGrowth.size());
+  for (auto [Execs, QueueSize] : Stats.QueueGrowth) {
+    W.u64(Execs);
+    W.u64(QueueSize);
+  }
+  W.u64(AvgStepsNum);
+  W.u64(AvgStepsDen);
+
+  // Coverage: the virgin map and the shadow-edge bitmap.
+  W.bytes(Virgin.data(), Trace.size());
+  W.bytes(EdgeCovered.data(), EdgeCovered.size());
+
+  // Cmp dictionary (the set is rebuilt from the vector on restore).
+  W.vecI64(CmpDict);
+
+  // Findings. The hash sets are exactly the records' hashes, so only the
+  // records are serialized; Bugs is materialized sorted for determinism.
+  std::vector<uint64_t> BugList(Bugs.begin(), Bugs.end());
+  std::sort(BugList.begin(), BugList.end());
+  W.vecU64(BugList);
+  W.u64(Crashes.size());
+  for (const CrashRecord &C : Crashes)
+    writeCrashRecord(W, C);
+  W.u64(Hangs.size());
+  for (const HangRecord &H : Hangs)
+    writeHangRecord(W, H);
+
+  // Corpus, including the top-rated table and deferred-cull flag.
+  W.u64(Q.size());
+  for (size_t I = 0; I < Q.size(); ++I)
+    writeQueueEntry(W, Q[I]);
+  const std::vector<int32_t> &TopRated = Q.topRatedTable();
+  W.u64(TopRated.size());
+  for (int32_t T : TopRated)
+    W.u32(static_cast<uint32_t>(T));
+  W.u8(Q.cullPending());
+  W.u32(Q.pendingFavored());
+
+  return sealSnapshot(W.take());
+}
+
+bool Fuzzer::restore(const std::vector<uint8_t> &Blob) {
+  std::vector<uint8_t> Payload;
+  if (!openSnapshot(Blob, Payload))
+    return false;
+  ByteReader Rd(Payload);
+
+  // Structural fingerprint first: nothing is mutated on mismatch. Past
+  // this point the checksummed payload is trusted (a failed read below
+  // still returns false, but the fuzzer must then be discarded).
+  if (Rd.u32() != Trace.size() ||
+      Rd.u32() != static_cast<uint32_t>(EdgeCovered.size()) || !Rd.ok())
+    return false;
+
+  uint64_t RngState[4];
+  for (uint64_t &S : RngState)
+    S = Rd.u64();
+  R.loadState(RngState);
+  Sched.CurIdx = Rd.u64();
+  Sched.CycleEnd = Rd.u64();
+  Sched.Cycles = Rd.u64();
+
+  Stats.Execs = Rd.u64();
+  Stats.Crashes = Rd.u64();
+  Stats.Hangs = Rd.u64();
+  Stats.LastFindExec = Rd.u64();
+  Stats.QueueCycles = Rd.u64();
+  Stats.QueueGrowth.clear();
+  uint64_t NGrowth = Rd.u64();
+  if (NGrowth > Rd.remaining() / 16)
+    return false;
+  Stats.QueueGrowth.reserve(NGrowth);
+  for (uint64_t I = 0; I < NGrowth; ++I) {
+    uint64_t Execs = Rd.u64();
+    uint64_t QueueSize = Rd.u64();
+    Stats.QueueGrowth.push_back({Execs, QueueSize});
+  }
+  AvgStepsNum = Rd.u64();
+  AvgStepsDen = Rd.u64();
+
+  std::vector<uint8_t> VirginBytes(Trace.size());
+  if (!Rd.bytes(VirginBytes.data(), VirginBytes.size()))
+    return false;
+  if (!Virgin.restoreFrom(VirginBytes.data(), VirginBytes.size()))
+    return false;
+  if (!Rd.bytes(EdgeCovered.data(), EdgeCovered.size()))
+    return false;
+  EdgeCoveredCount = 0;
+  for (uint8_t B : EdgeCovered)
+    EdgeCoveredCount += (B != 0);
+
+  CmpDict = Rd.vecI64();
+  CmpDictSet.clear();
+  CmpDictSet.insert(CmpDict.begin(), CmpDict.end());
+
+  std::vector<uint64_t> BugList = Rd.vecU64();
+  Bugs.clear();
+  Bugs.insert(BugList.begin(), BugList.end());
+
+  uint64_t NCrashes = Rd.u64();
+  Crashes.clear();
+  CrashHashes.clear();
+  for (uint64_t I = 0; I < NCrashes && Rd.ok(); ++I) {
+    Crashes.push_back(readCrashRecord(Rd));
+    CrashHashes.insert(Crashes.back().StackHash);
+  }
+  uint64_t NHangs = Rd.u64();
+  Hangs.clear();
+  HangHashes.clear();
+  for (uint64_t I = 0; I < NHangs && Rd.ok(); ++I) {
+    Hangs.push_back(readHangRecord(Rd));
+    HangHashes.insert(Hangs.back().InputHash);
+  }
+
+  uint64_t NEntries = Rd.u64();
+  std::vector<QueueEntry> Entries;
+  for (uint64_t I = 0; I < NEntries && Rd.ok(); ++I)
+    Entries.push_back(readQueueEntry(Rd));
+  uint64_t NTop = Rd.u64();
+  if (NTop != Trace.size())
+    return false;
+  std::vector<int32_t> TopRated(NTop);
+  for (int32_t &T : TopRated)
+    T = static_cast<int32_t>(Rd.u32());
+  bool NeedCull = Rd.u8() != 0;
+  uint32_t PendingFavored = Rd.u32();
+  if (!Rd.done())
+    return false;
+  Q.restoreState(std::move(Entries), std::move(TopRated), NeedCull,
+                 PendingFavored);
+  return true;
+}
+
+} // namespace fuzz
+} // namespace pathfuzz

@@ -7,9 +7,12 @@
 #include "strategy/Batch.h"
 
 #include "strategy/BuildCache.h"
+#include "support/Env.h"
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace pathfuzz {
 namespace strategy {
@@ -23,26 +26,95 @@ size_t resolvedJobCount(size_t Override) {
   return Override ? Override : ThreadPool::defaultThreadCount();
 }
 
+namespace {
+
+/// Run one job to completion, retrying transient faults with a fresh
+/// deterministic replay. The retry is exact: the campaign's randomness
+/// flows only from its seed, so attempt N that gets past the fault
+/// produces the same bytes attempt 1 would have.
+CampaignResult runOneJob(BuildCache &Cache, const BatchJob &Job,
+                         uint32_t MaxAttempts, BatchJobStatus &Status) {
+  CampaignOptions Opts = Job.Opts;
+  if (!Opts.WatchdogExecLimit) {
+    // Default watchdog: generous enough that no legitimate campaign gets
+    // near it (each driver executes ~ExecBudget total), tight enough to
+    // convert a wedged trial into a recorded error.
+    Opts.WatchdogExecLimit = 8 * Opts.ExecBudget + 4096;
+  }
+  for (uint32_t Attempt = 1;; ++Attempt) {
+    Status.Attempts = Attempt;
+    std::shared_ptr<SubjectBuild> B = Cache.get(*Job.S);
+    CampaignError Err;
+    CampaignResult R = runCampaign(*B, Opts, &Err);
+    if (!Err.Failed) {
+      Status.Ok = true;
+      Status.TimedOut = false;
+      Status.FaultSite.clear();
+      Status.Error.clear();
+      return R;
+    }
+    Status.Ok = false;
+    Status.TimedOut = Err.Watchdog;
+    Status.FaultSite = Err.FaultSite;
+    Status.Error = Err.Message;
+    if (!Err.Transient || Attempt >= MaxAttempts)
+      return {};
+    // Transient build fault: drop the poisoned cache entry so the retry
+    // recompiles (in-flight sharers of the old entry are unaffected).
+    // Transient instrumentation faults need nothing — failed passes are
+    // never cached.
+    if (!B->ok())
+      Cache.invalidate(Job.S->Name);
+  }
+}
+
+} // namespace
+
 std::vector<CampaignResult> runCampaigns(const std::vector<BatchJob> &Jobs,
                                          size_t ThreadsOverride,
-                                         BatchStats *Stats) {
+                                         BatchStats *Stats,
+                                         std::vector<BatchJobStatus> *Statuses) {
   std::vector<CampaignResult> Results(Jobs.size());
+  std::vector<BatchJobStatus> Local(Jobs.size());
   BuildCache Cache;
+
+  // Honor PATHFUZZ_FAULT_SITES for whole-binary runs (bench drivers go
+  // through here). Armed once per process so hit counters span batches.
+  static const size_t EnvFaultSites = fault::armFromEnv();
+  (void)EnvFaultSites;
+
+  const uint32_t MaxAttempts = static_cast<uint32_t>(
+      std::max<uint64_t>(1, envU64("PATHFUZZ_JOB_ATTEMPTS", 3)));
 
   size_t Threads = resolvedJobCount(ThreadsOverride);
   Threads = std::max<size_t>(1, std::min(Threads, Jobs.size()));
+
+  std::atomic<size_t> DispatchRetries{0};
 
   if (Threads == 1) {
     // No pool for the serial case: identical code path, zero thread
     // overhead, and the 1-thread/N-thread identity test stays honest.
     for (size_t I = 0; I < Jobs.size(); ++I)
-      Results[I] = runCampaign(Cache.get(*Jobs[I].S), Jobs[I].Opts);
+      Results[I] = runOneJob(Cache, Jobs[I], MaxAttempts, Local[I]);
   } else {
     ThreadPool Pool(Threads);
-    for (size_t I = 0; I < Jobs.size(); ++I)
-      Pool.submit([&Jobs, &Results, &Cache, I] {
-        Results[I] = runCampaign(Cache.get(*Jobs[I].S), Jobs[I].Opts);
-      });
+    for (size_t I = 0; I < Jobs.size(); ++I) {
+      // Dispatch with bounded retry: a rejected submission (the
+      // "support.pool.dispatch" fault site) costs a retry, never the
+      // job — persistent rejection degrades to running inline on the
+      // submitting thread, so no result slot is ever silently skipped.
+      bool Queued = false;
+      for (uint32_t A = 0; A < MaxAttempts && !Queued; ++A) {
+        if (A > 0)
+          DispatchRetries.fetch_add(1, std::memory_order_relaxed);
+        Queued = Pool.trySubmit([&Jobs, &Results, &Local, &Cache, MaxAttempts,
+                                 I] {
+          Results[I] = runOneJob(Cache, Jobs[I], MaxAttempts, Local[I]);
+        });
+      }
+      if (!Queued)
+        Results[I] = runOneJob(Cache, Jobs[I], MaxAttempts, Local[I]);
+    }
     Pool.wait();
   }
 
@@ -50,7 +122,16 @@ std::vector<CampaignResult> runCampaigns(const std::vector<BatchJob> &Jobs,
     Stats->Threads = Threads;
     Stats->SubjectsCompiled = Cache.subjectsCompiled();
     Stats->ModulesInstrumented = Cache.modulesInstrumented();
+    Stats->DispatchRetries = DispatchRetries.load();
+    Stats->JobsFailed = 0;
+    Stats->JobsRetried = 0;
+    for (const BatchJobStatus &St : Local) {
+      Stats->JobsFailed += !St.Ok;
+      Stats->JobsRetried += St.Attempts > 1;
+    }
   }
+  if (Statuses)
+    *Statuses = std::move(Local);
   return Results;
 }
 

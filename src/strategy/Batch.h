@@ -17,6 +17,16 @@
 // completion order. The table drivers rely on this to emit output
 // independent of PATHFUZZ_JOBS.
 //
+// Fault tolerance: one failing trial no longer costs the batch. A job
+// whose build fails, whose dispatch is rejected, or whose campaign trips
+// the exec watchdog is recorded in its BatchJobStatus (with the full
+// diagnostic) and every other job completes byte-identically to a
+// fault-free batch. Transient faults — the deterministic fault-injection
+// harness marks its faults transient by default — are retried by
+// replaying the trial from scratch, up to PATHFUZZ_JOB_ATTEMPTS times
+// (default 3); the replay is deterministic, so a retry that clears the
+// fault reproduces exactly the result the fault interrupted.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef PATHFUZZ_STRATEGY_BATCH_H
@@ -34,11 +44,33 @@ struct BatchJob {
   CampaignOptions Opts;
 };
 
+/// Per-job outcome: Ok jobs hold their result in the corresponding
+/// Results slot; failed jobs keep the diagnostic here instead of taking
+/// the process down.
+struct BatchJobStatus {
+  bool Ok = true;
+  /// The campaign exec watchdog stopped a runaway trial.
+  bool TimedOut = false;
+  /// Campaign attempts made (0 when the job could not be dispatched;
+  /// >1 when transient faults were retried).
+  uint32_t Attempts = 0;
+  /// Fault-injection site behind the failure, when any (empty for
+  /// genuine errors).
+  std::string FaultSite;
+  /// Full diagnostic of the last failed attempt (compile message,
+  /// injected-fault description, watchdog note). Empty when Ok.
+  std::string Error;
+};
+
 /// Bookkeeping from one runCampaigns() call.
 struct BatchStats {
   size_t Threads = 1;             ///< worker threads used
   size_t SubjectsCompiled = 0;    ///< front-end compilations performed
   size_t ModulesInstrumented = 0; ///< instrumentation passes performed
+  size_t JobsFailed = 0;          ///< jobs that exhausted their attempts
+  size_t JobsRetried = 0;         ///< jobs that needed more than one attempt
+  size_t DispatchRetries = 0;     ///< pool submissions retried after a
+                                  ///< rejected dispatch
 };
 
 /// Deterministic per-trial seed derivation, shared by the serial and the
@@ -51,10 +83,14 @@ size_t resolvedJobCount(size_t Override = 0);
 
 /// Run every job, fanning out across a work-stealing thread pool.
 /// Results[i] is the outcome of Jobs[i], byte-identical to the serial
-/// runner for the same options regardless of thread count.
-std::vector<CampaignResult> runCampaigns(const std::vector<BatchJob> &Jobs,
-                                         size_t ThreadsOverride = 0,
-                                         BatchStats *Stats = nullptr);
+/// runner for the same options regardless of thread count. Failed jobs
+/// leave their Results slot empty; pass Statuses to see which and why.
+/// Jobs without an explicit WatchdogExecLimit get a generous default
+/// (several times the exec budget) so a runaway campaign becomes a
+/// recorded error instead of a wedged worker.
+std::vector<CampaignResult> runCampaigns(
+    const std::vector<BatchJob> &Jobs, size_t ThreadsOverride = 0,
+    BatchStats *Stats = nullptr, std::vector<BatchJobStatus> *Statuses = nullptr);
 
 } // namespace strategy
 } // namespace pathfuzz

@@ -6,37 +6,53 @@
 
 #include "strategy/BuildCache.h"
 
-#include <cstdio>
-#include <cstdlib>
+#include "support/FaultInjection.h"
+
+#include <cassert>
 
 namespace pathfuzz {
 namespace strategy {
 
-namespace {
-
-mir::Module compileSubject(const Subject &S) {
+SubjectBuild::SubjectBuild(const Subject &S) : S(&S) {
+  // Injected build faults surface through the same structured-error path
+  // as genuine frontend diagnostics, so the batch retry logic is
+  // exercised identically for both.
+  if (fault::enabled() && fault::shouldFail("strategy.compile")) {
+    Err = "injected fault: strategy.compile";
+    FaultSiteName = "strategy.compile";
+    TransientErr = fault::isTransient("strategy.compile");
+    return;
+  }
   lang::CompileResult CR = lang::compileSource(S.Source, S.Name);
   if (!CR.ok()) {
-    std::fprintf(stderr, "subject '%s' failed to compile:\n%s", S.Name.c_str(),
-                 CR.message().c_str());
-    std::abort();
+    // A real compile error: keep the frontend's full diagnostic. Not
+    // transient — recompiling the same source cannot succeed.
+    Err = CR.message();
+    TransientErr = false;
+    return;
   }
-  return std::move(*CR.Mod);
+  Base = std::move(*CR.Mod);
+  Shadow = instr::ShadowEdgeIndex::build(Base);
+  Compiled = true;
 }
 
-} // namespace
-
-SubjectBuild::SubjectBuild(const Subject &S)
-    : S(&S), Base(compileSubject(S)),
-      Shadow(instr::ShadowEdgeIndex::build(Base)) {}
-
-const InstrumentedBuild &
-SubjectBuild::instrumented(instr::Feedback Mode, const CampaignOptions &Opts) {
+const InstrumentedBuild *
+SubjectBuild::tryInstrumented(instr::Feedback Mode, const CampaignOptions &Opts,
+                              std::string *ErrOut) {
   Key K{static_cast<uint8_t>(Mode), static_cast<uint8_t>(Opts.Placement),
         Opts.MapSizeLog2};
   std::lock_guard<std::mutex> L(M);
   std::unique_ptr<InstrumentedBuild> &Slot = Builds[K];
   if (!Slot) {
+    // The fault probe sits inside the cache-miss path: a cached build is
+    // immune (the pass already ran), and a failed attempt leaves the slot
+    // empty so a retry re-runs the pass and can succeed.
+    if (fault::enabled() && fault::shouldFail("strategy.instrument")) {
+      Builds.erase(K);
+      if (ErrOut)
+        *ErrOut = "injected fault: strategy.instrument";
+      return nullptr;
+    }
     Slot = std::make_unique<InstrumentedBuild>();
     Slot->Mod = Base; // copy, then rewrite in place
     instr::InstrumentOptions IO;
@@ -46,7 +62,14 @@ SubjectBuild::instrumented(instr::Feedback Mode, const CampaignOptions &Opts) {
     IO.Seed = 0x5eed0000 + Opts.MapSizeLog2; // stable across runs
     Slot->Report = instr::instrumentModule(Slot->Mod, IO);
   }
-  return *Slot;
+  return Slot.get();
+}
+
+const InstrumentedBuild &
+SubjectBuild::instrumented(instr::Feedback Mode, const CampaignOptions &Opts) {
+  const InstrumentedBuild *B = tryInstrumented(Mode, Opts);
+  assert(B && "instrumented() used with instrumentation faults armed");
+  return *B;
 }
 
 size_t SubjectBuild::instrumentCount() const {
@@ -54,17 +77,24 @@ size_t SubjectBuild::instrumentCount() const {
   return Builds.size();
 }
 
-SubjectBuild &BuildCache::get(const Subject &S) {
+std::shared_ptr<SubjectBuild> BuildCache::get(const Subject &S) {
   std::lock_guard<std::mutex> L(M);
-  std::unique_ptr<SubjectBuild> &Slot = Subjects[S.Name];
-  if (!Slot)
-    Slot = std::make_unique<SubjectBuild>(S);
-  return *Slot;
+  std::shared_ptr<SubjectBuild> &Slot = Subjects[S.Name];
+  if (!Slot) {
+    Slot = std::make_shared<SubjectBuild>(S);
+    ++CompileCount;
+  }
+  return Slot;
+}
+
+void BuildCache::invalidate(const std::string &SubjectName) {
+  std::lock_guard<std::mutex> L(M);
+  Subjects.erase(SubjectName);
 }
 
 size_t BuildCache::subjectsCompiled() const {
   std::lock_guard<std::mutex> L(M);
-  return Subjects.size();
+  return CompileCount;
 }
 
 size_t BuildCache::modulesInstrumented() const {

@@ -20,6 +20,13 @@
 // cached build is bit-identical to the one a fresh serial campaign would
 // construct.
 //
+// Build failures are *captured, not fatal*: a SubjectBuild whose subject
+// fails to compile (for real, or through the "strategy.compile" fault-
+// injection site) carries the structured diagnostic instead of aborting
+// the process, so one broken subject cannot take down a whole batch. The
+// cache hands out shared_ptrs so a failed entry can be invalidated for a
+// retry while concurrent holders of the old entry stay valid.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef PATHFUZZ_STRATEGY_BUILDCACHE_H
@@ -47,9 +54,21 @@ struct InstrumentedBuild {
 /// instrumented module per feedback configuration.
 class SubjectBuild {
 public:
-  /// Compiles the subject. Aborts on compile errors — subjects are part
-  /// of the repository, not user input.
+  /// Compiles the subject. Compile failure is captured (see ok()/error())
+  /// rather than aborted on.
   explicit SubjectBuild(const Subject &S);
+
+  /// Whether the subject compiled; every accessor below except the error
+  /// ones requires ok().
+  bool ok() const { return Compiled; }
+  /// The structured diagnostic when !ok(): the frontend's full message,
+  /// or the injected-fault description.
+  const std::string &error() const { return Err; }
+  /// Name of the fault-injection site that caused the failure (empty for
+  /// genuine compile errors).
+  const std::string &faultSite() const { return FaultSiteName; }
+  /// Whether retrying the build may succeed (injected transient faults).
+  bool transientError() const { return TransientErr; }
 
   const Subject &subject() const { return *S; }
   const mir::Module &base() const { return Base; }
@@ -58,6 +77,15 @@ public:
   /// The instrumented build for a feedback mode under the given campaign
   /// options; built on first use, then shared. Thread-safe. The returned
   /// reference stays valid for the lifetime of this SubjectBuild.
+  /// Returns null — with the diagnostic in *ErrOut when provided — when
+  /// the "strategy.instrument" fault site triggers; failed attempts are
+  /// not cached, so a retry re-runs the pass.
+  const InstrumentedBuild *tryInstrumented(instr::Feedback Mode,
+                                           const CampaignOptions &Opts,
+                                           std::string *ErrOut = nullptr);
+
+  /// tryInstrumented for contexts where failure is impossible (no faults
+  /// armed); asserts success.
   const InstrumentedBuild &instrumented(instr::Feedback Mode,
                                         const CampaignOptions &Opts);
 
@@ -72,6 +100,10 @@ private:
   const Subject *S;
   mir::Module Base;
   instr::ShadowEdgeIndex Shadow;
+  bool Compiled = false;
+  bool TransientErr = false;
+  std::string Err;
+  std::string FaultSiteName;
 
   mutable std::mutex M;
   std::map<Key, std::unique_ptr<InstrumentedBuild>> Builds;
@@ -82,14 +114,21 @@ private:
 class BuildCache {
 public:
   /// The (possibly freshly compiled) build for S, keyed by subject name.
-  SubjectBuild &get(const Subject &S);
+  /// The shared_ptr keeps the build alive across invalidate().
+  std::shared_ptr<SubjectBuild> get(const Subject &S);
+
+  /// Drop the cached entry for a subject so the next get() recompiles —
+  /// the retry path for transient build faults. In-flight holders of the
+  /// old entry are unaffected.
+  void invalidate(const std::string &SubjectName);
 
   size_t subjectsCompiled() const;
   size_t modulesInstrumented() const;
 
 private:
   mutable std::mutex M;
-  std::map<std::string, std::unique_ptr<SubjectBuild>> Subjects;
+  std::map<std::string, std::shared_ptr<SubjectBuild>> Subjects;
+  size_t CompileCount = 0;
 };
 
 } // namespace strategy

@@ -6,7 +6,9 @@
 
 #include "strategy/Campaign.h"
 
+#include "fuzz/Snapshot.h"
 #include "strategy/BuildCache.h"
+#include "support/FaultInjection.h"
 #include "support/Rng.h"
 
 #include <algorithm>
@@ -36,6 +38,9 @@ const char *fuzzerKindName(FuzzerKind K) {
 }
 
 namespace {
+
+using fuzz::ByteReader;
+using fuzz::ByteWriter;
 
 fuzz::FuzzerOptions fuzzerOptions(const CampaignOptions &Opts, uint64_t Seed,
                                   bool PathAflAssist) {
@@ -81,14 +86,214 @@ void accumulate(CampaignResult &R, const fuzz::Fuzzer &F,
     R.QueueGrowth.push_back({ExecOffset + Execs, QueueSize});
 }
 
+//===----------------------------------------------------------------------===//
+// Error plumbing
+//===----------------------------------------------------------------------===//
+
+void setError(CampaignError *Err, std::string Message, std::string FaultSite,
+              bool Transient, bool Watchdog = false) {
+  if (!Err)
+    return;
+  Err->Failed = true;
+  Err->Transient = Transient;
+  Err->Watchdog = Watchdog;
+  Err->FaultSite = std::move(FaultSite);
+  Err->Message = std::move(Message);
+}
+
+/// tryInstrumented with the diagnostic routed into CampaignError.
+const InstrumentedBuild *instrumentOrError(SubjectBuild &SB,
+                                           instr::Feedback Mode,
+                                           const CampaignOptions &Opts,
+                                           CampaignError *Err) {
+  std::string Diag;
+  const InstrumentedBuild *B = SB.tryInstrumented(Mode, Opts, &Diag);
+  if (!B)
+    setError(Err, Diag, "strategy.instrument",
+             fault::isTransient("strategy.instrument"));
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// CampaignResult serialization — the byte-identity oracle and the carrier
+// for partial results inside multi-round checkpoints.
+//===----------------------------------------------------------------------===//
+
+void writeCampaignResult(ByteWriter &W, const CampaignResult &R) {
+  W.u8(static_cast<uint8_t>(R.Kind));
+  W.u64(R.Execs);
+  W.u64(R.FinalQueueSize);
+  W.u64(R.TotalCrashes);
+  W.u64(R.TotalHangs);
+  // std::set iterates sorted, so these vectors are canonical.
+  W.vecU64({R.CrashHashes.begin(), R.CrashHashes.end()});
+  W.vecU64({R.HangHashes.begin(), R.HangHashes.end()});
+  W.vecU64({R.BugIds.begin(), R.BugIds.end()});
+  W.vecU32(R.EdgeSet);
+  W.u64(R.QueueGrowth.size());
+  for (auto [Execs, QueueSize] : R.QueueGrowth) {
+    W.u64(Execs);
+    W.u64(QueueSize);
+  }
+  W.u64(R.UniqueCrashes.size());
+  for (const fuzz::CrashRecord &C : R.UniqueCrashes)
+    fuzz::writeCrashRecord(W, C);
+  W.u64(R.UniqueHangs.size());
+  for (const fuzz::HangRecord &H : R.UniqueHangs)
+    fuzz::writeHangRecord(W, H);
+}
+
+CampaignResult readCampaignResult(ByteReader &Rd) {
+  CampaignResult R;
+  R.Kind = static_cast<FuzzerKind>(Rd.u8());
+  R.Execs = Rd.u64();
+  R.FinalQueueSize = Rd.u64();
+  R.TotalCrashes = Rd.u64();
+  R.TotalHangs = Rd.u64();
+  std::vector<uint64_t> Crash = Rd.vecU64();
+  R.CrashHashes.insert(Crash.begin(), Crash.end());
+  std::vector<uint64_t> Hang = Rd.vecU64();
+  R.HangHashes.insert(Hang.begin(), Hang.end());
+  std::vector<uint64_t> Bug = Rd.vecU64();
+  R.BugIds.insert(Bug.begin(), Bug.end());
+  R.EdgeSet = Rd.vecU32();
+  uint64_t NGrowth = Rd.u64();
+  if (NGrowth > Rd.remaining() / 16) {
+    Rd.invalidate();
+    NGrowth = 0;
+  }
+  R.QueueGrowth.reserve(NGrowth);
+  for (uint64_t I = 0; I < NGrowth; ++I) {
+    uint64_t Execs = Rd.u64();
+    uint64_t QueueSize = Rd.u64();
+    R.QueueGrowth.push_back({Execs, QueueSize});
+  }
+  uint64_t NCrashRecs = Rd.u64();
+  for (uint64_t I = 0; I < NCrashRecs && Rd.ok(); ++I)
+    R.UniqueCrashes.push_back(fuzz::readCrashRecord(Rd));
+  uint64_t NHangRecs = Rd.u64();
+  for (uint64_t I = 0; I < NHangRecs && Rd.ok(); ++I)
+    R.UniqueHangs.push_back(fuzz::readHangRecord(Rd));
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint envelope
+//===----------------------------------------------------------------------===//
+//
+// A campaign checkpoint is sealSnapshot() over:
+//
+//   u8 driver tag (0 plain / 1 cull / 2 opp)   u8 FuzzerKind
+//   options fingerprint (every option the schedule depends on)
+//   driver-specific state, ending in a nested Fuzzer::snapshot() blob
+//
+// The fingerprint pins the resume to the exact original configuration;
+// the robustness knobs themselves (checkpoint interval, watchdog) are
+// deliberately excluded — they never affect results, so a run may be
+// resumed under a different checkpoint cadence.
+
+constexpr uint8_t TagPlain = 0;
+constexpr uint8_t TagCull = 1;
+constexpr uint8_t TagOpp = 2;
+
+uint8_t driverTag(FuzzerKind K) {
+  switch (K) {
+  case FuzzerKind::Cull:
+  case FuzzerKind::CullRandom:
+    return TagCull;
+  case FuzzerKind::Opp:
+    return TagOpp;
+  default:
+    return TagPlain;
+  }
+}
+
+void writeCheckpointHeader(ByteWriter &W, const CampaignOptions &Opts) {
+  W.u8(driverTag(Opts.Kind));
+  W.u8(static_cast<uint8_t>(Opts.Kind));
+  W.u64(Opts.ExecBudget);
+  W.u64(Opts.Seed);
+  W.u32(Opts.MapSizeLog2);
+  W.u32(Opts.CullRounds);
+  W.u64(Opts.MaxInputLen);
+  W.u64(Opts.StepLimit);
+  W.u8(static_cast<uint8_t>(Opts.Placement));
+  W.u32(Opts.GrowthSampleInterval);
+}
+
+bool readCheckpointHeader(ByteReader &Rd, const CampaignOptions &Opts) {
+  bool Ok = Rd.u8() == driverTag(Opts.Kind);
+  Ok &= Rd.u8() == static_cast<uint8_t>(Opts.Kind);
+  Ok &= Rd.u64() == Opts.ExecBudget;
+  Ok &= Rd.u64() == Opts.Seed;
+  Ok &= Rd.u32() == Opts.MapSizeLog2;
+  Ok &= Rd.u32() == Opts.CullRounds;
+  Ok &= Rd.u64() == Opts.MaxInputLen;
+  Ok &= Rd.u64() == Opts.StepLimit;
+  Ok &= Rd.u8() == static_cast<uint8_t>(Opts.Placement);
+  Ok &= Rd.u32() == Opts.GrowthSampleInterval;
+  return Ok && Rd.ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Drivers
+//===----------------------------------------------------------------------===//
+
+/// Parsed driver state for a resume; drivers start mid-stream when given
+/// one of these instead of from scratch.
+struct PlainResume {
+  std::vector<uint8_t> FuzzBlob;
+};
+
+struct CullResume {
+  uint32_t Round = 0;
+  uint64_t ExecOffset = 0;
+  CampaignResult Partial;
+  uint64_t RngState[4] = {0, 0, 0, 0};
+  std::vector<uint8_t> FuzzBlob;
+};
+
+struct OppResume {
+  uint8_t Phase = 1;
+  uint64_t Phase1Execs = 0;               // phase 2 only
+  std::vector<uint32_t> Phase1Edges;      // phase 2 only
+  std::vector<uint8_t> FuzzBlob;
+};
+
 CampaignResult runPlain(SubjectBuild &SB, const CampaignOptions &Opts,
-                        instr::Feedback Mode, bool PathAflAssist) {
-  const InstrumentedBuild &B = SB.instrumented(Mode, Opts);
-  fuzz::Fuzzer F(B.Mod, B.Report, SB.shadow(),
-                 fuzzerOptions(Opts, Opts.Seed, PathAflAssist));
-  for (const fuzz::Input &Seed : SB.subject().Seeds)
-    F.addSeed(Seed);
+                        instr::Feedback Mode, bool PathAflAssist,
+                        CampaignError *Err, const PlainResume *Resume) {
+  const InstrumentedBuild *B = instrumentOrError(SB, Mode, Opts, Err);
+  if (!B)
+    return {};
+
+  fuzz::FuzzerOptions FO = fuzzerOptions(Opts, Opts.Seed, PathAflAssist);
+  FO.CheckpointInterval = Opts.CheckpointInterval;
+  FO.ExecHardLimit = Opts.WatchdogExecLimit;
+  if (Opts.CheckpointSink && Opts.CheckpointInterval)
+    FO.OnCheckpoint = [&Opts](const fuzz::Fuzzer &F) {
+      ByteWriter W;
+      writeCheckpointHeader(W, Opts);
+      W.blob(F.snapshot());
+      Opts.CheckpointSink(fuzz::sealSnapshot(W.take()));
+    };
+
+  fuzz::Fuzzer F(B->Mod, B->Report, SB.shadow(), FO);
+  if (Resume) {
+    if (!F.restore(Resume->FuzzBlob)) {
+      setError(Err, "checkpoint restore failed (incompatible state)", "",
+               false);
+      return {};
+    }
+  } else {
+    for (const fuzz::Input &Seed : SB.subject().Seeds)
+      F.addSeed(Seed);
+  }
   F.run(Opts.ExecBudget);
+  if (F.hardLimitHit()) {
+    setError(Err, "exec watchdog tripped", "", false, /*Watchdog=*/true);
+    return {};
+  }
 
   CampaignResult R;
   R.Kind = Opts.Kind;
@@ -98,8 +303,12 @@ CampaignResult runPlain(SubjectBuild &SB, const CampaignOptions &Opts,
 }
 
 CampaignResult runCull(SubjectBuild &SB, const CampaignOptions &Opts,
-                       bool RandomCull) {
-  const InstrumentedBuild &B = SB.instrumented(instr::Feedback::Path, Opts);
+                       bool RandomCull, CampaignError *Err,
+                       const CullResume *Resume) {
+  const InstrumentedBuild *B =
+      instrumentOrError(SB, instr::Feedback::Path, Opts, Err);
+  if (!B)
+    return {};
 
   CampaignResult R;
   R.Kind = Opts.Kind;
@@ -110,21 +319,72 @@ CampaignResult runCull(SubjectBuild &SB, const CampaignOptions &Opts,
   std::vector<int64_t> CarriedDict;
   Rng CullRng(Opts.Seed ^ 0xc0ffee);
   uint64_t ExecOffset = 0;
+  uint32_t StartRound = 0;
+  if (Resume) {
+    // Everything a mid-round checkpoint depends on: completed rounds'
+    // aggregate, the cull RNG stream position, and the live instance (in
+    // FuzzBlob). RoundSeeds and the carried dictionary are only consumed
+    // when *starting* an instance, which a resume never does — the
+    // restored instance already absorbed them.
+    R = Resume->Partial;
+    StartRound = Resume->Round;
+    ExecOffset = Resume->ExecOffset;
+    CullRng.loadState(Resume->RngState);
+  }
 
-  for (uint32_t Round = 0; Round < Rounds; ++Round) {
+  for (uint32_t Round = StartRound; Round < Rounds; ++Round) {
     // The last round gets whatever remains of the overall budget (the
     // paper's driver subtracts accumulated culling costs the same way).
     uint64_t Remaining =
         Opts.ExecBudget > ExecOffset ? Opts.ExecBudget - ExecOffset : 0;
     uint64_t Budget = (Round + 1 == Rounds) ? Remaining : PerRound;
-    fuzz::Fuzzer F(B.Mod, B.Report, SB.shadow(),
-                   fuzzerOptions(Opts, Opts.Seed + Round * 7919, false));
-    // Carry the cmp dictionary across instances (AFL++ re-mines cmplog
-    // from the seed queue on restart).
-    F.seedDict(CarriedDict);
-    for (const fuzz::Input &Seed : RoundSeeds)
-      F.addSeed(Seed);
+
+    fuzz::FuzzerOptions FO =
+        fuzzerOptions(Opts, Opts.Seed + Round * 7919, false);
+    FO.CheckpointInterval = Opts.CheckpointInterval;
+    FO.CheckpointBase = ExecOffset;
+    if (Opts.WatchdogExecLimit) {
+      if (ExecOffset >= Opts.WatchdogExecLimit) {
+        setError(Err, "exec watchdog tripped", "", false, /*Watchdog=*/true);
+        return {};
+      }
+      FO.ExecHardLimit = Opts.WatchdogExecLimit - ExecOffset;
+    }
+    if (Opts.CheckpointSink && Opts.CheckpointInterval)
+      FO.OnCheckpoint = [&Opts, &R, &CullRng, Round,
+                         ExecOffset](const fuzz::Fuzzer &F) {
+        ByteWriter W;
+        writeCheckpointHeader(W, Opts);
+        W.u32(Round);
+        W.u64(ExecOffset);
+        writeCampaignResult(W, R);
+        uint64_t RS[4];
+        CullRng.saveState(RS);
+        for (uint64_t S : RS)
+          W.u64(S);
+        W.blob(F.snapshot());
+        Opts.CheckpointSink(fuzz::sealSnapshot(W.take()));
+      };
+
+    fuzz::Fuzzer F(B->Mod, B->Report, SB.shadow(), FO);
+    if (Resume && Round == StartRound) {
+      if (!F.restore(Resume->FuzzBlob)) {
+        setError(Err, "checkpoint restore failed (incompatible state)", "",
+                 false);
+        return {};
+      }
+    } else {
+      // Carry the cmp dictionary across instances (AFL++ re-mines cmplog
+      // from the seed queue on restart).
+      F.seedDict(CarriedDict);
+      for (const fuzz::Input &Seed : RoundSeeds)
+        F.addSeed(Seed);
+    }
     F.run(Budget);
+    if (F.hardLimitHit()) {
+      setError(Err, "exec watchdog tripped", "", false, /*Watchdog=*/true);
+      return {};
+    }
     accumulate(R, F, ExecOffset);
     ExecOffset += F.stats().Execs;
     R.FinalQueueSize = F.corpus().size();
@@ -162,36 +422,107 @@ CampaignResult runCull(SubjectBuild &SB, const CampaignOptions &Opts,
   return R;
 }
 
-CampaignResult runOpp(SubjectBuild &SB, const CampaignOptions &Opts) {
-  // Phase 1: edge-coverage exploration for half the budget.
-  const InstrumentedBuild &EdgeBuild =
-      SB.instrumented(instr::Feedback::EdgePrecise, Opts);
-  fuzz::Fuzzer Phase1(EdgeBuild.Mod, EdgeBuild.Report, SB.shadow(),
-                      fuzzerOptions(Opts, Opts.Seed ^ 0x0bb, false));
-  for (const fuzz::Input &Seed : SB.subject().Seeds)
-    Phase1.addSeed(Seed);
+CampaignResult runOpp(SubjectBuild &SB, const CampaignOptions &Opts,
+                      CampaignError *Err, const OppResume *Resume) {
   uint64_t Phase1Budget = Opts.ExecBudget / 2;
-  Phase1.run(Phase1Budget);
-
-  // Queue hand-off: crashing inputs were never queued; trim to an
-  // edge-coverage-preserving subset (the paper's pre-processing).
+  uint64_t Phase1Execs = 0;
+  std::vector<uint32_t> Phase1Edges;
   std::vector<fuzz::Input> Handoff;
-  const fuzz::Corpus &Q1 = Phase1.corpus();
-  for (size_t Index : Q1.edgePreservingSubset())
-    Handoff.push_back(Q1[Index].Data);
-  if (Handoff.empty())
-    Handoff = SB.subject().Seeds;
+  std::vector<int64_t> HandoffDict;
+
+  if (!Resume || Resume->Phase == 1) {
+    // Phase 1: edge-coverage exploration for half the budget.
+    const InstrumentedBuild *EdgeBuild =
+        instrumentOrError(SB, instr::Feedback::EdgePrecise, Opts, Err);
+    if (!EdgeBuild)
+      return {};
+    fuzz::FuzzerOptions FO = fuzzerOptions(Opts, Opts.Seed ^ 0x0bb, false);
+    FO.CheckpointInterval = Opts.CheckpointInterval;
+    FO.ExecHardLimit = Opts.WatchdogExecLimit;
+    if (Opts.CheckpointSink && Opts.CheckpointInterval)
+      FO.OnCheckpoint = [&Opts](const fuzz::Fuzzer &F) {
+        ByteWriter W;
+        writeCheckpointHeader(W, Opts);
+        W.u8(1); // phase
+        W.blob(F.snapshot());
+        Opts.CheckpointSink(fuzz::sealSnapshot(W.take()));
+      };
+    fuzz::Fuzzer Phase1(EdgeBuild->Mod, EdgeBuild->Report, SB.shadow(), FO);
+    if (Resume) {
+      if (!Phase1.restore(Resume->FuzzBlob)) {
+        setError(Err, "checkpoint restore failed (incompatible state)", "",
+                 false);
+        return {};
+      }
+    } else {
+      for (const fuzz::Input &Seed : SB.subject().Seeds)
+        Phase1.addSeed(Seed);
+    }
+    Phase1.run(Phase1Budget);
+    if (Phase1.hardLimitHit()) {
+      setError(Err, "exec watchdog tripped", "", false, /*Watchdog=*/true);
+      return {};
+    }
+
+    // Queue hand-off: crashing inputs were never queued; trim to an
+    // edge-coverage-preserving subset (the paper's pre-processing).
+    const fuzz::Corpus &Q1 = Phase1.corpus();
+    for (size_t Index : Q1.edgePreservingSubset())
+      Handoff.push_back(Q1[Index].Data);
+    if (Handoff.empty())
+      Handoff = SB.subject().Seeds;
+    HandoffDict = Phase1.cmpDict();
+    Phase1Execs = Phase1.stats().Execs;
+    Phase1Edges = Phase1.coveredEdgeList();
+  } else {
+    Phase1Execs = Resume->Phase1Execs;
+    Phase1Edges = Resume->Phase1Edges;
+  }
 
   // Phase 2: path-aware fuzzing on the inherited queue. Only this phase's
   // findings count as opp's (the paper does not credit phase-1 bugs).
-  const InstrumentedBuild &PathBuild =
-      SB.instrumented(instr::Feedback::Path, Opts);
-  fuzz::Fuzzer Phase2(PathBuild.Mod, PathBuild.Report, SB.shadow(),
-                      fuzzerOptions(Opts, Opts.Seed ^ 0x0bb1e5, false));
-  Phase2.seedDict(Phase1.cmpDict()); // cmplog re-mining on the handoff
-  for (const fuzz::Input &Seed : Handoff)
-    Phase2.addSeed(Seed);
+  const InstrumentedBuild *PathBuild =
+      instrumentOrError(SB, instr::Feedback::Path, Opts, Err);
+  if (!PathBuild)
+    return {};
+  fuzz::FuzzerOptions FO2 = fuzzerOptions(Opts, Opts.Seed ^ 0x0bb1e5, false);
+  FO2.CheckpointInterval = Opts.CheckpointInterval;
+  FO2.CheckpointBase = Phase1Execs;
+  if (Opts.WatchdogExecLimit) {
+    if (Phase1Execs >= Opts.WatchdogExecLimit) {
+      setError(Err, "exec watchdog tripped", "", false, /*Watchdog=*/true);
+      return {};
+    }
+    FO2.ExecHardLimit = Opts.WatchdogExecLimit - Phase1Execs;
+  }
+  if (Opts.CheckpointSink && Opts.CheckpointInterval)
+    FO2.OnCheckpoint = [&Opts, Phase1Execs,
+                        &Phase1Edges](const fuzz::Fuzzer &F) {
+      ByteWriter W;
+      writeCheckpointHeader(W, Opts);
+      W.u8(2); // phase
+      W.u64(Phase1Execs);
+      W.vecU32(Phase1Edges);
+      W.blob(F.snapshot());
+      Opts.CheckpointSink(fuzz::sealSnapshot(W.take()));
+    };
+  fuzz::Fuzzer Phase2(PathBuild->Mod, PathBuild->Report, SB.shadow(), FO2);
+  if (Resume && Resume->Phase == 2) {
+    if (!Phase2.restore(Resume->FuzzBlob)) {
+      setError(Err, "checkpoint restore failed (incompatible state)", "",
+               false);
+      return {};
+    }
+  } else {
+    Phase2.seedDict(HandoffDict); // cmplog re-mining on the handoff
+    for (const fuzz::Input &Seed : Handoff)
+      Phase2.addSeed(Seed);
+  }
   Phase2.run(Opts.ExecBudget - Phase1Budget);
+  if (Phase2.hardLimitHit()) {
+    setError(Err, "exec watchdog tripped", "", false, /*Watchdog=*/true);
+    return {};
+  }
 
   CampaignResult R;
   R.Kind = Opts.Kind;
@@ -200,40 +531,120 @@ CampaignResult runOpp(SubjectBuild &SB, const CampaignOptions &Opts) {
 
   // Edge coverage additionally includes the opportunistic phase-1
   // exploration, as in Table IV's discussion.
-  std::vector<uint32_t> Phase1Edges = Phase1.coveredEdgeList();
   std::vector<uint32_t> Merged;
   std::set_union(R.EdgeSet.begin(), R.EdgeSet.end(), Phase1Edges.begin(),
                  Phase1Edges.end(), std::back_inserter(Merged));
   R.EdgeSet = std::move(Merged);
-  R.Execs += Phase1.stats().Execs;
+  R.Execs += Phase1Execs;
   return R;
+}
+
+CampaignResult dispatch(SubjectBuild &B, const CampaignOptions &Opts,
+                        CampaignError *Err, const PlainResume *RPlain,
+                        const CullResume *RCull, const OppResume *ROpp) {
+  if (!B.ok()) {
+    setError(Err, B.error(), B.faultSite(), B.transientError());
+    return {};
+  }
+  switch (Opts.Kind) {
+  case FuzzerKind::Pcguard:
+    return runPlain(B, Opts, instr::Feedback::EdgePrecise, false, Err, RPlain);
+  case FuzzerKind::Path:
+    return runPlain(B, Opts, instr::Feedback::Path, false, Err, RPlain);
+  case FuzzerKind::Cull:
+    return runCull(B, Opts, /*RandomCull=*/false, Err, RCull);
+  case FuzzerKind::CullRandom:
+    return runCull(B, Opts, /*RandomCull=*/true, Err, RCull);
+  case FuzzerKind::Opp:
+    return runOpp(B, Opts, Err, ROpp);
+  case FuzzerKind::Afl:
+    return runPlain(B, Opts, instr::Feedback::EdgeClassic, false, Err, RPlain);
+  case FuzzerKind::PathAfl:
+    return runPlain(B, Opts, instr::Feedback::EdgeClassic, true, Err, RPlain);
+  }
+  return {};
 }
 
 } // namespace
 
-CampaignResult runCampaign(const Subject &S, const CampaignOptions &Opts) {
-  SubjectBuild B(S);
-  return runCampaign(B, Opts);
+std::vector<uint8_t> serializeCampaignResult(const CampaignResult &R) {
+  ByteWriter W;
+  writeCampaignResult(W, R);
+  return W.take();
 }
 
-CampaignResult runCampaign(SubjectBuild &B, const CampaignOptions &Opts) {
-  switch (Opts.Kind) {
-  case FuzzerKind::Pcguard:
-    return runPlain(B, Opts, instr::Feedback::EdgePrecise, false);
-  case FuzzerKind::Path:
-    return runPlain(B, Opts, instr::Feedback::Path, false);
-  case FuzzerKind::Cull:
-    return runCull(B, Opts, /*RandomCull=*/false);
-  case FuzzerKind::CullRandom:
-    return runCull(B, Opts, /*RandomCull=*/true);
-  case FuzzerKind::Opp:
-    return runOpp(B, Opts);
-  case FuzzerKind::Afl:
-    return runPlain(B, Opts, instr::Feedback::EdgeClassic, false);
-  case FuzzerKind::PathAfl:
-    return runPlain(B, Opts, instr::Feedback::EdgeClassic, true);
+CampaignResult runCampaign(const Subject &S, const CampaignOptions &Opts,
+                           CampaignError *Err) {
+  SubjectBuild B(S);
+  return runCampaign(B, Opts, Err);
+}
+
+CampaignResult runCampaign(SubjectBuild &B, const CampaignOptions &Opts,
+                           CampaignError *Err) {
+  return dispatch(B, Opts, Err, nullptr, nullptr, nullptr);
+}
+
+CampaignResult resumeCampaign(SubjectBuild &B, const CampaignOptions &Opts,
+                              const std::vector<uint8_t> &Checkpoint,
+                              CampaignError *Err) {
+  auto Fail = [&](const char *Msg) {
+    setError(Err, Msg, "", false);
+    return CampaignResult{};
+  };
+  if (!B.ok()) {
+    setError(Err, B.error(), B.faultSite(), B.transientError());
+    return {};
   }
-  return {};
+  std::vector<uint8_t> Payload;
+  if (!fuzz::openSnapshot(Checkpoint, Payload))
+    return Fail("corrupt or truncated checkpoint");
+  ByteReader Rd(Payload);
+  if (!readCheckpointHeader(Rd, Opts))
+    return Fail("checkpoint does not match campaign options");
+
+  switch (driverTag(Opts.Kind)) {
+  case TagPlain: {
+    PlainResume PR;
+    PR.FuzzBlob = Rd.blob();
+    if (!Rd.done())
+      return Fail("malformed checkpoint payload");
+    return dispatch(B, Opts, Err, &PR, nullptr, nullptr);
+  }
+  case TagCull: {
+    CullResume CR;
+    CR.Round = Rd.u32();
+    CR.ExecOffset = Rd.u64();
+    CR.Partial = readCampaignResult(Rd);
+    for (uint64_t &S : CR.RngState)
+      S = Rd.u64();
+    CR.FuzzBlob = Rd.blob();
+    if (!Rd.done() || CR.Round >= std::max<uint32_t>(1, Opts.CullRounds))
+      return Fail("malformed checkpoint payload");
+    return dispatch(B, Opts, Err, nullptr, &CR, nullptr);
+  }
+  case TagOpp: {
+    OppResume OR;
+    OR.Phase = Rd.u8();
+    if (OR.Phase == 2) {
+      OR.Phase1Execs = Rd.u64();
+      OR.Phase1Edges = Rd.vecU32();
+    } else if (OR.Phase != 1) {
+      return Fail("malformed checkpoint payload");
+    }
+    OR.FuzzBlob = Rd.blob();
+    if (!Rd.done())
+      return Fail("malformed checkpoint payload");
+    return dispatch(B, Opts, Err, nullptr, nullptr, &OR);
+  }
+  }
+  return Fail("malformed checkpoint payload");
+}
+
+CampaignResult resumeCampaign(const Subject &S, const CampaignOptions &Opts,
+                              const std::vector<uint8_t> &Checkpoint,
+                              CampaignError *Err) {
+  SubjectBuild B(S);
+  return resumeCampaign(B, Opts, Checkpoint, Err);
 }
 
 } // namespace strategy

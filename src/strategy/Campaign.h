@@ -41,6 +41,7 @@
 #include "fuzz/Fuzzer.h"
 #include "lang/Compile.h"
 
+#include <functional>
 #include <set>
 #include <string>
 
@@ -80,6 +81,40 @@ struct CampaignOptions {
   bl::PlacementMode Placement = bl::PlacementMode::SpanningTree;
   /// Queue-size sampling interval (execs); 0 disables sampling.
   uint32_t GrowthSampleInterval = 1024;
+
+  // Robustness knobs. None of these perturb the campaign's results: a
+  // checkpointed or watchdog-bounded run executes the exact same fuzzing
+  // schedule as an unadorned one.
+
+  /// Emit a checkpoint through CheckpointSink roughly every this many
+  /// campaign-cumulative execs (0 disables checkpointing). Checkpoints
+  /// fire only at fuzzer safe points, so a run resumed from any emitted
+  /// checkpoint is byte-identical to the uninterrupted run.
+  uint64_t CheckpointInterval = 0;
+  /// Receives each sealed checkpoint blob (see resumeCampaign).
+  std::function<void(const std::vector<uint8_t> &)> CheckpointSink;
+  /// Campaign-level exec watchdog: abort the campaign (with a structured
+  /// CampaignError) once total executions reach this limit. 0 means the
+  /// batch runner's default (a generous multiple of ExecBudget); the
+  /// deterministic analogue of a wall-clock hang detector.
+  uint64_t WatchdogExecLimit = 0;
+};
+
+/// Structured campaign failure, replacing in-band aborts: compile and
+/// instrumentation errors (genuine or injected) and watchdog trips land
+/// here instead of killing the process.
+struct CampaignError {
+  /// True when the campaign did not produce a (complete) result.
+  bool Failed = false;
+  /// Whether a retry may succeed (injected transient faults).
+  bool Transient = false;
+  /// True when the exec watchdog stopped a runaway campaign.
+  bool Watchdog = false;
+  /// Fault-injection site that triggered, when any (empty otherwise).
+  std::string FaultSite;
+  /// Human-readable diagnostic; for compile failures this preserves the
+  /// frontend's full message.
+  std::string Message;
 };
 
 /// Aggregated outcome of one campaign run (across culling rounds /
@@ -116,15 +151,35 @@ struct CampaignResult {
 class SubjectBuild;
 
 /// Compile, instrument and fuzz a subject under the given configuration.
-/// The subject source must compile (this is asserted: subjects are part of
-/// the repository, not user input).
-CampaignResult runCampaign(const Subject &S, const CampaignOptions &Opts);
+/// Failures (compile errors, injected faults, watchdog trips) are
+/// reported through *Err when provided; without an Err out-param a
+/// failed campaign returns an empty result.
+CampaignResult runCampaign(const Subject &S, const CampaignOptions &Opts,
+                           CampaignError *Err = nullptr);
 
 /// Same campaign, but on a pre-compiled shared build (see BuildCache.h).
 /// Produces byte-identical results to the Subject overload for the same
 /// options; the batch runner uses this to compile each subject once per
 /// (feedback mode, placement, map size) instead of once per trial.
-CampaignResult runCampaign(SubjectBuild &B, const CampaignOptions &Opts);
+CampaignResult runCampaign(SubjectBuild &B, const CampaignOptions &Opts,
+                           CampaignError *Err = nullptr);
+
+/// Resume a campaign from a checkpoint blob previously delivered to
+/// CheckpointSink. Opts must match the original run's options (the
+/// checkpoint carries a fingerprint and the resume fails on mismatch).
+/// Contract: the returned result is byte-identical (per
+/// serializeCampaignResult) to the uninterrupted run's.
+CampaignResult resumeCampaign(SubjectBuild &B, const CampaignOptions &Opts,
+                              const std::vector<uint8_t> &Checkpoint,
+                              CampaignError *Err = nullptr);
+CampaignResult resumeCampaign(const Subject &S, const CampaignOptions &Opts,
+                              const std::vector<uint8_t> &Checkpoint,
+                              CampaignError *Err = nullptr);
+
+/// Canonical byte serialization of a CampaignResult — the equality oracle
+/// for the determinism and checkpoint/resume guarantees (two results are
+/// "byte-identical" iff these blobs compare equal).
+std::vector<uint8_t> serializeCampaignResult(const CampaignResult &R);
 
 } // namespace strategy
 } // namespace pathfuzz

@@ -6,7 +6,9 @@
 
 #include "support/Env.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 
 namespace pathfuzz {
 
@@ -14,9 +16,16 @@ uint64_t envU64(const char *Name, uint64_t Default) {
   const char *Raw = std::getenv(Name);
   if (!Raw || !*Raw)
     return Default;
+  // strtoull silently wraps negative input and saturates to ULLONG_MAX on
+  // overflow (setting ERANGE); both are out-of-range garbage for a u64
+  // knob, not values, so they fall back to the default like any other
+  // malformed input.
+  if (std::strchr(Raw, '-'))
+    return Default;
+  errno = 0;
   char *End = nullptr;
   unsigned long long V = std::strtoull(Raw, &End, 10);
-  if (End == Raw || *End != '\0')
+  if (End == Raw || *End != '\0' || errno == ERANGE)
     return Default;
   return static_cast<uint64_t>(V);
 }

@@ -1,0 +1,138 @@
+//===- FaultInjection.cpp - Deterministic failure-point registry --------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Env.h"
+#include "support/Rng.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace pathfuzz {
+namespace fault {
+
+namespace {
+
+struct SiteState {
+  SiteConfig Config;
+  uint64_t Hits = 0;
+  Rng Prob{1};
+};
+
+struct Registry {
+  std::mutex M;
+  std::map<std::string, SiteState> Sites;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+/// Armed-site count mirrored outside the lock so shouldFail() is one
+/// relaxed load on the (universal) nothing-armed path.
+std::atomic<size_t> ArmedCount{0};
+
+} // namespace
+
+bool enabled() { return ArmedCount.load(std::memory_order_relaxed) > 0; }
+
+void armSite(const std::string &Site, const SiteConfig &Config) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  SiteState &S = R.Sites[Site];
+  S.Config = Config;
+  S.Hits = 0;
+  S.Prob.reseed(Config.ProbSeed);
+  ArmedCount.store(R.Sites.size(), std::memory_order_relaxed);
+}
+
+void disarmSite(const std::string &Site) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  R.Sites.erase(Site);
+  ArmedCount.store(R.Sites.size(), std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  R.Sites.clear();
+  ArmedCount.store(0, std::memory_order_relaxed);
+}
+
+size_t armFromEnv() {
+  size_t Armed = 0;
+  for (std::string Spec : envList("PATHFUZZ_FAULT_SITES")) {
+    SiteConfig C;
+    if (!Spec.empty() && Spec.back() == '!') {
+      C.Transient = false;
+      Spec.pop_back();
+    }
+    size_t At = Spec.find('@');
+    size_t Pct = Spec.find('%');
+    std::string Name;
+    if (At != std::string::npos) {
+      Name = Spec.substr(0, At);
+      C.FailOnHit = std::strtoull(Spec.c_str() + At + 1, nullptr, 10);
+      if (Name.empty() || C.FailOnHit == 0)
+        continue;
+    } else if (Pct != std::string::npos) {
+      Name = Spec.substr(0, Pct);
+      std::string Rest = Spec.substr(Pct + 1);
+      size_t Tilde = Rest.find('~');
+      if (Tilde != std::string::npos) {
+        C.ProbSeed = std::strtoull(Rest.c_str() + Tilde + 1, nullptr, 10);
+        Rest = Rest.substr(0, Tilde);
+      }
+      C.ProbPermille =
+          static_cast<uint32_t>(std::strtoull(Rest.c_str(), nullptr, 10));
+      if (Name.empty() || C.ProbPermille == 0 || C.ProbPermille > 1000)
+        continue;
+    } else {
+      continue;
+    }
+    armSite(Name, C);
+    ++Armed;
+  }
+  return Armed;
+}
+
+bool shouldFail(const char *Site) {
+  if (!enabled())
+    return false;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto It = R.Sites.find(Site);
+  if (It == R.Sites.end())
+    return false;
+  SiteState &S = It->second;
+  ++S.Hits;
+  if (S.Config.FailOnHit)
+    return S.Hits == S.Config.FailOnHit;
+  if (S.Config.ProbPermille)
+    return S.Prob.below(1000) < S.Config.ProbPermille;
+  return false;
+}
+
+bool isTransient(const char *Site) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto It = R.Sites.find(Site);
+  return It == R.Sites.end() ? true : It->second.Config.Transient;
+}
+
+uint64_t hitCount(const char *Site) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  auto It = R.Sites.find(Site);
+  return It == R.Sites.end() ? 0 : It->second.Hits;
+}
+
+} // namespace fault
+} // namespace pathfuzz

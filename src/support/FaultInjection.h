@@ -1,0 +1,101 @@
+//===- FaultInjection.h - Deterministic failure-point registry --*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// A registry of named failure sites for exercising the robustness layer.
+// Production code probes a site with shouldFail("name"); the probe is a
+// single relaxed atomic load when nothing is armed, so permanently wiring
+// sites into hot paths (subject compilation, instrumentation, thread-pool
+// dispatch, the VM heap) costs nothing in normal operation.
+//
+// A site triggers either on its Nth hit (exact, deterministic) or per hit
+// with a seeded probability, so every failure path the batch runner must
+// survive — compile errors, instrumentation errors, dispatch refusals,
+// resource exhaustion inside a trial — is reproducible in tests. Sites are
+// armed programmatically (armSite) or from the PATHFUZZ_FAULT_SITES
+// environment variable:
+//
+//   PATHFUZZ_FAULT_SITES="strategy.compile@2,vm.heap.alloc%50~7,x@1!"
+//
+//   site@N      fail exactly on the Nth hit (1-based)
+//   site%P      fail each hit with probability P/1000
+//   site%P~S    ... drawing from an RNG seeded with S
+//   trailing !  the fault is persistent (retrying cannot succeed);
+//               without it faults are transient and the batch runner's
+//               bounded retry is allowed to re-attempt the operation
+//
+// Hit counters are global; with a multi-threaded batch the attribution of
+// the Nth hit to a particular job depends on scheduling, so deterministic
+// tests either arm sites hit from the submitting thread or run the batch
+// at one thread.
+//
+// Wired sites:
+//   strategy.compile      subject front-end compilation (BuildCache)
+//   strategy.instrument   instrumentation pass (SubjectBuild)
+//   support.pool.dispatch ThreadPool::trySubmit task dispatch
+//   vm.heap.alloc         VM heap allocation (fails as OutOfMemory)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_SUPPORT_FAULTINJECTION_H
+#define PATHFUZZ_SUPPORT_FAULTINJECTION_H
+
+#include <cstdint>
+#include <string>
+
+namespace pathfuzz {
+namespace fault {
+
+/// How one armed site fails. Either trigger may be used; FailOnHit takes
+/// effect first when both are set.
+struct SiteConfig {
+  uint64_t FailOnHit = 0;    ///< 1-based hit ordinal that fails; 0 = never
+  uint32_t ProbPermille = 0; ///< per-hit failure probability in 1/1000
+  uint64_t ProbSeed = 1;     ///< RNG seed for the probability trigger
+  bool Transient = true;     ///< a retried operation may succeed
+};
+
+/// True when at least one site is armed. Hot paths gate on this; it is a
+/// single relaxed atomic load.
+bool enabled();
+
+/// Arm (or re-arm, resetting its hit counter) a named site.
+void armSite(const std::string &Site, const SiteConfig &Config);
+
+/// Disarm one site.
+void disarmSite(const std::string &Site);
+
+/// Disarm every site and clear all hit counters.
+void reset();
+
+/// Arm sites from PATHFUZZ_FAULT_SITES (see file comment for the syntax);
+/// returns the number of sites armed. Malformed entries are skipped.
+size_t armFromEnv();
+
+/// Probe a site: records the hit and returns true when this hit fails.
+/// Always false for unarmed sites (and counts nothing for them).
+bool shouldFail(const char *Site);
+
+/// Whether the site's configured fault is transient (true for unarmed
+/// sites: unknown failures default to retryable).
+bool isTransient(const char *Site);
+
+/// Hits recorded at an armed site since it was armed.
+uint64_t hitCount(const char *Site);
+
+/// Test helper: arms nothing itself but guarantees reset() on scope exit,
+/// so a failing test cannot leak armed sites into later tests.
+class ScopedFaultInjection {
+public:
+  ScopedFaultInjection() = default;
+  ~ScopedFaultInjection() { reset(); }
+  ScopedFaultInjection(const ScopedFaultInjection &) = delete;
+  ScopedFaultInjection &operator=(const ScopedFaultInjection &) = delete;
+};
+
+} // namespace fault
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_SUPPORT_FAULTINJECTION_H

@@ -97,6 +97,19 @@ public:
   /// Random index into a container of the given size.
   size_t index(size_t Size) { return static_cast<size_t>(below(Size)); }
 
+  /// Copy out the full 256-bit generator state (checkpoint support).
+  void saveState(uint64_t Out[4]) const {
+    for (int I = 0; I < 4; ++I)
+      Out[I] = S[I];
+  }
+
+  /// Restore a state captured by saveState(); the stream continues from
+  /// exactly that position.
+  void loadState(const uint64_t In[4]) {
+    for (int I = 0; I < 4; ++I)
+      S[I] = In[I];
+  }
+
 private:
   static uint64_t rotl(uint64_t X, int K) {
     return (X << K) | (X >> (64 - K));

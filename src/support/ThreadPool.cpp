@@ -7,6 +7,7 @@
 #include "support/ThreadPool.h"
 
 #include "support/Env.h"
+#include "support/FaultInjection.h"
 
 #include <algorithm>
 
@@ -46,6 +47,13 @@ void ThreadPool::submit(std::function<void()> Job) {
   // the notify cannot be lost.
   { std::lock_guard<std::mutex> L(SleepM); }
   WorkCv.notify_one();
+}
+
+bool ThreadPool::trySubmit(std::function<void()> Job) {
+  if (fault::enabled() && fault::shouldFail("support.pool.dispatch"))
+    return false;
+  submit(std::move(Job));
+  return true;
 }
 
 bool ThreadPool::tryRunOne(size_t Self) {

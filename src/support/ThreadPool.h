@@ -50,6 +50,12 @@ public:
   /// (the campaign batch is fully known up front).
   void submit(std::function<void()> Job);
 
+  /// Like submit(), but probes the "support.pool.dispatch" fault-injection
+  /// site first: returns false without enqueuing when the site triggers.
+  /// Callers that must not lose work retry or degrade to running the job
+  /// inline (the batch runner does both, bounded).
+  bool trySubmit(std::function<void()> Job);
+
   /// Block until every submitted job has finished. The calling thread
   /// helps drain the queues while it waits.
   void wait();

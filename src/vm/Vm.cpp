@@ -6,6 +6,8 @@
 
 #include "vm/Vm.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -285,6 +287,15 @@ ExecResult Vm::run(const uint8_t *Input, size_t Len, const ExecOptions &Opts,
       }
       case mir::Opcode::Alloc: {
         int64_t Size = Regs[I.B];
+        // The injected variant of heap exhaustion: lets tests drive the
+        // OutOfMemory path on any allocation without tuning real limits.
+        // (`fault` names the local fault-raising lambda here, hence the
+        // fully qualified registry calls.)
+        if (pathfuzz::fault::enabled() &&
+            pathfuzz::fault::shouldFail("vm.heap.alloc")) {
+          fault(FaultKind::OutOfMemory);
+          continue;
+        }
         if (Size < 0 ||
             Cells.size() + static_cast<uint64_t>(Size) > Opts.HeapCellLimit ||
             Objects.size() >= Opts.MaxObjects) {

@@ -93,6 +93,70 @@ fn main() {
   EXPECT_EQ(R.TheFault.Kind, vm::FaultKind::OutOfMemory);
 }
 
+TEST(VmEdge, ObjectCountLimitTriggersOom) {
+  // Many tiny allocations exhaust MaxObjects long before the cell limit.
+  lang::CompileResult CR = lang::compileSource(R"ml(
+fn main() {
+  var i = 0;
+  while (i < 100) {
+    var a[1];
+    a[0] = i;
+    i = i + 1;
+  }
+  return i;
+}
+)ml",
+                                               "t");
+  ASSERT_TRUE(CR.ok());
+  vm::Vm Machine(*CR.Mod);
+  vm::ExecOptions EO;
+  EO.MaxObjects = 16;
+  vm::ExecResult R = Machine.run(nullptr, 0, EO, nullptr);
+  EXPECT_EQ(R.TheFault.Kind, vm::FaultKind::OutOfMemory);
+}
+
+TEST(VmEdge, RunawayRecursionTriggersStackOverflow) {
+  lang::CompileResult CR = lang::compileSource(R"ml(
+fn down(n) { return down(n + 1); }
+fn main() { return down(0); }
+)ml",
+                                               "t");
+  ASSERT_TRUE(CR.ok());
+  vm::Vm Machine(*CR.Mod);
+  vm::ExecOptions EO; // default MaxCallDepth
+  vm::ExecResult R = Machine.run(nullptr, 0, EO, nullptr);
+  EXPECT_EQ(R.TheFault.Kind, vm::FaultKind::StackOverflow);
+}
+
+TEST(VmEdge, HeapCellLimitBoundaryIsExact) {
+  // One 8-cell allocation against an exactly-8-cell budget succeeds;
+  // against a 7-cell budget it faults. The limit is a boundary, not a
+  // fudge factor.
+  lang::CompileResult CR = lang::compileSource(R"ml(
+fn main() {
+  var a[8];
+  a[7] = 5;
+  return a[7];
+}
+)ml",
+                                               "t");
+  ASSERT_TRUE(CR.ok());
+  vm::Vm Machine(*CR.Mod);
+  {
+    vm::ExecOptions EO;
+    EO.HeapCellLimit = 8;
+    vm::ExecResult R = Machine.run(nullptr, 0, EO, nullptr);
+    EXPECT_FALSE(R.crashed());
+    EXPECT_EQ(R.ReturnValue, 5);
+  }
+  {
+    vm::ExecOptions EO;
+    EO.HeapCellLimit = 7;
+    vm::ExecResult R = Machine.run(nullptr, 0, EO, nullptr);
+    EXPECT_EQ(R.TheFault.Kind, vm::FaultKind::OutOfMemory);
+  }
+}
+
 TEST(MutatorEdge, EmptyInputBecomesNonEmpty) {
   Rng R(1);
   fuzz::MutatorConfig MC;

@@ -1,0 +1,166 @@
+//===- FaultInjectionTest.cpp - Deterministic failure-point registry -----------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "lang/Compile.h"
+#include "vm/Vm.h"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+
+using namespace pathfuzz;
+
+namespace {
+
+TEST(FaultInjection, DisabledByDefaultAndCostsNothing) {
+  fault::ScopedFaultInjection Guard;
+  fault::reset();
+  EXPECT_FALSE(fault::enabled());
+  // Unarmed sites never fail and never count.
+  EXPECT_FALSE(fault::shouldFail("no.such.site"));
+  EXPECT_EQ(fault::hitCount("no.such.site"), 0u);
+  EXPECT_TRUE(fault::isTransient("no.such.site"));
+}
+
+TEST(FaultInjection, NthHitFailsExactlyOnce) {
+  fault::ScopedFaultInjection Guard;
+  fault::SiteConfig C;
+  C.FailOnHit = 3;
+  fault::armSite("t.site", C);
+  EXPECT_TRUE(fault::enabled());
+
+  int Failures = 0;
+  for (int Hit = 1; Hit <= 6; ++Hit) {
+    bool Failed = fault::shouldFail("t.site");
+    EXPECT_EQ(Failed, Hit == 3) << "hit " << Hit;
+    Failures += Failed;
+  }
+  EXPECT_EQ(Failures, 1);
+  EXPECT_EQ(fault::hitCount("t.site"), 6u);
+}
+
+TEST(FaultInjection, RearmResetsTheHitCounter) {
+  fault::ScopedFaultInjection Guard;
+  fault::SiteConfig C;
+  C.FailOnHit = 2;
+  fault::armSite("t.site", C);
+  EXPECT_FALSE(fault::shouldFail("t.site"));
+  EXPECT_TRUE(fault::shouldFail("t.site"));
+  fault::armSite("t.site", C); // re-arm: counter back to zero
+  EXPECT_EQ(fault::hitCount("t.site"), 0u);
+  EXPECT_FALSE(fault::shouldFail("t.site"));
+  EXPECT_TRUE(fault::shouldFail("t.site"));
+}
+
+TEST(FaultInjection, ProbabilityTriggerIsSeededAndReproducible) {
+  fault::ScopedFaultInjection Guard;
+  fault::SiteConfig C;
+  C.ProbPermille = 400;
+  C.ProbSeed = 1234;
+  fault::armSite("t.prob", C);
+  std::vector<bool> First;
+  for (int I = 0; I < 200; ++I)
+    First.push_back(fault::shouldFail("t.prob"));
+
+  fault::armSite("t.prob", C); // same seed → same draw sequence
+  std::vector<bool> Second;
+  for (int I = 0; I < 200; ++I)
+    Second.push_back(fault::shouldFail("t.prob"));
+  EXPECT_EQ(First, Second);
+
+  // ~40% of 200 draws; statistically impossible to miss entirely or
+  // saturate with a correct implementation.
+  int Fails = 0;
+  for (bool B : First)
+    Fails += B;
+  EXPECT_GT(Fails, 20);
+  EXPECT_LT(Fails, 180);
+}
+
+TEST(FaultInjection, TransientFlagAndDisarm) {
+  fault::ScopedFaultInjection Guard;
+  fault::SiteConfig C;
+  C.FailOnHit = 1;
+  C.Transient = false;
+  fault::armSite("t.persistent", C);
+  EXPECT_FALSE(fault::isTransient("t.persistent"));
+  fault::disarmSite("t.persistent");
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_TRUE(fault::isTransient("t.persistent")); // unarmed → retryable
+}
+
+TEST(FaultInjection, ArmFromEnvParsesEverySpecForm) {
+  fault::ScopedFaultInjection Guard;
+  ::setenv("PATHFUZZ_FAULT_SITES",
+           "a@2,b%250~9,c@1!,noform,@3,d%0,e%2000", 1);
+  // a@2, b%250~9 and c@1! are valid; the rest are malformed (no trigger,
+  // empty name, zero or out-of-range permille) and skipped.
+  EXPECT_EQ(fault::armFromEnv(), 3u);
+  ::unsetenv("PATHFUZZ_FAULT_SITES");
+
+  EXPECT_FALSE(fault::shouldFail("a"));
+  EXPECT_TRUE(fault::shouldFail("a"));
+  EXPECT_TRUE(fault::isTransient("a"));
+  EXPECT_TRUE(fault::isTransient("b"));
+  EXPECT_FALSE(fault::isTransient("c"));
+  EXPECT_TRUE(fault::shouldFail("c"));
+  EXPECT_FALSE(fault::shouldFail("noform"));
+}
+
+TEST(FaultInjection, ResetDisarmsEverything) {
+  fault::SiteConfig C;
+  C.FailOnHit = 1;
+  fault::armSite("x", C);
+  fault::armSite("y", C);
+  fault::reset();
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(fault::shouldFail("x"));
+  EXPECT_EQ(fault::hitCount("y"), 0u);
+}
+
+TEST(FaultInjection, ScopedGuardResetsOnScopeExit) {
+  {
+    fault::ScopedFaultInjection Guard;
+    fault::SiteConfig C;
+    C.FailOnHit = 1;
+    fault::armSite("scoped", C);
+    EXPECT_TRUE(fault::enabled());
+  }
+  EXPECT_FALSE(fault::enabled());
+}
+
+TEST(FaultInjection, VmHeapAllocSiteRaisesOutOfMemory) {
+  fault::ScopedFaultInjection Guard;
+  lang::CompileResult CR = lang::compileSource(R"ml(
+fn main() {
+  var a[4];
+  a[0] = 7;
+  return a[0];
+}
+)ml",
+                                               "t");
+  ASSERT_TRUE(CR.ok());
+  vm::Vm Machine(*CR.Mod);
+  vm::ExecOptions EO;
+
+  // Baseline: the allocation succeeds with no fault armed.
+  vm::ExecResult Clean = Machine.run(nullptr, 0, EO, nullptr);
+  EXPECT_FALSE(Clean.crashed());
+  EXPECT_EQ(Clean.ReturnValue, 7);
+
+  fault::SiteConfig C;
+  C.FailOnHit = 1;
+  fault::armSite("vm.heap.alloc", C);
+  vm::ExecResult Faulted = Machine.run(nullptr, 0, EO, nullptr);
+  EXPECT_EQ(Faulted.TheFault.Kind, vm::FaultKind::OutOfMemory);
+
+  // The site fired once; the next run (hit 2 ≠ 1) succeeds again.
+  vm::ExecResult After = Machine.run(nullptr, 0, EO, nullptr);
+  EXPECT_FALSE(After.crashed());
+}
+
+} // namespace

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Env.h"
+#include "support/FaultInjection.h"
 #include "support/Hashing.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
@@ -107,6 +108,20 @@ TEST(Env, ParsesValuesAndLists) {
   ::unsetenv("PF_TEST_INT");
   EXPECT_EQ(envU64("PF_TEST_INT", 9), 9u);
 
+  // Out-of-range values are malformed, not saturated: strtoull would
+  // silently wrap "-1" to ULLONG_MAX and clamp overflow with ERANGE.
+  ::setenv("PF_TEST_INT", "-1", 1);
+  EXPECT_EQ(envU64("PF_TEST_INT", 7), 7u);
+  ::setenv("PF_TEST_INT", "99999999999999999999999", 1);
+  EXPECT_EQ(envU64("PF_TEST_INT", 7), 7u);
+  ::setenv("PF_TEST_INT", "18446744073709551615", 1); // exactly UINT64_MAX
+  EXPECT_EQ(envU64("PF_TEST_INT", 7), 18446744073709551615ull);
+  ::setenv("PF_TEST_INT", "18446744073709551616", 1); // UINT64_MAX + 1
+  EXPECT_EQ(envU64("PF_TEST_INT", 7), 7u);
+  ::setenv("PF_TEST_INT", "12x", 1); // trailing junk
+  EXPECT_EQ(envU64("PF_TEST_INT", 7), 7u);
+  ::unsetenv("PF_TEST_INT");
+
   ::setenv("PF_TEST_LIST", "a, b,c", 1);
   std::vector<std::string> Xs = envList("PF_TEST_LIST");
   ASSERT_EQ(Xs.size(), 3u);
@@ -129,6 +144,24 @@ TEST(ThreadPool, RunsEveryJobExactlyOnce) {
     for (size_t I = 0; I < N; ++I)
       EXPECT_EQ(Ran[I].load(), 1) << "job " << I << " @" << Threads;
   }
+}
+
+TEST(ThreadPool, TrySubmitHonorsTheDispatchFaultSite) {
+  fault::ScopedFaultInjection Guard;
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+
+  // No fault armed: trySubmit behaves exactly like submit.
+  EXPECT_TRUE(Pool.trySubmit([&Ran] { Ran.fetch_add(1); }));
+
+  fault::SiteConfig C;
+  C.FailOnHit = 1;
+  fault::armSite("support.pool.dispatch", C);
+  // The rejected job is NOT enqueued; the next attempt goes through.
+  EXPECT_FALSE(Pool.trySubmit([&Ran] { Ran.fetch_add(1); }));
+  EXPECT_TRUE(Pool.trySubmit([&Ran] { Ran.fetch_add(1); }));
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 2);
 }
 
 TEST(ThreadPool, StealsAcrossWorkers) {
