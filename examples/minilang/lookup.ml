@@ -1,0 +1,20 @@
+// Table lookup with a clamped index: exercises globals, calls and
+// branching without tripping any lint check.
+global table[8] = {1, 2, 3, 5, 8, 13, 21, 34};
+
+fn clampIndex(i) {
+  if (i < 0) {
+    return 0;
+  }
+  if (i > 7) {
+    return 7;
+  }
+  return i;
+}
+
+fn main() {
+  if (len() == 0) {
+    return 0 - 1;
+  }
+  return table[clampIndex(in(0))];
+}

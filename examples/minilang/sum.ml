@@ -1,0 +1,12 @@
+// Sums every input byte — the smallest loopy MiniLang program, and the
+// quickstart subject for `pathfuzz-lint` (it must lint clean).
+fn main() {
+  var n = len();
+  var i = 0;
+  var total = 0;
+  while (i < n) {
+    total = total + in(i);
+    i = i + 1;
+  }
+  return total;
+}

@@ -1,0 +1,69 @@
+//===- BitVec.h - Dense fixed-width bit vector ------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// A small word-packed bit set used as the lattice element of the set-based
+// dataflow problems (liveness over registers, reaching definitions over def
+// sites). std::vector<bool> would work but unioning word-at-a-time is what
+// makes the worklist solver cheap on the register counts MiniLang functions
+// actually have.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_ANALYSIS_BITVEC_H
+#define PATHFUZZ_ANALYSIS_BITVEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace analysis {
+
+class BitVec {
+public:
+  BitVec() = default;
+  explicit BitVec(uint32_t NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  uint32_t size() const { return NumBits; }
+
+  bool test(uint32_t I) const {
+    return (Words[I >> 6] >> (I & 63)) & 1;
+  }
+  void set(uint32_t I) { Words[I >> 6] |= uint64_t(1) << (I & 63); }
+  void reset(uint32_t I) { Words[I >> 6] &= ~(uint64_t(1) << (I & 63)); }
+
+  /// this |= O; returns true if any bit changed.
+  bool unionWith(const BitVec &O) {
+    bool Changed = false;
+    for (size_t W = 0; W < Words.size(); ++W) {
+      uint64_t New = Words[W] | O.Words[W];
+      Changed |= New != Words[W];
+      Words[W] = New;
+    }
+    return Changed;
+  }
+
+  bool operator==(const BitVec &O) const {
+    return NumBits == O.NumBits && Words == O.Words;
+  }
+
+  uint32_t count() const {
+    uint32_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<uint32_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+private:
+  uint32_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace analysis
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_ANALYSIS_BITVEC_H

@@ -1,0 +1,378 @@
+//===- ConstRange.cpp - Integer constant/range propagation --------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The abstract transfer mirrors the VM (src/vm/Vm.cpp) exactly: Add, Sub,
+// Mul and Shl wrap in two's complement, shifts mask their count with 63,
+// Div/Rem use the INT64_MIN/-1 special cases. Whenever a result interval
+// would leave int64 the value degrades to the full range rather than a
+// wrapped interval — sound, since the wrapped value is certainly in
+// [INT64_MIN, INT64_MAX].
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConstRange.h"
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+
+namespace pathfuzz {
+namespace analysis {
+
+AbsVal AbsVal::join(const AbsVal &A, const AbsVal &B) {
+  using K = Kind;
+  if (A.K == K::Bottom)
+    return B;
+  if (B.K == K::Bottom)
+    return A;
+  if (A.K == K::Top || B.K == K::Top || A.K != B.K)
+    return top();
+  switch (A.K) {
+  case K::Int:
+    return intRange(std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi));
+  case K::HeapPtr:
+    return heapPtr(std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi));
+  case K::GlobalPtr:
+    return A.GlobalIndex == B.GlobalIndex ? A : top();
+  default:
+    return top();
+  }
+}
+
+AbsVal AbsVal::widenFrom(const AbsVal &Prev, const AbsVal &Next) {
+  AbsVal J = join(Prev, Next);
+  if (Prev.K != J.K)
+    return J; // shape changed; join already is an upper bound
+  if (J.K == Kind::Int || J.K == Kind::HeapPtr) {
+    if (J.Lo < Prev.Lo)
+      J.Lo = INT64_MIN;
+    if (J.Hi > Prev.Hi)
+      J.Hi = INT64_MAX;
+  }
+  return J;
+}
+
+namespace {
+
+AbsVal fullInt() { return AbsVal::intRange(INT64_MIN, INT64_MAX); }
+
+bool bothInt(const AbsVal &L, const AbsVal &R) {
+  return L.K == AbsVal::Kind::Int && R.K == AbsVal::Kind::Int;
+}
+
+/// Interval from a set of __int128 corner values; full range on overflow.
+AbsVal fromCorners(std::initializer_list<__int128> Corners) {
+  __int128 Lo = *Corners.begin(), Hi = *Corners.begin();
+  for (__int128 C : Corners) {
+    Lo = std::min(Lo, C);
+    Hi = std::max(Hi, C);
+  }
+  if (Lo < INT64_MIN || Hi > INT64_MAX)
+    return fullInt();
+  return AbsVal::intRange(static_cast<int64_t>(Lo), static_cast<int64_t>(Hi));
+}
+
+int64_t vmDiv(int64_t L, int64_t R) {
+  return (L == INT64_MIN && R == -1) ? INT64_MIN : L / R;
+}
+
+AbsVal evalBin(mir::BinOp Op, const AbsVal &L, const AbsVal &R) {
+  using mir::BinOp;
+  // Comparisons are defined on anything the VM can hold, but we only
+  // reason about integer operands; pointer comparisons stay [0,1].
+  switch (Op) {
+  case BinOp::Eq:
+  case BinOp::Ne:
+  case BinOp::Lt:
+  case BinOp::Le:
+  case BinOp::Gt:
+  case BinOp::Ge: {
+    if (!bothInt(L, R))
+      return AbsVal::intRange(0, 1);
+    auto Decided = [](bool V) { return AbsVal::intConst(V ? 1 : 0); };
+    switch (Op) {
+    case BinOp::Lt:
+      if (L.Hi < R.Lo)
+        return Decided(true);
+      if (L.Lo >= R.Hi)
+        return Decided(false);
+      break;
+    case BinOp::Le:
+      if (L.Hi <= R.Lo)
+        return Decided(true);
+      if (L.Lo > R.Hi)
+        return Decided(false);
+      break;
+    case BinOp::Gt:
+      if (L.Lo > R.Hi)
+        return Decided(true);
+      if (L.Hi <= R.Lo)
+        return Decided(false);
+      break;
+    case BinOp::Ge:
+      if (L.Lo >= R.Hi)
+        return Decided(true);
+      if (L.Hi < R.Lo)
+        return Decided(false);
+      break;
+    case BinOp::Eq:
+      if (L.isConst() && R.isConst() && L.Lo == R.Lo)
+        return Decided(true);
+      if (L.Hi < R.Lo || R.Hi < L.Lo)
+        return Decided(false);
+      break;
+    case BinOp::Ne:
+      if (L.isConst() && R.isConst() && L.Lo == R.Lo)
+        return Decided(false);
+      if (L.Hi < R.Lo || R.Hi < L.Lo)
+        return Decided(true);
+      break;
+    default:
+      break;
+    }
+    return AbsVal::intRange(0, 1);
+  }
+  default:
+    break;
+  }
+
+  if (!bothInt(L, R))
+    return AbsVal::top();
+
+  switch (Op) {
+  case BinOp::Add:
+    return fromCorners({static_cast<__int128>(L.Lo) + R.Lo,
+                        static_cast<__int128>(L.Hi) + R.Hi});
+  case BinOp::Sub:
+    return fromCorners({static_cast<__int128>(L.Lo) - R.Hi,
+                        static_cast<__int128>(L.Hi) - R.Lo});
+  case BinOp::Mul:
+    return fromCorners({static_cast<__int128>(L.Lo) * R.Lo,
+                        static_cast<__int128>(L.Lo) * R.Hi,
+                        static_cast<__int128>(L.Hi) * R.Lo,
+                        static_cast<__int128>(L.Hi) * R.Hi});
+  case BinOp::Div: {
+    // Only when the divisor interval excludes zero; truncating division is
+    // monotone in each argument over a same-sign divisor interval, so the
+    // corner quotients bound the result.
+    if (R.Lo <= 0 && R.Hi >= 0)
+      return fullInt();
+    int64_t C[4] = {vmDiv(L.Lo, R.Lo), vmDiv(L.Lo, R.Hi), vmDiv(L.Hi, R.Lo),
+                    vmDiv(L.Hi, R.Hi)};
+    return AbsVal::intRange(*std::min_element(C, C + 4),
+                            *std::max_element(C, C + 4));
+  }
+  case BinOp::Rem:
+    if (L.isConst() && R.isConst() && R.Lo != 0)
+      return AbsVal::intConst((L.Lo == INT64_MIN && R.Lo == -1) ? 0
+                                                                : L.Lo % R.Lo);
+    // |L rem R| < |R|, sign follows the dividend.
+    if (R.Lo > 0 || R.Hi < 0) {
+      int64_t Mag = std::max(std::abs(R.Lo == INT64_MIN ? INT64_MAX : R.Lo),
+                             std::abs(R.Hi == INT64_MIN ? INT64_MAX : R.Hi)) -
+                    1;
+      int64_t Lo = L.Lo < 0 ? -Mag : 0;
+      int64_t Hi = L.Hi > 0 ? Mag : 0;
+      return AbsVal::intRange(Lo, Hi);
+    }
+    return fullInt();
+  case BinOp::And:
+  case BinOp::Or:
+  case BinOp::Xor: {
+    if (L.isConst() && R.isConst()) {
+      int64_t V = Op == BinOp::And   ? (L.Lo & R.Lo)
+                  : Op == BinOp::Or  ? (L.Lo | R.Lo)
+                                     : (L.Lo ^ R.Lo);
+      return AbsVal::intConst(V);
+    }
+    // Nonnegative bitwise results stay below the next power of two.
+    if (L.Lo >= 0 && R.Lo >= 0 && L.Hi < INT64_MAX / 2 &&
+        R.Hi < INT64_MAX / 2) {
+      int64_t Bound = 1;
+      while (Bound <= L.Hi || Bound <= R.Hi)
+        Bound <<= 1;
+      return AbsVal::intRange(0, Bound - 1);
+    }
+    return fullInt();
+  }
+  case BinOp::Shl:
+    if (L.isConst() && R.isConst()) {
+      uint64_t Sh = static_cast<uint64_t>(R.Lo) & 63;
+      return AbsVal::intConst(
+          static_cast<int64_t>(static_cast<uint64_t>(L.Lo) << Sh));
+    }
+    return fullInt();
+  case BinOp::Shr:
+    if (R.isConst()) {
+      uint64_t Sh = static_cast<uint64_t>(R.Lo) & 63;
+      // Arithmetic right shift is monotone in the dividend.
+      return AbsVal::intRange(L.Lo >> Sh, L.Hi >> Sh);
+    }
+    return fullInt();
+  default:
+    return fullInt();
+  }
+}
+
+} // namespace
+
+void applyInstr(const mir::Function &F, const mir::Instr &I, AbsEnv &Env) {
+  if (!Env.Feasible)
+    return;
+  using mir::Opcode;
+  auto R = [&](mir::Reg Reg) -> const AbsVal & { return Env.Regs[Reg]; };
+  auto Set = [&](mir::Reg Reg, AbsVal V) { Env.Regs[Reg] = V; };
+
+  switch (I.Op) {
+  case Opcode::Const:
+    Set(I.A, AbsVal::intConst(I.Imm));
+    break;
+  case Opcode::Move:
+    Set(I.A, R(I.B));
+    break;
+  case Opcode::Bin: {
+    const AbsVal &Rhs = R(I.C);
+    if ((I.BOp == mir::BinOp::Div || I.BOp == mir::BinOp::Rem) &&
+        Rhs.isConst() && Rhs.Lo == 0) {
+      Env.Feasible = false; // the VM faults: nothing executes past here
+      return;
+    }
+    Set(I.A, evalBin(I.BOp, R(I.B), Rhs));
+    break;
+  }
+  case Opcode::BinImm:
+    if ((I.BOp == mir::BinOp::Div || I.BOp == mir::BinOp::Rem) && I.Imm == 0) {
+      Env.Feasible = false;
+      return;
+    }
+    Set(I.A, evalBin(I.BOp, R(I.B), AbsVal::intConst(I.Imm)));
+    break;
+  case Opcode::Neg: {
+    const AbsVal &V = R(I.B);
+    if (V.K == AbsVal::Kind::Int)
+      Set(I.A, fromCorners({-static_cast<__int128>(V.Lo),
+                            -static_cast<__int128>(V.Hi)}));
+    else
+      Set(I.A, AbsVal::top());
+    break;
+  }
+  case Opcode::Not: {
+    const AbsVal &V = R(I.B);
+    if (V.K == AbsVal::Kind::Int) {
+      if (V.isConst())
+        Set(I.A, AbsVal::intConst(V.Lo == 0 ? 1 : 0));
+      else if (V.Lo > 0 || V.Hi < 0)
+        Set(I.A, AbsVal::intConst(0));
+      else
+        Set(I.A, AbsVal::intRange(0, 1));
+    } else {
+      Set(I.A, AbsVal::intRange(0, 1));
+    }
+    break;
+  }
+  case Opcode::InLen:
+    Set(I.A, AbsVal::intRange(0, INT64_MAX));
+    break;
+  case Opcode::InByte:
+    Set(I.A, AbsVal::intRange(-1, 255));
+    break;
+  case Opcode::Alloc: {
+    const AbsVal &Size = R(I.B);
+    if (Size.K == AbsVal::Kind::Int)
+      Set(I.A, AbsVal::heapPtr(Size.Lo, Size.Hi));
+    else
+      Set(I.A, AbsVal::heapPtr(INT64_MIN, INT64_MAX));
+    break;
+  }
+  case Opcode::GlobalAddr:
+    Set(I.A, AbsVal::globalPtr(static_cast<uint32_t>(I.Imm)));
+    break;
+  case Opcode::Load:
+  case Opcode::Call:
+    Set(I.A, AbsVal::top());
+    break;
+  case Opcode::Store:
+  case Opcode::Free:
+  case Opcode::EdgeProbe:
+  case Opcode::BlockProbe:
+    break;
+  case Opcode::Abort:
+    Env.Feasible = false; // execution never continues past an abort
+    break;
+  case Opcode::PathAdd:
+  case Opcode::PathFlushRet:
+  case Opcode::PathFlushBack:
+    if (F.HasPathReg)
+      Set(F.PathReg, AbsVal::top());
+    break;
+  }
+}
+
+namespace {
+
+struct ConstRangeProblem {
+  using Domain = AbsEnv;
+  static constexpr Direction Dir = Direction::Forward;
+
+  const mir::Function &F;
+
+  Domain top() const { return AbsEnv::infeasible(F.NumRegs); }
+  Domain boundary() const { return AbsEnv::entry(F.NumRegs); }
+
+  bool meet(Domain &Into, const Domain &V) const {
+    if (!V.Feasible)
+      return false;
+    if (!Into.Feasible) {
+      Into = V;
+      return true;
+    }
+    bool Changed = false;
+    for (size_t R = 0; R < Into.Regs.size(); ++R) {
+      AbsVal J = AbsVal::join(Into.Regs[R], V.Regs[R]);
+      if (!(J == Into.Regs[R])) {
+        Into.Regs[R] = J;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  Domain transfer(uint32_t Block, const Domain &In) const {
+    Domain Out = In;
+    for (const mir::Instr &I : F.Blocks[Block].Instrs) {
+      applyInstr(F, I, Out);
+      if (!Out.Feasible)
+        break;
+    }
+    return Out;
+  }
+
+  void widen(Domain &Into, const Domain &V) const {
+    if (!V.Feasible)
+      return;
+    if (!Into.Feasible) {
+      Into = V;
+      return;
+    }
+    for (size_t R = 0; R < Into.Regs.size(); ++R)
+      Into.Regs[R] = AbsVal::widenFrom(Into.Regs[R], V.Regs[R]);
+  }
+};
+
+} // namespace
+
+ConstRangeResult computeConstRanges(const mir::Function &F,
+                                    const cfg::CfgView &G) {
+  ConstRangeProblem P{F};
+  DataflowResult<AbsEnv> R = solve(G, P);
+  ConstRangeResult CR;
+  CR.In = std::move(R.In);
+  CR.Out = std::move(R.Out);
+  return CR;
+}
+
+} // namespace analysis
+} // namespace pathfuzz

@@ -1,0 +1,141 @@
+//===- ConstRange.h - Integer constant/range propagation --------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Forward abstract interpretation of MIR over a small value lattice:
+//
+//            Top  (any value)
+//             |
+//   Int[lo,hi] / GlobalPtr(g) / HeapPtr[lo,hi]   (interval, pointer shapes)
+//             |
+//           Bottom (no value / unreachable)
+//
+// An environment maps every register to an AbsVal; block environments are
+// joined pointwise at CFG merges. The lattice has infinite ascending
+// chains (intervals can grow one step per loop iteration), so the solver
+// widens interval bounds to ±inf at back-edge destinations.
+//
+// Clients: the DivByZero / ConstOutOfBounds / negative-alloc lints query
+// the per-block input environments and replay instructions with
+// applyInstr; the auditor does not need ranges but shares the framework.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_ANALYSIS_CONSTRANGE_H
+#define PATHFUZZ_ANALYSIS_CONSTRANGE_H
+
+#include "cfg/Cfg.h"
+#include "mir/Mir.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace analysis {
+
+/// One abstract value.
+struct AbsVal {
+  enum class Kind : uint8_t {
+    Bottom,    ///< no value reaches here
+    Int,       ///< an integer in [Lo, Hi]
+    GlobalPtr, ///< pointer to global #GlobalIndex, offset 0
+    HeapPtr,   ///< pointer to a heap object of [Lo, Hi] cells
+    Top,       ///< anything
+  };
+
+  Kind K = Kind::Bottom;
+  int64_t Lo = 0; ///< Int: value range; HeapPtr: object size range
+  int64_t Hi = 0;
+  uint32_t GlobalIndex = 0;
+
+  static AbsVal bottom() { return {}; }
+  static AbsVal top() {
+    AbsVal V;
+    V.K = Kind::Top;
+    return V;
+  }
+  static AbsVal intRange(int64_t Lo, int64_t Hi) {
+    AbsVal V;
+    V.K = Kind::Int;
+    V.Lo = Lo;
+    V.Hi = Hi;
+    return V;
+  }
+  static AbsVal intConst(int64_t C) { return intRange(C, C); }
+  static AbsVal globalPtr(uint32_t Index) {
+    AbsVal V;
+    V.K = Kind::GlobalPtr;
+    V.GlobalIndex = Index;
+    return V;
+  }
+  static AbsVal heapPtr(int64_t SizeLo, int64_t SizeHi) {
+    AbsVal V;
+    V.K = Kind::HeapPtr;
+    V.Lo = SizeLo;
+    V.Hi = SizeHi;
+    return V;
+  }
+
+  bool isConst() const { return K == Kind::Int && Lo == Hi; }
+
+  bool operator==(const AbsVal &O) const {
+    if (K != O.K)
+      return false;
+    switch (K) {
+    case Kind::Bottom:
+    case Kind::Top:
+      return true;
+    case Kind::Int:
+    case Kind::HeapPtr:
+      return Lo == O.Lo && Hi == O.Hi;
+    case Kind::GlobalPtr:
+      return GlobalIndex == O.GlobalIndex;
+    }
+    return false;
+  }
+
+  /// Least upper bound.
+  static AbsVal join(const AbsVal &A, const AbsVal &B);
+  /// join + interval widening: bounds that grew past Prev's jump to ±inf.
+  static AbsVal widenFrom(const AbsVal &Prev, const AbsVal &Next);
+};
+
+/// Abstract register environment at one program point. An infeasible
+/// environment means no execution reaches the point.
+struct AbsEnv {
+  bool Feasible = false;
+  std::vector<AbsVal> Regs;
+
+  static AbsEnv infeasible(uint16_t NumRegs) {
+    AbsEnv E;
+    E.Regs.assign(NumRegs, AbsVal::bottom());
+    return E;
+  }
+  static AbsEnv entry(uint16_t NumRegs) {
+    AbsEnv E;
+    E.Feasible = true;
+    E.Regs.assign(NumRegs, AbsVal::top());
+    return E;
+  }
+};
+
+/// Abstractly execute one instruction against Env (in place). Public so
+/// the lint passes can replay a block from its input environment and
+/// inspect operand values at each instruction.
+void applyInstr(const mir::Function &F, const mir::Instr &I, AbsEnv &Env);
+
+/// Per-block input/output environments at the fixed point.
+struct ConstRangeResult {
+  std::vector<AbsEnv> In;
+  std::vector<AbsEnv> Out;
+};
+
+ConstRangeResult computeConstRanges(const mir::Function &F,
+                                    const cfg::CfgView &G);
+
+} // namespace analysis
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_ANALYSIS_CONSTRANGE_H

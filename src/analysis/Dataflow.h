@@ -1,0 +1,166 @@
+//===- Dataflow.h - Monotone dataflow framework over MIR --------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// A generic worklist solver for monotone dataflow problems over a function
+// CFG. An analysis supplies a Problem type describing the lattice and the
+// block transfer function:
+//
+//   struct Problem {
+//     using Domain = ...;                 // one lattice element per block
+//     static constexpr Direction Dir = Direction::Forward;  // or Backward
+//     Domain top() const;                 // identity of meet
+//     Domain boundary() const;            // entry (fwd) / exit (bwd) value
+//     // Meet Into with V; returns true if Into changed.
+//     bool meet(Domain &Into, const Domain &V) const;
+//     // Apply the block's effect to In, producing the out-flowing value.
+//     Domain transfer(uint32_t Block, const Domain &In) const;
+//     // Optional acceleration at widening points (loop heads): replace
+//     // Into with an upper bound of Into and V that forces termination.
+//     // The default meet-only behaviour is fine for finite lattices.
+//     void widen(Domain &Into, const Domain &V) const { meet(Into, V); }
+//   };
+//
+// The solver iterates to the least fixed point (greatest, for analyses
+// that phrase their lattice dually) over the *reachable* blocks; values
+// for unreachable blocks stay top(). For infinite-height lattices
+// (ConstRange) the solver widens at back-edge destinations — every cycle
+// in the CFG, reducible or not, contains a DFS back edge, so widening
+// there bounds every chain — and additionally force-widens any block
+// revisited more than MaxVisitsBeforeWiden times as a belt-and-braces
+// termination guarantee.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_ANALYSIS_DATAFLOW_H
+#define PATHFUZZ_ANALYSIS_DATAFLOW_H
+
+#include "cfg/Cfg.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace pathfuzz {
+namespace analysis {
+
+enum class Direction : uint8_t {
+  Forward,  ///< values flow along edges; In[B] = meet over preds' Out
+  Backward, ///< values flow against edges; In[B] = meet over succs' Out
+};
+
+/// Fixed-point result: the value at each block boundary.
+/// For a forward problem, In[B] is the state *before* B executes and
+/// Out[B] the state after its terminator; for a backward problem, In[B]
+/// is the state at the *end* of B (before flowing backwards through it)
+/// and Out[B] the state at its start.
+template <typename Domain> struct DataflowResult {
+  std::vector<Domain> In;
+  std::vector<Domain> Out;
+  /// Total block visits performed by the solver (stability diagnostic).
+  uint64_t NumVisits = 0;
+};
+
+/// Solve a monotone dataflow problem to fixed point over G.
+template <typename Problem>
+DataflowResult<typename Problem::Domain> solve(const cfg::CfgView &G,
+                                               const Problem &P) {
+  using Domain = typename Problem::Domain;
+  constexpr bool Fwd = Problem::Dir == Direction::Forward;
+
+  unsigned N = G.numBlocks();
+  DataflowResult<Domain> R;
+  R.In.assign(N, P.top());
+  R.Out.assign(N, P.top());
+  if (N == 0)
+    return R;
+
+  // Widening points: destinations of DFS back edges (forward) or their
+  // sources (backward) — the blocks through which every cycle re-enters.
+  std::vector<bool> WidenAt(N, false);
+  for (uint32_t EdgeIndex : G.backEdgeIndices()) {
+    const cfg::Edge &E = G.edges()[EdgeIndex];
+    WidenAt[Fwd ? E.Dst : E.Src] = true;
+  }
+
+  // Visit order: reverse postorder for forward problems, postorder for
+  // backward ones, so most edges are relaxed before their consumers.
+  std::vector<uint32_t> Order = G.topoOrder();
+  if (!Fwd)
+    std::vector<uint32_t>(Order.rbegin(), Order.rend()).swap(Order);
+
+  std::vector<bool> InQueue(N, false);
+  std::deque<uint32_t> Work;
+  for (uint32_t B : Order) {
+    Work.push_back(B);
+    InQueue[B] = true;
+  }
+
+  // Safety valve for lattices whose widen() is not aggressive enough (or
+  // absent): after this many visits a block's input is force-widened on
+  // every subsequent meet.
+  constexpr unsigned MaxVisitsBeforeWiden = 64;
+  std::vector<uint32_t> Visits(N, 0);
+
+  auto boundaryBlock = [&](uint32_t B) {
+    return Fwd ? B == 0 : G.isExitBlock(B);
+  };
+
+  while (!Work.empty()) {
+    uint32_t B = Work.front();
+    Work.pop_front();
+    InQueue[B] = false;
+    ++R.NumVisits;
+    bool ForceWiden = WidenAt[B] || ++Visits[B] > MaxVisitsBeforeWiden;
+
+    // Recompute In[B] from scratch: meet of the flow-predecessors' Out
+    // values plus the boundary value where applicable. Recomputing (rather
+    // than accumulating) keeps the result independent of visit order for
+    // non-distributive problems like range propagation.
+    Domain NewIn = P.top();
+    if (boundaryBlock(B))
+      P.meet(NewIn, P.boundary());
+    const std::vector<uint32_t> &InEdges =
+        Fwd ? G.predEdges(B) : G.succEdges(B);
+    for (uint32_t EdgeIndex : InEdges) {
+      const cfg::Edge &E = G.edges()[EdgeIndex];
+      uint32_t Nbr = Fwd ? E.Src : E.Dst;
+      if (!G.isReachable(Nbr))
+        continue;
+      P.meet(NewIn, R.Out[Nbr]);
+    }
+    if (ForceWiden) {
+      // Widen the previous In with the new one so the sequence of In
+      // values at this block forms an ascending chain the widening
+      // operator bounds.
+      Domain Widened = R.In[B];
+      P.widen(Widened, NewIn);
+      NewIn = std::move(Widened);
+    }
+
+    Domain NewOut = P.transfer(B, NewIn);
+    bool OutChanged = P.meet(R.Out[B], NewOut);
+    R.In[B] = std::move(NewIn);
+    if (!OutChanged)
+      continue;
+
+    const std::vector<uint32_t> &OutEdges =
+        Fwd ? G.succEdges(B) : G.predEdges(B);
+    for (uint32_t EdgeIndex : OutEdges) {
+      const cfg::Edge &E = G.edges()[EdgeIndex];
+      uint32_t Nbr = Fwd ? E.Dst : E.Src;
+      if (!G.isReachable(Nbr) || InQueue[Nbr])
+        continue;
+      Work.push_back(Nbr);
+      InQueue[Nbr] = true;
+    }
+  }
+  return R;
+}
+
+} // namespace analysis
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,240 @@
+//===- Dominators.cpp - (Post-)dominator trees and loop info -----------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include "cfg/Dfs.h"
+
+#include <algorithm>
+
+namespace pathfuzz {
+namespace analysis {
+
+namespace {
+
+/// Cooper-Harvey-Kennedy iteration shared by both tree directions: given
+/// the nodes in reverse postorder (root first) and each node's flow
+/// predecessors, fill Idom (pre-sized, UINT32_MAX = unknown/unreachable).
+void runChk(const std::vector<uint32_t> &Rpo,
+            const std::vector<std::vector<uint32_t>> &Preds,
+            std::vector<uint32_t> &Idom) {
+  if (Rpo.empty())
+    return;
+  std::vector<uint32_t> RpoNumber(Idom.size(), UINT32_MAX);
+  for (uint32_t I = 0; I < Rpo.size(); ++I)
+    RpoNumber[Rpo[I]] = I;
+
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RpoNumber[A] > RpoNumber[B])
+        A = Idom[A];
+      while (RpoNumber[B] > RpoNumber[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  uint32_t Root = Rpo[0];
+  Idom[Root] = Root;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : Rpo) {
+      if (B == Root)
+        continue;
+      uint32_t NewIdom = UINT32_MAX;
+      for (uint32_t P : Preds[B]) {
+        if (RpoNumber[P] == UINT32_MAX || Idom[P] == UINT32_MAX)
+          continue;
+        NewIdom = (NewIdom == UINT32_MAX) ? P : Intersect(NewIdom, P);
+      }
+      if (NewIdom != UINT32_MAX && Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// DominatorTree
+//===----------------------------------------------------------------------===//
+
+DominatorTree::DominatorTree(const cfg::CfgView &G) {
+  unsigned N = G.numBlocks();
+  Idom.assign(N, UINT32_MAX);
+  if (N == 0)
+    return;
+
+  // topoOrder() is the reversed postorder of the canonical DFS, i.e. an RPO
+  // of the full graph restricted to reachable blocks — exactly the
+  // iteration order CHK wants.
+  std::vector<std::vector<uint32_t>> Preds(N);
+  for (uint32_t B = 0; B < N; ++B)
+    for (uint32_t EdgeIndex : G.predEdges(B)) {
+      uint32_t P = G.edges()[EdgeIndex].Src;
+      if (G.isReachable(P))
+        Preds[B].push_back(P);
+    }
+  runChk(G.topoOrder(), Preds, Idom);
+}
+
+bool DominatorTree::dominates(uint32_t A, uint32_t B) const {
+  if (B >= Idom.size() || Idom[B] == UINT32_MAX)
+    return false;
+  uint32_t Cur = B;
+  for (;;) {
+    if (Cur == A)
+      return true;
+    uint32_t Up = Idom[Cur];
+    if (Up == Cur)
+      return false; // reached the entry
+    Cur = Up;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// PostDominatorTree
+//===----------------------------------------------------------------------===//
+
+PostDominatorTree::PostDominatorTree(const cfg::CfgView &G) {
+  unsigned N = G.numBlocks();
+  Ipdom.assign(N, UINT32_MAX);
+  if (N == 0)
+    return;
+
+  // Reverse graph over {blocks, virtual exit = N}: each forward edge Src->
+  // Dst becomes Dst->Src, and the virtual exit points at every reachable
+  // Ret block. Only forward-reachable blocks participate.
+  uint32_t ExitNode = N;
+  std::vector<std::vector<uint32_t>> Out(N + 1);
+  std::vector<uint32_t> EdgeDst;
+  auto addRevEdge = [&](uint32_t From, uint32_t To) {
+    Out[From].push_back(static_cast<uint32_t>(EdgeDst.size()));
+    EdgeDst.push_back(To);
+  };
+  for (uint32_t B = 0; B < N; ++B) {
+    if (!G.isReachable(B))
+      continue;
+    if (G.isExitBlock(B))
+      addRevEdge(ExitNode, B);
+    for (uint32_t EdgeIndex : G.succEdges(B))
+      addRevEdge(G.edges()[EdgeIndex].Dst, B);
+  }
+
+  cfg::DfsResult R = cfg::depthFirstWalk(N + 1, ExitNode, Out, EdgeDst);
+  std::vector<uint32_t> Rpo(R.PostOrder.rbegin(), R.PostOrder.rend());
+
+  // Flow predecessors in the reverse graph = forward successors, plus the
+  // virtual exit for Ret blocks.
+  std::vector<std::vector<uint32_t>> Preds(N + 1);
+  for (uint32_t B = 0; B < N; ++B) {
+    if (!G.isReachable(B))
+      continue;
+    if (G.isExitBlock(B))
+      Preds[B].push_back(ExitNode);
+    for (uint32_t EdgeIndex : G.succEdges(B))
+      Preds[B].push_back(G.edges()[EdgeIndex].Dst);
+  }
+
+  std::vector<uint32_t> IdomExt(N + 1, UINT32_MAX);
+  runChk(Rpo, Preds, IdomExt);
+
+  for (uint32_t B = 0; B < N; ++B) {
+    if (IdomExt[B] == UINT32_MAX)
+      continue;
+    Ipdom[B] = IdomExt[B] == ExitNode ? VirtualExit : IdomExt[B];
+  }
+}
+
+bool PostDominatorTree::postDominates(uint32_t A, uint32_t B) const {
+  if (A == VirtualExit)
+    return B >= Ipdom.size() ? false : Ipdom[B] != UINT32_MAX;
+  if (B == VirtualExit)
+    return A == VirtualExit;
+  if (B >= Ipdom.size() || Ipdom[B] == UINT32_MAX)
+    return false;
+  uint32_t Cur = B;
+  for (;;) {
+    if (Cur == A)
+      return true;
+    if (Cur == VirtualExit)
+      return false;
+    Cur = Ipdom[Cur];
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// LoopInfo
+//===----------------------------------------------------------------------===//
+
+LoopInfo LoopInfo::compute(const cfg::CfgView &G) {
+  LoopInfo LI;
+  unsigned N = G.numBlocks();
+  LI.InnermostHeader.assign(N, UINT32_MAX);
+
+  // Collect natural loops: for each back edge Latch->Header, the loop body
+  // is Header plus everything that reaches Latch without going through
+  // Header (reverse flood fill).
+  struct Loop {
+    uint32_t Header;
+    std::vector<uint32_t> Blocks;
+  };
+  std::vector<Loop> Loops;
+
+  for (uint32_t EdgeIndex : G.backEdgeIndices()) {
+    const cfg::Edge &E = G.edges()[EdgeIndex];
+    uint32_t Header = E.Dst;
+    uint32_t Latch = E.Src;
+
+    std::vector<bool> InLoop(N, false);
+    InLoop[Header] = true;
+    std::vector<uint32_t> Work;
+    if (!InLoop[Latch]) {
+      InLoop[Latch] = true;
+      Work.push_back(Latch);
+    }
+    while (!Work.empty()) {
+      uint32_t B = Work.back();
+      Work.pop_back();
+      for (uint32_t PredEdge : G.predEdges(B)) {
+        uint32_t P = G.edges()[PredEdge].Src;
+        if (!G.isReachable(P) || InLoop[P])
+          continue;
+        InLoop[P] = true;
+        Work.push_back(P);
+      }
+    }
+
+    Loop L;
+    L.Header = Header;
+    for (uint32_t B = 0; B < N; ++B)
+      if (InLoop[B])
+        L.Blocks.push_back(B);
+    Loops.push_back(std::move(L));
+  }
+
+  // Larger loops first; smaller (inner) loops overwrite, leaving the
+  // innermost header for each block.
+  std::sort(Loops.begin(), Loops.end(), [](const Loop &A, const Loop &B) {
+    return A.Blocks.size() > B.Blocks.size();
+  });
+  for (const Loop &L : Loops)
+    for (uint32_t B : L.Blocks)
+      LI.InnermostHeader[B] = L.Header;
+
+  for (const Loop &L : Loops)
+    LI.Headers.push_back(L.Header);
+  std::sort(LI.Headers.begin(), LI.Headers.end());
+  LI.Headers.erase(std::unique(LI.Headers.begin(), LI.Headers.end()),
+                   LI.Headers.end());
+  return LI;
+}
+
+} // namespace analysis
+} // namespace pathfuzz

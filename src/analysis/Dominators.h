@@ -1,0 +1,86 @@
+//===- Dominators.h - (Post-)dominator trees and loop info ------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Dominator and post-dominator trees over a CfgView, computed with the
+// Cooper-Harvey-Kennedy iterative algorithm, plus the natural-loop summary.
+// These used to live in src/cfg; they moved here with the rest of the
+// analyses so src/cfg stays a pure graph view and there is exactly one
+// dominance implementation for the planner, the auditor and the lints.
+//
+// The post-dominator tree is dominance on the reverse graph rooted at a
+// virtual exit node that every Ret block feeds — the same EXIT convention
+// the Ball-Larus DAG uses, so "post-dominates" means the same thing to the
+// auditor as to BLDag.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_ANALYSIS_DOMINATORS_H
+#define PATHFUZZ_ANALYSIS_DOMINATORS_H
+
+#include "cfg/Cfg.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace analysis {
+
+/// Dominator tree over the reachable blocks of a function.
+class DominatorTree {
+public:
+  explicit DominatorTree(const cfg::CfgView &G);
+
+  /// Immediate dominator of a block; the entry block's idom is itself.
+  /// Unreachable blocks report UINT32_MAX.
+  uint32_t idom(uint32_t Block) const { return Idom[Block]; }
+
+  /// Whether A dominates B (reflexive).
+  bool dominates(uint32_t A, uint32_t B) const;
+
+private:
+  std::vector<uint32_t> Idom;
+  std::vector<uint32_t> RpoNumber;
+};
+
+/// Post-dominator tree: dominance on the reversed CFG from a virtual exit
+/// that every Ret-terminated (reachable) block feeds. Blocks that cannot
+/// reach any exit (e.g. bodies of infinite loops) have no post-dominator
+/// information and report UINT32_MAX.
+class PostDominatorTree {
+public:
+  explicit PostDominatorTree(const cfg::CfgView &G);
+
+  /// Virtual-exit sentinel returned by ipostdom() for blocks whose only
+  /// post-dominator is the function exit itself.
+  static constexpr uint32_t VirtualExit = UINT32_MAX - 1;
+
+  /// Immediate post-dominator of a block: another block, VirtualExit, or
+  /// UINT32_MAX when the block cannot reach an exit.
+  uint32_t ipostdom(uint32_t Block) const { return Ipdom[Block]; }
+
+  /// Whether A post-dominates B (reflexive). The virtual exit
+  /// post-dominates every block that reaches an exit.
+  bool postDominates(uint32_t A, uint32_t B) const;
+
+private:
+  std::vector<uint32_t> Ipdom;
+};
+
+/// Natural-loop summary derived from back edges.
+struct LoopInfo {
+  /// Loop header block indices (deduplicated, ascending).
+  std::vector<uint32_t> Headers;
+  /// For each block, the innermost loop header it belongs to, or
+  /// UINT32_MAX if it is not in any loop.
+  std::vector<uint32_t> InnermostHeader;
+
+  static LoopInfo compute(const cfg::CfgView &G);
+};
+
+} // namespace analysis
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,74 @@
+//===- Liveness.cpp - Register liveness over MIR ------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "analysis/Dataflow.h"
+#include "analysis/UseDef.h"
+
+namespace pathfuzz {
+namespace analysis {
+
+namespace {
+
+struct LivenessProblem {
+  using Domain = BitVec;
+  static constexpr Direction Dir = Direction::Backward;
+
+  const mir::Function &F;
+  const cfg::CfgView &G;
+  /// Per block: registers read before any write (upward-exposed uses) and
+  /// registers written anywhere in the block.
+  std::vector<BitVec> Use, Kill;
+
+  LivenessProblem(const mir::Function &F, const cfg::CfgView &G) : F(F), G(G) {
+    unsigned N = F.numBlocks();
+    Use.assign(N, BitVec(F.NumRegs));
+    Kill.assign(N, BitVec(F.NumRegs));
+    for (uint32_t B = 0; B < N; ++B) {
+      for (const mir::Instr &I : F.Blocks[B].Instrs) {
+        forEachUse(F, I, [&](mir::Reg R) {
+          if (!Kill[B].test(R))
+            Use[B].set(R);
+        });
+        forEachDef(F, I, [&](mir::Reg R) { Kill[B].set(R); });
+      }
+      forEachTermUse(F.Blocks[B].Term, [&](mir::Reg R) {
+        if (!Kill[B].test(R))
+          Use[B].set(R);
+      });
+    }
+  }
+
+  Domain top() const { return BitVec(F.NumRegs); }
+  /// Nothing is live after a return.
+  Domain boundary() const { return BitVec(F.NumRegs); }
+  bool meet(Domain &Into, const Domain &V) const { return Into.unionWith(V); }
+  Domain transfer(uint32_t Block, const Domain &In) const {
+    // LiveIn = Use  ∪ (LiveOut \ Kill); In here is the block's LiveOut.
+    BitVec Out(F.NumRegs);
+    for (uint32_t R = 0; R < F.NumRegs; ++R)
+      if (Use[Block].test(R) || (In.test(R) && !Kill[Block].test(R)))
+        Out.set(R);
+    return Out;
+  }
+  void widen(Domain &Into, const Domain &V) const { meet(Into, V); }
+};
+
+} // namespace
+
+LivenessResult computeLiveness(const mir::Function &F, const cfg::CfgView &G) {
+  LivenessProblem P(F, G);
+  DataflowResult<BitVec> R = solve(G, P);
+  LivenessResult L;
+  // Backward problem: solver In = value at block end, Out = at block start.
+  L.LiveOut = std::move(R.In);
+  L.LiveIn = std::move(R.Out);
+  return L;
+}
+
+} // namespace analysis
+} // namespace pathfuzz

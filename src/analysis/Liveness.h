@@ -1,0 +1,40 @@
+//===- Liveness.h - Register liveness over MIR ------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Classic backward may-analysis: a register is live at a point if some path
+// from there reads it before writing it. Built on the generic worklist
+// solver; the per-block Use/Kill summaries come from analysis::forEachUse /
+// forEachDef, so probe reads of the path register are accounted for.
+//
+// The dead-store lint walks blocks backward from LiveOut with the same
+// gen/kill rules to find writes that nothing reads.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_ANALYSIS_LIVENESS_H
+#define PATHFUZZ_ANALYSIS_LIVENESS_H
+
+#include "analysis/BitVec.h"
+#include "cfg/Cfg.h"
+#include "mir/Mir.h"
+
+#include <vector>
+
+namespace pathfuzz {
+namespace analysis {
+
+/// Per-block live register sets (bit I = register I).
+struct LivenessResult {
+  std::vector<BitVec> LiveIn;  ///< live at block entry
+  std::vector<BitVec> LiveOut; ///< live after the terminator
+};
+
+LivenessResult computeLiveness(const mir::Function &F, const cfg::CfgView &G);
+
+} // namespace analysis
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_ANALYSIS_LIVENESS_H

@@ -1,0 +1,133 @@
+//===- ReachingDefs.cpp - Reaching definitions over MIR -----------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReachingDefs.h"
+
+#include "analysis/Dataflow.h"
+#include "analysis/UseDef.h"
+
+namespace pathfuzz {
+namespace analysis {
+
+namespace {
+
+struct ReachingProblem {
+  using Domain = BitVec;
+  static constexpr Direction Dir = Direction::Forward;
+
+  uint32_t NumSites;
+  BitVec Boundary;
+  /// Per block: sites generated in the block (a def not overwritten later
+  /// in the same block) and, per site, whether the block kills it.
+  std::vector<BitVec> Gen;
+  /// Per block: registers fully redefined by the block (kills all other
+  /// sites of those registers).
+  std::vector<std::vector<bool>> KillReg; // [block][reg]
+  const std::vector<DefSite> *Sites;
+  uint16_t NumRegs;
+
+  Domain top() const { return BitVec(NumSites); }
+  Domain boundary() const { return Boundary; }
+  bool meet(Domain &Into, const Domain &V) const { return Into.unionWith(V); }
+  Domain transfer(uint32_t Block, const Domain &In) const {
+    BitVec Out(NumSites);
+    for (uint32_t S = 0; S < NumSites; ++S) {
+      if (In.test(S) && !KillReg[Block][(*Sites)[S].R])
+        Out.set(S);
+    }
+    Out.unionWith(Gen[Block]);
+    return Out;
+  }
+  void widen(Domain &Into, const Domain &V) const { meet(Into, V); }
+};
+
+} // namespace
+
+ReachingDefs::ReachingDefs(const mir::Function &F, const cfg::CfgView &G,
+                           ReachingDefsOptions Opts)
+    : F(F), Opts(Opts) {
+  unsigned N = F.numBlocks();
+  EntrySite.assign(F.NumRegs, UINT32_MAX);
+
+  // Entry pseudo-sites first (non-parameter registers only), then the
+  // instruction defs in program order.
+  for (mir::Reg R = F.NumParams; R < F.NumRegs; ++R) {
+    EntrySite[R] = static_cast<uint32_t>(Sites.size());
+    DefSite S;
+    S.R = R;
+    S.IsEntryPseudo = true;
+    Sites.push_back(S);
+  }
+  for (uint32_t B = 0; B < N; ++B)
+    for (uint32_t K = 0; K < F.Blocks[B].Instrs.size(); ++K) {
+      const mir::Instr &I = F.Blocks[B].Instrs[K];
+      if (!defCounts(I))
+        continue;
+      forEachDef(F, I, [&](mir::Reg R) {
+        DefSite S;
+        S.R = R;
+        S.Block = B;
+        S.InstrIndex = K;
+        Sites.push_back(S);
+      });
+    }
+
+  ReachingProblem P;
+  P.NumSites = static_cast<uint32_t>(Sites.size());
+  P.Sites = &Sites;
+  P.NumRegs = F.NumRegs;
+  P.Boundary = BitVec(P.NumSites);
+  for (mir::Reg R = 0; R < F.NumRegs; ++R)
+    if (EntrySite[R] != UINT32_MAX)
+      P.Boundary.set(EntrySite[R]);
+
+  P.Gen.assign(N, BitVec(P.NumSites));
+  P.KillReg.assign(N, std::vector<bool>(F.NumRegs, false));
+  // Map (block, instr) -> site index for Gen computation.
+  uint32_t SiteCursor = static_cast<uint32_t>(F.NumRegs - F.NumParams);
+  for (uint32_t B = 0; B < N; ++B) {
+    std::vector<uint32_t> LastSiteOfReg(F.NumRegs, UINT32_MAX);
+    for (uint32_t K = 0; K < F.Blocks[B].Instrs.size(); ++K) {
+      const mir::Instr &I = F.Blocks[B].Instrs[K];
+      if (!defCounts(I))
+        continue;
+      forEachDef(F, I, [&](mir::Reg R) {
+        LastSiteOfReg[R] = SiteCursor;
+        P.KillReg[B][R] = true;
+        ++SiteCursor;
+      });
+    }
+    for (mir::Reg R = 0; R < F.NumRegs; ++R)
+      if (LastSiteOfReg[R] != UINT32_MAX)
+        P.Gen[B].set(LastSiteOfReg[R]);
+  }
+
+  DataflowResult<BitVec> R = solve(G, P);
+  In = std::move(R.In);
+}
+
+bool ReachingDefs::mayBeUninitAt(uint32_t Block, uint32_t InstrIndex,
+                                 mir::Reg R) const {
+  if (EntrySite[R] == UINT32_MAX)
+    return false; // parameter: always initialized
+  if (!In[Block].test(EntrySite[R]))
+    return false;
+  // The pseudo-def reaches the block; check no def of R precedes the use
+  // within the block.
+  for (uint32_t K = 0; K < InstrIndex; ++K) {
+    const mir::Instr &I = F.Blocks[Block].Instrs[K];
+    if (!defCounts(I))
+      continue;
+    bool Defs = false;
+    forEachDef(F, I, [&](mir::Reg D) { Defs |= D == R; });
+    if (Defs)
+      return false;
+  }
+  return true;
+}
+
+} // namespace analysis
+} // namespace pathfuzz

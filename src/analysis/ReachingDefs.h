@@ -1,0 +1,81 @@
+//===- ReachingDefs.h - Reaching definitions over MIR -----------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Forward may-analysis over definition *sites*: which writes of each
+// register may reach a given point. Every instruction def is a site; in
+// addition each register gets one pseudo-site "uninitialized at entry"
+// (parameters excluded — they arrive initialized), which is what the
+// use-before-init lint queries: a use is flagged when the uninitialized
+// pseudo-def of its register reaches it.
+//
+// Synthetic defs (mir::Instr::Synth — the frontend's implicit zero-inits)
+// can be excluded so that `var x; use(x)` is reported even though the
+// lowering materialized `x = 0`.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_ANALYSIS_REACHINGDEFS_H
+#define PATHFUZZ_ANALYSIS_REACHINGDEFS_H
+
+#include "analysis/BitVec.h"
+#include "cfg/Cfg.h"
+#include "mir/Mir.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace analysis {
+
+/// One definition site of a register.
+struct DefSite {
+  mir::Reg R = 0;
+  uint32_t Block = 0;     ///< meaningless for entry pseudo-defs
+  uint32_t InstrIndex = 0; ///< meaningless for entry pseudo-defs
+  bool IsEntryPseudo = false; ///< "uninitialized at function entry"
+};
+
+struct ReachingDefsOptions {
+  /// Treat compiler-synthesized defs (Instr::Synth) as if they did not
+  /// define their register; the entry pseudo-def survives through them.
+  bool IgnoreSynthDefs = false;
+};
+
+class ReachingDefs {
+public:
+  ReachingDefs(const mir::Function &F, const cfg::CfgView &G,
+               ReachingDefsOptions Opts = {});
+
+  const std::vector<DefSite> &sites() const { return Sites; }
+
+  /// Def sites that may reach the entry of a block (bit = site index).
+  const BitVec &reachingIn(uint32_t Block) const { return In[Block]; }
+
+  /// Index of the "uninitialized at entry" pseudo-site for a register, or
+  /// UINT32_MAX for parameters (which have none).
+  uint32_t entryPseudoSite(mir::Reg R) const { return EntrySite[R]; }
+
+  /// Walk a block forward applying kills, and report whether the entry
+  /// pseudo-def of R still reaches just before instruction InstrIndex —
+  /// i.e. whether R may still be uninitialized at that use.
+  bool mayBeUninitAt(uint32_t Block, uint32_t InstrIndex, mir::Reg R) const;
+
+private:
+  const mir::Function &F;
+  ReachingDefsOptions Opts;
+  std::vector<DefSite> Sites;
+  std::vector<uint32_t> EntrySite; ///< per reg, UINT32_MAX if none
+  std::vector<BitVec> In;
+
+  bool defCounts(const mir::Instr &I) const {
+    return !(Opts.IgnoreSynthDefs && I.Synth);
+  }
+};
+
+} // namespace analysis
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_ANALYSIS_REACHINGDEFS_H

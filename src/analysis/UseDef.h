@@ -1,0 +1,101 @@
+//===- UseDef.h - Register use/def enumeration for MIR ----------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Per-instruction register use/def enumeration shared by liveness, reaching
+// definitions and the lint passes, so no analysis hand-rolls (and gets
+// subtly wrong) the operand roles of each opcode. Probe opcodes are handled
+// too: PathAdd and the flushes read (and PathAdd/PathFlushBack write) the
+// function's path register, which is why the callbacks take the Function.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_ANALYSIS_USEDEF_H
+#define PATHFUZZ_ANALYSIS_USEDEF_H
+
+#include "mir/Mir.h"
+
+namespace pathfuzz {
+namespace analysis {
+
+/// Invoke Fn(Reg) for every register the instruction reads.
+template <typename Callback>
+void forEachUse(const mir::Function &F, const mir::Instr &I, Callback Fn) {
+  using mir::Opcode;
+  switch (I.Op) {
+  case Opcode::Const:
+  case Opcode::InLen:
+  case Opcode::GlobalAddr:
+  case Opcode::Abort:
+  case Opcode::EdgeProbe:
+  case Opcode::BlockProbe:
+    break;
+  case Opcode::Move:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::InByte:
+  case Opcode::Alloc:
+  case Opcode::BinImm:
+    Fn(I.B);
+    break;
+  case Opcode::Bin:
+  case Opcode::Load:
+    Fn(I.B);
+    Fn(I.C);
+    break;
+  case Opcode::Call:
+    for (unsigned K = 0; K < I.NumArgs; ++K)
+      Fn(I.Args[K]);
+    break;
+  case Opcode::Store:
+    Fn(I.A);
+    Fn(I.B);
+    Fn(I.C);
+    break;
+  case Opcode::Free:
+    Fn(I.A);
+    break;
+  case Opcode::PathAdd:
+  case Opcode::PathFlushRet:
+  case Opcode::PathFlushBack:
+    if (F.HasPathReg)
+      Fn(F.PathReg);
+    break;
+  }
+}
+
+/// Invoke Fn(Reg) for every register the instruction writes.
+template <typename Callback>
+void forEachDef(const mir::Function &F, const mir::Instr &I, Callback Fn) {
+  using mir::Opcode;
+  if (I.producesValue()) {
+    Fn(I.A);
+    return;
+  }
+  // PathAdd accumulates into the path register and PathFlushBack resets it;
+  // PathFlushRet only reads it.
+  if ((I.Op == Opcode::PathAdd || I.Op == Opcode::PathFlushBack) &&
+      F.HasPathReg)
+    Fn(F.PathReg);
+}
+
+/// Invoke Fn(Reg) for every register the block's terminator reads.
+template <typename Callback>
+void forEachTermUse(const mir::Terminator &T, Callback Fn) {
+  switch (T.Kind) {
+  case mir::TermKind::Br:
+    break;
+  case mir::TermKind::CondBr:
+  case mir::TermKind::Switch:
+  case mir::TermKind::Ret:
+    Fn(T.Cond);
+    break;
+  }
+}
+
+} // namespace analysis
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_ANALYSIS_USEDEF_H

@@ -69,12 +69,9 @@ std::optional<BLDag> BLDag::build(const cfg::CfgView &G, uint64_t MaxPaths) {
   // path register's initial value is 0 in Simple placement (Val of the
   // first out-edge is always 0).
   addEdge(D.EntryNode, 0, DagEdgeKind::EntryToFirst, UINT32_MAX);
-  for (uint32_t EdgeIndex = 0; EdgeIndex < G.edges().size(); ++EdgeIndex) {
-    if (!G.isBackEdge(EdgeIndex))
-      continue;
+  for (uint32_t EdgeIndex : G.backEdgeIndices())
     addEdge(D.EntryNode, G.edges()[EdgeIndex].Dst, DagEdgeKind::EntryDummy,
             EdgeIndex);
-  }
 
   for (uint32_t B = 0; B < D.NumBlocks; ++B) {
     if (!G.isReachable(B))

@@ -6,7 +6,7 @@
 
 #include "cfg/Cfg.h"
 
-#include <algorithm>
+#include "cfg/Dfs.h"
 
 namespace pathfuzz {
 namespace cfg {
@@ -46,245 +46,26 @@ void CfgView::classifyEdges() {
   if (N == 0)
     return;
 
-  // Iterative DFS with tri-color marking; an edge to a gray node is a back
-  // edge. The DFS visits successor slots in order, so classification is
-  // deterministic across runs and platforms.
-  enum : uint8_t { White, Gray, Black };
-  std::vector<uint8_t> Color(N, White);
-  struct Frame {
-    uint32_t Block;
-    uint32_t NextSlot;
-  };
-  std::vector<Frame> Stack;
-  Stack.push_back({0, 0});
-  Color[0] = Gray;
-  Reachable[0] = true;
+  std::vector<uint32_t> EdgeDst(AllEdges.size());
+  for (uint32_t I = 0; I < AllEdges.size(); ++I)
+    EdgeDst[I] = AllEdges[I].Dst;
 
-  while (!Stack.empty()) {
-    Frame &Top = Stack.back();
-    const std::vector<uint32_t> &Out = Succ[Top.Block];
-    if (Top.NextSlot == Out.size()) {
-      Color[Top.Block] = Black;
-      Stack.pop_back();
-      continue;
-    }
-    uint32_t EdgeIndex = Out[Top.NextSlot++];
-    uint32_t Dst = AllEdges[EdgeIndex].Dst;
-    if (Color[Dst] == Gray) {
-      BackEdge[EdgeIndex] = true;
-      ++NumBackEdges;
-      continue;
-    }
-    if (Color[Dst] == White) {
-      Color[Dst] = Gray;
-      Reachable[Dst] = true;
-      Stack.push_back({Dst, 0});
-    }
-  }
+  DfsResult R = depthFirstWalk(N, 0, Succ, EdgeDst);
+  Reachable = std::move(R.Reachable);
+  BackEdge = std::move(R.BackEdge);
+  NumBackEdges = R.NumBackEdges;
+  for (uint32_t I = 0; I < BackEdge.size(); ++I)
+    if (BackEdge[I])
+      BackEdgeList.push_back(I);
 
-  // Topological order of the acyclic remainder (reachable blocks, back
-  // edges removed): DFS postorder, reversed.
-  std::vector<uint8_t> Visited(N, 0);
-  std::vector<uint32_t> Post;
-  Post.reserve(N);
-  Stack.clear();
-  Stack.push_back({0, 0});
-  Visited[0] = 1;
-  while (!Stack.empty()) {
-    Frame &Top = Stack.back();
-    const std::vector<uint32_t> &Out = Succ[Top.Block];
-    bool Descended = false;
-    while (Top.NextSlot < Out.size()) {
-      uint32_t EdgeIndex = Out[Top.NextSlot++];
-      if (BackEdge[EdgeIndex])
-        continue;
-      uint32_t Dst = AllEdges[EdgeIndex].Dst;
-      if (Visited[Dst])
-        continue;
-      Visited[Dst] = 1;
-      Stack.push_back({Dst, 0});
-      Descended = true;
-      break;
-    }
-    if (Descended)
-      continue;
-    if (Top.NextSlot == Out.size()) {
-      Post.push_back(Top.Block);
-      Stack.pop_back();
-    }
-  }
-  Topo.assign(Post.rbegin(), Post.rend());
+  // Reversed DFS postorder is simultaneously an RPO of the full graph and a
+  // topological order of the reachable blocks with back edges removed.
+  Topo.assign(R.PostOrder.rbegin(), R.PostOrder.rend());
 }
 
 bool CfgView::isCriticalEdge(uint32_t EdgeIndex) const {
   const Edge &E = AllEdges[EdgeIndex];
   return Succ[E.Src].size() > 1 && Pred[E.Dst].size() > 1;
-}
-
-//===----------------------------------------------------------------------===//
-// DominatorTree
-//===----------------------------------------------------------------------===//
-
-DominatorTree::DominatorTree(const CfgView &G) {
-  unsigned N = G.numBlocks();
-  Idom.assign(N, UINT32_MAX);
-  RpoNumber.assign(N, UINT32_MAX);
-  if (N == 0)
-    return;
-
-  // Reverse postorder over the full graph (back edges included) restricted
-  // to reachable blocks; topoOrder() already is an RPO of the DAG, and for
-  // dominators any RPO works as an iteration order, so derive one from a
-  // plain DFS postorder here.
-  std::vector<uint32_t> Rpo;
-  {
-    std::vector<uint8_t> Visited(N, 0);
-    struct Frame {
-      uint32_t Block;
-      uint32_t NextSlot;
-    };
-    std::vector<Frame> Stack;
-    std::vector<uint32_t> Post;
-    Stack.push_back({0, 0});
-    Visited[0] = 1;
-    while (!Stack.empty()) {
-      Frame &Top = Stack.back();
-      const std::vector<uint32_t> &Out = G.succEdges(Top.Block);
-      bool Descended = false;
-      while (Top.NextSlot < Out.size()) {
-        uint32_t Dst = G.edges()[Out[Top.NextSlot++]].Dst;
-        if (Visited[Dst])
-          continue;
-        Visited[Dst] = 1;
-        Stack.push_back({Dst, 0});
-        Descended = true;
-        break;
-      }
-      if (Descended)
-        continue;
-      if (Top.NextSlot == Out.size()) {
-        Post.push_back(Top.Block);
-        Stack.pop_back();
-      }
-    }
-    Rpo.assign(Post.rbegin(), Post.rend());
-  }
-  for (uint32_t I = 0; I < Rpo.size(); ++I)
-    RpoNumber[Rpo[I]] = I;
-
-  auto Intersect = [&](uint32_t A, uint32_t B) {
-    while (A != B) {
-      while (RpoNumber[A] > RpoNumber[B])
-        A = Idom[A];
-      while (RpoNumber[B] > RpoNumber[A])
-        B = Idom[B];
-    }
-    return A;
-  };
-
-  Idom[0] = 0;
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (uint32_t B : Rpo) {
-      if (B == 0)
-        continue;
-      uint32_t NewIdom = UINT32_MAX;
-      for (uint32_t EdgeIndex : G.predEdges(B)) {
-        uint32_t P = G.edges()[EdgeIndex].Src;
-        if (!G.isReachable(P) || Idom[P] == UINT32_MAX)
-          continue;
-        NewIdom = (NewIdom == UINT32_MAX) ? P : Intersect(NewIdom, P);
-      }
-      if (NewIdom != UINT32_MAX && Idom[B] != NewIdom) {
-        Idom[B] = NewIdom;
-        Changed = true;
-      }
-    }
-  }
-}
-
-bool DominatorTree::dominates(uint32_t A, uint32_t B) const {
-  if (B >= Idom.size() || Idom[B] == UINT32_MAX)
-    return false;
-  uint32_t Cur = B;
-  for (;;) {
-    if (Cur == A)
-      return true;
-    uint32_t Up = Idom[Cur];
-    if (Up == Cur)
-      return false; // reached the entry
-    Cur = Up;
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// LoopInfo
-//===----------------------------------------------------------------------===//
-
-LoopInfo LoopInfo::compute(const CfgView &G) {
-  LoopInfo LI;
-  unsigned N = G.numBlocks();
-  LI.InnermostHeader.assign(N, UINT32_MAX);
-
-  // Collect natural loops: for each back edge Latch->Header, the loop body
-  // is Header plus everything that reaches Latch without going through
-  // Header (reverse flood fill).
-  struct Loop {
-    uint32_t Header;
-    std::vector<uint32_t> Blocks;
-  };
-  std::vector<Loop> Loops;
-
-  for (uint32_t EdgeIndex = 0; EdgeIndex < G.edges().size(); ++EdgeIndex) {
-    if (!G.isBackEdge(EdgeIndex))
-      continue;
-    const Edge &E = G.edges()[EdgeIndex];
-    uint32_t Header = E.Dst;
-    uint32_t Latch = E.Src;
-
-    std::vector<bool> InLoop(N, false);
-    InLoop[Header] = true;
-    std::vector<uint32_t> Work;
-    if (!InLoop[Latch]) {
-      InLoop[Latch] = true;
-      Work.push_back(Latch);
-    }
-    while (!Work.empty()) {
-      uint32_t B = Work.back();
-      Work.pop_back();
-      for (uint32_t PredEdge : G.predEdges(B)) {
-        uint32_t P = G.edges()[PredEdge].Src;
-        if (!G.isReachable(P) || InLoop[P])
-          continue;
-        InLoop[P] = true;
-        Work.push_back(P);
-      }
-    }
-
-    Loop L;
-    L.Header = Header;
-    for (uint32_t B = 0; B < N; ++B)
-      if (InLoop[B])
-        L.Blocks.push_back(B);
-    Loops.push_back(std::move(L));
-  }
-
-  // Larger loops first; smaller (inner) loops overwrite, leaving the
-  // innermost header for each block.
-  std::sort(Loops.begin(), Loops.end(), [](const Loop &A, const Loop &B) {
-    return A.Blocks.size() > B.Blocks.size();
-  });
-  for (const Loop &L : Loops)
-    for (uint32_t B : L.Blocks)
-      LI.InnermostHeader[B] = L.Header;
-
-  for (const Loop &L : Loops)
-    LI.Headers.push_back(L.Header);
-  std::sort(LI.Headers.begin(), LI.Headers.end());
-  LI.Headers.erase(std::unique(LI.Headers.begin(), LI.Headers.end()),
-                   LI.Headers.end());
-  return LI;
 }
 
 } // namespace cfg

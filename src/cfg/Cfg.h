@@ -69,6 +69,13 @@ public:
   /// Number of back edges among reachable blocks.
   unsigned numBackEdges() const { return NumBackEdges; }
 
+  /// Indices of all back edges, in edge order. This is the canonical list
+  /// the Ball-Larus planner (BLDag::build) iterates when adding dummy
+  /// edges, so planner and auditor share one back-edge definition.
+  const std::vector<uint32_t> &backEdgeIndices() const {
+    return BackEdgeList;
+  }
+
   /// Reachable blocks in a topological order of the graph without back
   /// edges (entry first).
   const std::vector<uint32_t> &topoOrder() const { return Topo; }
@@ -90,39 +97,15 @@ private:
   std::vector<std::vector<uint32_t>> Pred;
   std::vector<bool> Reachable;
   std::vector<bool> BackEdge;
+  std::vector<uint32_t> BackEdgeList;
   std::vector<bool> ExitBlock;
   std::vector<uint32_t> Topo;
   unsigned NumBackEdges = 0;
 };
 
-/// Dominator tree over the reachable blocks of a function, computed with
-/// the Cooper-Harvey-Kennedy iterative algorithm.
-class DominatorTree {
-public:
-  explicit DominatorTree(const CfgView &G);
-
-  /// Immediate dominator of a block; the entry block's idom is itself.
-  /// Unreachable blocks report UINT32_MAX.
-  uint32_t idom(uint32_t Block) const { return Idom[Block]; }
-
-  /// Whether A dominates B (reflexive).
-  bool dominates(uint32_t A, uint32_t B) const;
-
-private:
-  std::vector<uint32_t> Idom;
-  std::vector<uint32_t> RpoNumber;
-};
-
-/// Natural-loop summary derived from back edges.
-struct LoopInfo {
-  /// Loop header block indices (deduplicated, ascending).
-  std::vector<uint32_t> Headers;
-  /// For each block, the innermost loop header it belongs to, or
-  /// UINT32_MAX if it is not in any loop.
-  std::vector<uint32_t> InnermostHeader;
-
-  static LoopInfo compute(const CfgView &G);
-};
+// Dominator trees and natural-loop info live in src/analysis/Dominators.h
+// (analysis::DominatorTree, analysis::PostDominatorTree, analysis::LoopInfo)
+// together with the rest of the dataflow analyses.
 
 } // namespace cfg
 } // namespace pathfuzz

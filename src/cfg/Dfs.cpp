@@ -1,0 +1,63 @@
+//===- Dfs.cpp - Shared deterministic graph traversal ------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Dfs.h"
+
+namespace pathfuzz {
+namespace cfg {
+
+DfsResult depthFirstWalk(uint32_t NumNodes, uint32_t Root,
+                         const std::vector<std::vector<uint32_t>> &OutEdges,
+                         const std::vector<uint32_t> &EdgeDst) {
+  DfsResult R;
+  R.Reachable.assign(NumNodes, false);
+  R.BackEdge.assign(EdgeDst.size(), false);
+  if (NumNodes == 0 || Root >= NumNodes)
+    return R;
+  R.PostOrder.reserve(NumNodes);
+
+  // Tri-color marking: an edge into a gray (on-stack) node is a back edge.
+  // Back, forward and cross edges are never descended, so the one tree walk
+  // simultaneously yields the back-edge classification and a postorder
+  // whose reverse topologically orders the back-edge-free remainder.
+  enum : uint8_t { White, Gray, Black };
+  std::vector<uint8_t> Color(NumNodes, White);
+  struct Frame {
+    uint32_t Node;
+    uint32_t NextSlot;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({Root, 0});
+  Color[Root] = Gray;
+  R.Reachable[Root] = true;
+
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    const std::vector<uint32_t> &Out = OutEdges[Top.Node];
+    if (Top.NextSlot == Out.size()) {
+      Color[Top.Node] = Black;
+      R.PostOrder.push_back(Top.Node);
+      Stack.pop_back();
+      continue;
+    }
+    uint32_t EdgeIndex = Out[Top.NextSlot++];
+    uint32_t Dst = EdgeDst[EdgeIndex];
+    if (Color[Dst] == Gray) {
+      R.BackEdge[EdgeIndex] = true;
+      ++R.NumBackEdges;
+      continue;
+    }
+    if (Color[Dst] == White) {
+      Color[Dst] = Gray;
+      R.Reachable[Dst] = true;
+      Stack.push_back({Dst, 0});
+    }
+  }
+  return R;
+}
+
+} // namespace cfg
+} // namespace pathfuzz

@@ -1,0 +1,60 @@
+//===- Dfs.h - Shared deterministic graph traversal -------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// One deterministic depth-first walk shared by every CFG consumer. The
+// Ball-Larus planner (src/bl), the instrumentation auditor
+// (src/instrument/Audit) and the dataflow analyses (src/analysis) all
+// depend on agreeing about which edges are back edges and what the
+// (reverse) postorder of a function is; historically each client carried
+// its own DFS, and a divergence between the planner's notion of "back
+// edge" and the auditor's would make the audit vacuous. This walk is that
+// single source of truth: CfgView::classifyEdges, the dominator and
+// post-dominator builders, and (through CfgView) BLDag::build all consume
+// it.
+//
+// The walk is expressed over an edge-indexed adjacency shape — a node's
+// out-edges as a list of edge indices plus a flat edge->destination map —
+// because that is exactly what CfgView stores, and because the
+// post-dominator builder reuses it verbatim on the reversed graph.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_CFG_DFS_H
+#define PATHFUZZ_CFG_DFS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace cfg {
+
+/// Result of one depth-first walk from a root.
+struct DfsResult {
+  /// Per node: reachable from the root.
+  std::vector<bool> Reachable;
+  /// Per edge index: targets a node on the current DFS stack (gray), the
+  /// Ball-Larus notion of a back edge. Deterministic because out-edges are
+  /// visited in slot order.
+  std::vector<bool> BackEdge;
+  /// Reachable nodes in DFS postorder. Reversing it yields an RPO of the
+  /// full graph and simultaneously a topological order of the graph with
+  /// back edges removed (a DFS never descends through a back edge, so the
+  /// two orders coincide).
+  std::vector<uint32_t> PostOrder;
+  unsigned NumBackEdges = 0;
+};
+
+/// Deterministic iterative DFS over an edge-indexed graph: OutEdges maps a
+/// node to the indices of its outgoing edges (visited in order) and
+/// EdgeDst maps an edge index to its destination node.
+DfsResult depthFirstWalk(uint32_t NumNodes, uint32_t Root,
+                         const std::vector<std::vector<uint32_t>> &OutEdges,
+                         const std::vector<uint32_t> &EdgeDst);
+
+} // namespace cfg
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_CFG_DFS_H

@@ -1,0 +1,805 @@
+//===- Audit.cpp - Static instrumentation auditor ------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Audit.h"
+
+#include "cfg/Cfg.h"
+#include "mir/Verifier.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pathfuzz {
+namespace instr {
+
+namespace {
+
+/// -1 = no programmatic override; 0/1 = forced off/on via setAuditEnabled.
+int AuditOverride = -1;
+
+std::string str(uint64_t V) { return std::to_string(V); }
+std::string str(int64_t V) { return std::to_string(V); }
+
+bool instrEq(const mir::Instr &A, const mir::Instr &B) {
+  if (A.Op != B.Op || A.BOp != B.BOp || A.A != B.A || A.B != B.B ||
+      A.C != B.C || A.Imm != B.Imm || A.Imm2 != B.Imm2 ||
+      A.Callee != B.Callee || A.NumArgs != B.NumArgs)
+    return false;
+  for (unsigned I = 0; I < A.NumArgs; ++I)
+    if (A.Args[I] != B.Args[I])
+      return false;
+  return true;
+}
+
+/// Probe identity: opcode plus its immediates (registers are implicit —
+/// path probes act on F.PathReg, coverage probes on the map).
+bool probeEq(const mir::Instr &A, const mir::Instr &B) {
+  return A.Op == B.Op && A.Imm == B.Imm && A.Imm2 == B.Imm2;
+}
+
+/// Terminator shape: everything except the successor targets, which
+/// trampolines may legally redirect.
+bool termShapeEq(const mir::Terminator &A, const mir::Terminator &B) {
+  return A.Kind == B.Kind && A.Cond == B.Cond &&
+         A.CaseValues == B.CaseValues && A.Succs.size() == B.Succs.size();
+}
+
+bool termExactEq(const mir::Terminator &A, const mir::Terminator &B) {
+  return termShapeEq(A, B) && A.Succs == B.Succs;
+}
+
+using IssueFn = std::function<void(std::string)>;
+
+/// Mode None: the pass must be the identity.
+void auditUntouched(const mir::Function &BaseF, const mir::Function &InstF,
+                    const IssueFn &Issue) {
+  if (InstF.numBlocks() != BaseF.numBlocks()) {
+    Issue("block count changed under Feedback::None");
+    return;
+  }
+  for (uint32_t B = 0; B < BaseF.numBlocks(); ++B) {
+    const mir::BasicBlock &BB = InstF.Blocks[B];
+    const mir::BasicBlock &BBase = BaseF.Blocks[B];
+    if (BB.Instrs.size() != BBase.Instrs.size() ||
+        !termExactEq(BB.Term, BBase.Term)) {
+      Issue("block " + str(uint64_t(B)) + " changed under Feedback::None");
+      continue;
+    }
+    for (size_t I = 0; I < BB.Instrs.size(); ++I)
+      if (!instrEq(BB.Instrs[I], BBase.Instrs[I]))
+        Issue("block " + str(uint64_t(B)) + " instruction " + str(uint64_t(I)) +
+              " changed under Feedback::None");
+  }
+}
+
+/// EdgeClassic: exactly one BlockProbe prepended to EVERY block, location
+/// ID inside the configured map; everything else untouched.
+void auditClassic(const mir::Function &BaseF, const mir::Function &InstF,
+                  uint32_t MapSizeLog2, const IssueFn &Issue) {
+  if (InstF.numBlocks() != BaseF.numBlocks()) {
+    Issue("classic probes must not add blocks");
+    return;
+  }
+  const int64_t MapSize = int64_t(1) << MapSizeLog2;
+  for (uint32_t B = 0; B < BaseF.numBlocks(); ++B) {
+    const mir::BasicBlock &BB = InstF.Blocks[B];
+    const mir::BasicBlock &BBase = BaseF.Blocks[B];
+    std::string Where = "block " + str(uint64_t(B)) + ": ";
+    if (BB.Instrs.empty() || BB.Instrs[0].Op != mir::Opcode::BlockProbe) {
+      Issue(Where + "missing leading block probe");
+      continue;
+    }
+    if (BB.Instrs[0].Imm < 0 || BB.Instrs[0].Imm >= MapSize)
+      Issue(Where + "block probe location " + str(BB.Instrs[0].Imm) +
+            " outside the " + str(MapSize) + "-entry map");
+    if (BB.Instrs.size() != BBase.Instrs.size() + 1 ||
+        !termExactEq(BB.Term, BBase.Term)) {
+      Issue(Where + "original code altered");
+      continue;
+    }
+    for (size_t I = 0; I < BBase.Instrs.size(); ++I)
+      if (!instrEq(BB.Instrs[I + 1], BBase.Instrs[I]))
+        Issue(Where + "original instruction " + str(uint64_t(I)) + " altered");
+  }
+}
+
+/// EdgePrecise (also the Path-mode overflow fallback): all critical edges
+/// split, exactly one EdgeProbe prepended per reachable block, unreachable
+/// blocks untouched, original code preserved. Collects the probe IDs for
+/// the module-wide uniqueness/density check.
+void auditEdgePrecise(const mir::Function &BaseF, const mir::Function &InstF,
+                      const FunctionInstrInfo &Info,
+                      std::vector<int64_t> &EdgeIds, const IssueFn &Issue) {
+  const uint32_t NB = BaseF.numBlocks();
+  if (InstF.numBlocks() < NB) {
+    Issue("instrumented function lost blocks");
+    return;
+  }
+  cfg::CfgView BG(BaseF);
+  cfg::CfgView IG(InstF);
+
+  // The pcguard discipline: no critical edge may survive the pass.
+  for (uint32_t E = 0; E < IG.edges().size(); ++E)
+    if (IG.isCriticalEdge(E))
+      Issue("critical edge " + str(uint64_t(IG.edges()[E].Src)) + "->" +
+            str(uint64_t(IG.edges()[E].Dst)) + " was not split");
+
+  uint32_t FoundProbes = 0, FoundSplits = InstF.numBlocks() - NB;
+  std::vector<bool> TrampUsed(FoundSplits, false);
+
+  for (uint32_t B = 0; B < NB; ++B) {
+    const mir::BasicBlock &BB = InstF.Blocks[B];
+    const mir::BasicBlock &BBase = BaseF.Blocks[B];
+    std::string Where = "block " + str(uint64_t(B)) + ": ";
+
+    size_t Lead = 0;
+    while (Lead < BB.Instrs.size() && BB.Instrs[Lead].isProbe())
+      ++Lead;
+    const size_t WantLead = IG.isReachable(B) ? 1 : 0;
+    if (Lead != WantLead) {
+      Issue(Where + "expected " + str(uint64_t(WantLead)) +
+            " leading probe(s), found " + str(uint64_t(Lead)));
+    } else if (WantLead == 1) {
+      if (BB.Instrs[0].Op != mir::Opcode::EdgeProbe)
+        Issue(Where + "leading probe is not an edge probe");
+      else
+        EdgeIds.push_back(BB.Instrs[0].Imm);
+    }
+    FoundProbes += static_cast<uint32_t>(Lead);
+
+    if (BB.Instrs.size() - Lead != BBase.Instrs.size()) {
+      Issue(Where + "original instruction sequence altered");
+    } else {
+      for (size_t I = 0; I < BBase.Instrs.size(); ++I) {
+        const mir::Instr &Got = BB.Instrs[Lead + I];
+        if (Got.isProbe() || !instrEq(Got, BBase.Instrs[I])) {
+          Issue(Where + "original instruction " + str(uint64_t(I)) +
+                " altered");
+          break;
+        }
+      }
+    }
+
+    if (!termShapeEq(BB.Term, BBase.Term)) {
+      Issue(Where + "terminator shape changed");
+      continue;
+    }
+    for (size_t S = 0; S < BBase.Term.Succs.size(); ++S) {
+      const uint32_t D = BBase.Term.Succs[S];
+      const uint32_t D2 = BB.Term.Succs[S];
+      const bool Critical = BG.succEdges(B).size() > 1 &&
+                            BG.predEdges(D).size() > 1;
+      std::string EdgeName = "edge " + str(uint64_t(B)) + "->" +
+                             str(uint64_t(D)) + ": ";
+      if (!Critical) {
+        if (D2 != D)
+          Issue(EdgeName + "redirected although not critical");
+        continue;
+      }
+      if (D2 < NB || D2 >= InstF.numBlocks()) {
+        Issue(EdgeName + "critical edge not routed through a trampoline");
+        continue;
+      }
+      if (TrampUsed[D2 - NB]) {
+        Issue(EdgeName + "trampoline block shared between edges");
+        continue;
+      }
+      TrampUsed[D2 - NB] = true;
+      const mir::BasicBlock &TB = InstF.Blocks[D2];
+      if (TB.Term.Kind != mir::TermKind::Br || TB.Term.Succs.size() != 1 ||
+          TB.Term.Succs[0] != D)
+        Issue(EdgeName + "trampoline does not branch straight to the "
+                         "original target");
+      const size_t WantTrampProbes = IG.isReachable(D2) ? 1 : 0;
+      if (TB.Instrs.size() != WantTrampProbes) {
+        Issue(EdgeName + "trampoline carries unexpected instructions");
+        continue;
+      }
+      if (WantTrampProbes == 1) {
+        if (TB.Instrs[0].Op != mir::Opcode::EdgeProbe) {
+          Issue(EdgeName + "trampoline probe is not an edge probe");
+        } else {
+          EdgeIds.push_back(TB.Instrs[0].Imm);
+          ++FoundProbes;
+        }
+      }
+    }
+  }
+  for (size_t T = 0; T < TrampUsed.size(); ++T)
+    if (!TrampUsed[T])
+      Issue("orphan trampoline block " + str(uint64_t(NB + T)));
+
+  if (FoundProbes != Info.NumProbes)
+    Issue("report claims " + str(uint64_t(Info.NumProbes)) +
+          " probes, module carries " + str(uint64_t(FoundProbes)));
+  if (FoundSplits != Info.NumSplitEdges)
+    Issue("report claims " + str(uint64_t(Info.NumSplitEdges)) +
+          " split edges, module carries " + str(uint64_t(FoundSplits)));
+}
+
+/// Path mode, non-fallback: re-derive the plan deterministically, prove it
+/// sound via auditPlan, then prove the lowering placed exactly the planned
+/// probes following placeOnEdge's single-successor / single-predecessor /
+/// trampoline rules.
+void auditPathFunction(const mir::Function &BaseF, const mir::Function &InstF,
+                       const FunctionInstrInfo &Info,
+                       const InstrumentOptions &Opts, const IssueFn &Issue) {
+  cfg::CfgView BG(BaseF);
+  std::optional<bl::BLDag> DagOpt =
+      bl::BLDag::build(BG, Opts.MaxPathsPerFunction);
+  if (!DagOpt) {
+    Issue("path count overflows the cap but the report says the function "
+          "was path-instrumented");
+    return;
+  }
+  bl::BLDag Dag = std::move(*DagOpt);
+  bl::PathProbePlan Plan = Dag.makePlan(Opts.Placement);
+
+  AuditResult PlanAudit = auditPlan(BG, Dag, Plan, Opts.Placement);
+  for (std::string &S : PlanAudit.Issues)
+    Issue("plan: " + std::move(S));
+
+  if (Info.NumPaths != Plan.NumPaths)
+    Issue("report path count " + str(Info.NumPaths) +
+          " disagrees with the canonical plan's " + str(Plan.NumPaths));
+  if (!InstF.HasPathReg) {
+    Issue("path-instrumented function has no path register");
+    return;
+  }
+  if (InstF.NumRegs != BaseF.NumRegs + 1 || InstF.PathReg != BaseF.NumRegs)
+    Issue("path register must be the one freshly appended register");
+  if (InstF.PathRegInit != Plan.EntryInit)
+    Issue("path register init " + str(InstF.PathRegInit) +
+          " != planned entry value " + str(Plan.EntryInit));
+
+  // Expected placement, by replaying the placement *rules* (not the
+  // insertion order) over the pristine CFG.
+  const uint32_t NB = BaseF.numBlocks();
+  std::map<uint32_t, mir::Instr> WantPrefix, WantSuffix, WantRet;
+  std::map<std::pair<uint32_t, uint32_t>, mir::Instr> WantTramp;
+  uint32_t WantProbes = 0;
+
+  auto PlaceExpected = [&](uint32_t CfgEdgeIndex, const mir::Instr &P) {
+    if (CfgEdgeIndex >= BG.edges().size()) {
+      Issue("plan references CFG edge #" + str(uint64_t(CfgEdgeIndex)) +
+            " which does not exist");
+      return;
+    }
+    const cfg::Edge &E = BG.edges()[CfgEdgeIndex];
+    ++WantProbes;
+    if (BG.succEdges(E.Src).size() == 1) {
+      // Unconditional edge: appended to the source block.
+      WantSuffix.emplace(E.Src, P);
+    } else if (BG.predEdges(E.Dst).size() == 1 && E.Dst != 0) {
+      // Sole way into Dst: prepended to the destination block.
+      WantPrefix.emplace(E.Dst, P);
+    } else {
+      WantTramp[{E.Src, E.Slot}] = P;
+    }
+  };
+  for (const auto &EI : Plan.EdgeIncs) {
+    mir::Instr P;
+    P.Op = mir::Opcode::PathAdd;
+    P.Imm = EI.Inc;
+    PlaceExpected(EI.CfgEdgeIndex, P);
+  }
+  for (const auto &BP : Plan.BackProbes) {
+    mir::Instr P;
+    P.Op = mir::Opcode::PathFlushBack;
+    P.Imm = BP.FlushAdd;
+    P.Imm2 = BP.Reset;
+    PlaceExpected(BP.CfgEdgeIndex, P);
+  }
+  for (const auto &RP : Plan.RetProbes) {
+    mir::Instr P;
+    P.Op = mir::Opcode::PathFlushRet;
+    P.Imm = RP.FlushAdd;
+    WantRet.emplace(RP.Block, P);
+    ++WantProbes;
+  }
+
+  if (InstF.numBlocks() != NB + WantTramp.size())
+    Issue("expected " + str(uint64_t(WantTramp.size())) +
+          " trampoline blocks, found " +
+          str(uint64_t(InstF.numBlocks() - NB)));
+  if (Info.NumSplitEdges != WantTramp.size())
+    Issue("report split-edge count disagrees with the plan");
+  if (Info.NumProbes != WantProbes)
+    Issue("report claims " + str(uint64_t(Info.NumProbes)) +
+          " probes, plan requires " + str(uint64_t(WantProbes)));
+
+  std::vector<bool> TrampUsed(
+      InstF.numBlocks() > NB ? InstF.numBlocks() - NB : 0, false);
+  uint32_t FoundProbes = 0;
+
+  for (uint32_t B = 0; B < NB && B < InstF.numBlocks(); ++B) {
+    const mir::BasicBlock &BB = InstF.Blocks[B];
+    const mir::BasicBlock &BBase = BaseF.Blocks[B];
+    std::string Where = "block " + str(uint64_t(B)) + ": ";
+
+    // The block must be exactly [planned prefix probe?] + original code +
+    // [planned suffix probe?]. A block never hosts both an out-edge
+    // increment and a return flush (the former needs a successor, the
+    // latter a Ret terminator), so the suffix is at most one probe.
+    // Comparing against the fully materialized expectation — instead of
+    // scanning for probe fringes — stays unambiguous even when the
+    // original block had no instructions at all.
+    std::vector<const mir::Instr *> Expect;
+    auto PIt = WantPrefix.find(B);
+    if (PIt != WantPrefix.end())
+      Expect.push_back(&PIt->second);
+    for (const mir::Instr &I : BBase.Instrs)
+      Expect.push_back(&I);
+    auto SIt = WantSuffix.find(B);
+    auto RIt = WantRet.find(B);
+    if (SIt != WantSuffix.end())
+      Expect.push_back(&SIt->second);
+    if (RIt != WantRet.end())
+      Expect.push_back(&RIt->second);
+
+    if (BB.Instrs.size() != Expect.size()) {
+      Issue(Where + "expected " + str(uint64_t(Expect.size())) +
+            " instructions (incl. planned probes), found " +
+            str(uint64_t(BB.Instrs.size())));
+    } else {
+      for (size_t I = 0; I < Expect.size(); ++I) {
+        const mir::Instr &Got = BB.Instrs[I];
+        const mir::Instr &Want = *Expect[I];
+        bool Same = Want.isProbe() ? Got.isProbe() && probeEq(Got, Want)
+                                   : instrEq(Got, Want);
+        if (!Same) {
+          Issue(Where + "instruction " + str(uint64_t(I)) +
+                (Want.isProbe() ? " is not the planned probe"
+                                : " altered by instrumentation"));
+          break;
+        }
+      }
+    }
+    for (const mir::Instr &I : BB.Instrs)
+      if (I.isProbe())
+        ++FoundProbes;
+
+    if (!termShapeEq(BB.Term, BBase.Term)) {
+      Issue(Where + "terminator shape changed");
+      continue;
+    }
+    for (size_t S = 0; S < BBase.Term.Succs.size(); ++S) {
+      const uint32_t D = BBase.Term.Succs[S];
+      const uint32_t D2 = BB.Term.Succs[S];
+      std::string EdgeName = "edge " + str(uint64_t(B)) + "[slot " +
+                             str(uint64_t(S)) + "]->" + str(uint64_t(D)) +
+                             ": ";
+      auto TIt = WantTramp.find({B, static_cast<uint32_t>(S)});
+      if (TIt == WantTramp.end()) {
+        if (D2 != D)
+          Issue(EdgeName + "redirected without a planned trampoline");
+        continue;
+      }
+      if (D2 < NB || D2 >= InstF.numBlocks()) {
+        Issue(EdgeName + "planned trampoline missing");
+        continue;
+      }
+      if (TrampUsed[D2 - NB]) {
+        Issue(EdgeName + "trampoline block shared between edges");
+        continue;
+      }
+      TrampUsed[D2 - NB] = true;
+      const mir::BasicBlock &TB = InstF.Blocks[D2];
+      if (TB.Term.Kind != mir::TermKind::Br || TB.Term.Succs.size() != 1 ||
+          TB.Term.Succs[0] != D)
+        Issue(EdgeName + "trampoline does not branch straight to the "
+                         "original target");
+      if (TB.Instrs.size() != 1 || !probeEq(TB.Instrs[0], TIt->second)) {
+        Issue(EdgeName + "trampoline probe wrong or missing");
+        continue;
+      }
+      ++FoundProbes;
+    }
+  }
+  for (size_t T = 0; T < TrampUsed.size(); ++T)
+    if (!TrampUsed[T])
+      Issue("orphan trampoline block " + str(uint64_t(NB + T)));
+
+  if (FoundProbes != WantProbes)
+    Issue("plan requires " + str(uint64_t(WantProbes)) +
+          " probes, module carries " + str(uint64_t(FoundProbes)));
+}
+
+} // namespace
+
+std::string AuditResult::message() const {
+  std::string Msg;
+  for (const std::string &S : Issues) {
+    if (!Msg.empty())
+      Msg += "; ";
+    Msg += S;
+  }
+  return Msg;
+}
+
+AuditResult auditPlan(const cfg::CfgView &G, const bl::BLDag &Dag,
+                      const bl::PathProbePlan &Plan, bl::PlacementMode Mode) {
+  AuditResult R;
+  auto Issue = [&R](std::string S) { R.Issues.push_back(std::move(S)); };
+
+  const std::vector<bl::DagEdge> &Edges = Dag.edges();
+  const uint32_t Entry = Dag.entryNode();
+  const uint32_t Exit = Dag.exitNode();
+  uint32_t NumNodes = std::max(Entry, Exit) + 1;
+  for (const bl::DagEdge &E : Edges)
+    NumNodes = std::max(NumNodes, std::max(E.Src, E.Dst) + 1);
+
+  // ---- Acyclicity + canonical-Val check (Kahn, then reverse topo) ------
+  // Recompute NumPaths bottom-up ourselves; every edge's Val must be the
+  // prefix sum of its younger siblings' path counts. That invariant is
+  // what makes Val-sums injective onto [0, NumPaths): paths diverging at
+  // different out-edges of a node occupy disjoint ID intervals.
+  std::vector<uint32_t> InDeg(NumNodes, 0);
+  std::vector<bool> Active(NumNodes, false);
+  Active[Entry] = Active[Exit] = true;
+  for (const bl::DagEdge &E : Edges) {
+    ++InDeg[E.Dst];
+    Active[E.Src] = Active[E.Dst] = true;
+  }
+  size_t NumActive = 0;
+  for (uint32_t N = 0; N < NumNodes; ++N)
+    NumActive += Active[N] ? 1 : 0;
+
+  std::deque<uint32_t> Q;
+  for (uint32_t N = 0; N < NumNodes; ++N)
+    if (Active[N] && InDeg[N] == 0)
+      Q.push_back(N);
+  std::vector<uint32_t> Topo;
+  Topo.reserve(NumActive);
+  while (!Q.empty()) {
+    uint32_t N = Q.front();
+    Q.pop_front();
+    Topo.push_back(N);
+    for (uint32_t EI : Dag.outEdges(N))
+      if (--InDeg[Edges[EI].Dst] == 0)
+        Q.push_back(Edges[EI].Dst);
+  }
+  if (Topo.size() != NumActive) {
+    Issue("DAG contains a cycle");
+    return R; // path counts are meaningless; nothing below can be trusted
+  }
+
+  std::vector<uint64_t> NP(NumNodes, 0);
+  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+    const uint32_t N = *It;
+    if (N == Exit) {
+      if (!Dag.outEdges(N).empty())
+        Issue("EXIT has outgoing edges");
+      NP[N] = 1;
+    } else if (Dag.outEdges(N).empty()) {
+      // Every non-EXIT DAG node lies on some ENTRY->EXIT path: Ret blocks
+      // get RetToExit, loop tails get ExitDummy. A dead end is corruption.
+      Issue("node " + str(uint64_t(N)) + " cannot reach EXIT");
+      NP[N] = 0;
+    } else {
+      uint64_t Sum = 0;
+      for (uint32_t EI : Dag.outEdges(N)) {
+        const bl::DagEdge &E = Edges[EI];
+        if (E.Src != N) {
+          Issue("out-edge list of node " + str(uint64_t(N)) + " is corrupt");
+          continue;
+        }
+        if (E.Val != Sum)
+          Issue("edge " + str(uint64_t(E.Src)) + "->" + str(uint64_t(E.Dst)) +
+                " Val " + str(E.Val) + " is not the canonical prefix sum " +
+                str(Sum));
+        Sum += NP[E.Dst];
+      }
+      NP[N] = Sum;
+    }
+    if (NP[N] != Dag.numPathsAt(N))
+      Issue("stored path count at node " + str(uint64_t(N)) +
+            " disagrees with recomputation");
+  }
+  if (NP[Entry] != Plan.NumPaths)
+    Issue("plan NumPaths " + str(Plan.NumPaths) +
+          " != canonical path count " + str(NP[Entry]));
+  if (NP[Entry] == 0)
+    Issue("function has zero acyclic paths");
+
+  // ---- Plan completeness ----------------------------------------------
+  // Back probes <-> back edges, bijectively (the canonical back-edge list
+  // is shared with BLDag::build via CfgView::backEdgeIndices).
+  std::set<uint32_t> BackSet(G.backEdgeIndices().begin(),
+                             G.backEdgeIndices().end());
+  std::set<uint32_t> SeenBack;
+  for (const auto &BP : Plan.BackProbes) {
+    if (!BackSet.count(BP.CfgEdgeIndex))
+      Issue("flush/reset probe on CFG edge #" + str(uint64_t(BP.CfgEdgeIndex)) +
+            " which is not a back edge");
+    if (!SeenBack.insert(BP.CfgEdgeIndex).second)
+      Issue("duplicate back-edge probe on CFG edge #" +
+            str(uint64_t(BP.CfgEdgeIndex)));
+  }
+  if (SeenBack.size() != BackSet.size())
+    Issue("plan covers " + str(uint64_t(SeenBack.size())) + " of " +
+          str(uint64_t(BackSet.size())) + " back edges");
+
+  // Ret probes <-> reachable return blocks, bijectively.
+  std::set<uint32_t> RetSet;
+  for (uint32_t B = 0; B < G.numBlocks(); ++B)
+    if (G.isReachable(B) && G.isExitBlock(B))
+      RetSet.insert(B);
+  std::set<uint32_t> SeenRet;
+  for (const auto &RP : Plan.RetProbes) {
+    if (!RetSet.count(RP.Block))
+      Issue("flush probe at block " + str(uint64_t(RP.Block)) +
+            " which is not a reachable return block");
+    if (!SeenRet.insert(RP.Block).second)
+      Issue("duplicate return probe at block " + str(uint64_t(RP.Block)));
+  }
+  if (SeenRet.size() != RetSet.size())
+    Issue("plan covers " + str(uint64_t(SeenRet.size())) + " of " +
+          str(uint64_t(RetSet.size())) + " return blocks");
+
+  // Edge increments: distinct, non-trivial, on DAG real edges only.
+  std::set<uint32_t> RealCfgEdges;
+  for (const bl::DagEdge &E : Edges)
+    if (E.Kind == bl::DagEdgeKind::Real)
+      RealCfgEdges.insert(E.CfgEdgeIndex);
+  std::map<uint32_t, int64_t> IncByCfgEdge;
+  for (const auto &EI : Plan.EdgeIncs) {
+    if (!IncByCfgEdge.emplace(EI.CfgEdgeIndex, EI.Inc).second)
+      Issue("duplicate increment on CFG edge #" +
+            str(uint64_t(EI.CfgEdgeIndex)));
+    if (EI.Inc == 0)
+      Issue("no-op zero increment on CFG edge #" +
+            str(uint64_t(EI.CfgEdgeIndex)));
+    if (!RealCfgEdges.count(EI.CfgEdgeIndex))
+      Issue("increment on CFG edge #" + str(uint64_t(EI.CfgEdgeIndex)) +
+            " which is not a DAG real edge");
+  }
+
+  // ---- Potential consistency (the heart of the audit) ------------------
+  // PlanInc(e) is the constant the runtime adds to the path register when
+  // traversing e (dummy edges "add" their reset/flush constants). A single
+  // potential phi with phi(ENTRY) = phi(EXIT) = 0 and
+  //   PlanInc(e) = Val(e) + phi(src) - phi(dst)
+  // on EVERY edge makes each path's increment sum telescope to its Val sum
+  // — the canonical unique ID — covering all NumPaths paths at once.
+  std::map<uint32_t, std::pair<int64_t, int64_t>> BackByCfg; // flush, reset
+  for (const auto &BP : Plan.BackProbes)
+    BackByCfg[BP.CfgEdgeIndex] = {BP.FlushAdd, BP.Reset};
+  std::map<uint32_t, int64_t> RetByBlock;
+  for (const auto &RP : Plan.RetProbes)
+    RetByBlock[RP.Block] = RP.FlushAdd;
+
+  auto planInc = [&](const bl::DagEdge &E, bool &Ok) -> int64_t {
+    Ok = true;
+    switch (E.Kind) {
+    case bl::DagEdgeKind::EntryToFirst:
+      return Plan.EntryInit;
+    case bl::DagEdgeKind::Real: {
+      auto It = IncByCfgEdge.find(E.CfgEdgeIndex);
+      return It == IncByCfgEdge.end() ? 0 : It->second;
+    }
+    case bl::DagEdgeKind::EntryDummy: {
+      auto It = BackByCfg.find(E.CfgEdgeIndex);
+      if (It == BackByCfg.end()) {
+        Ok = false;
+        return 0;
+      }
+      return It->second.second; // a path starting at a loop head begins
+                                // with the back edge's reset constant
+    }
+    case bl::DagEdgeKind::ExitDummy: {
+      auto It = BackByCfg.find(E.CfgEdgeIndex);
+      if (It == BackByCfg.end()) {
+        Ok = false;
+        return 0;
+      }
+      return It->second.first;
+    }
+    case bl::DagEdgeKind::RetToExit: {
+      auto It = RetByBlock.find(E.Src);
+      if (It == RetByBlock.end()) {
+        Ok = false;
+        return 0;
+      }
+      return It->second;
+    }
+    }
+    Ok = false;
+    return 0;
+  };
+
+  using I128 = __int128;
+  std::vector<I128> Phi(NumNodes, 0);
+  std::vector<bool> Known(NumNodes, false);
+  Known[Entry] = true;
+  std::deque<uint32_t> Work{Entry};
+  while (!Work.empty()) {
+    const uint32_t N = Work.front();
+    Work.pop_front();
+    for (uint32_t EI : Dag.outEdges(N)) {
+      const bl::DagEdge &E = Edges[EI];
+      bool Ok = false;
+      const I128 Inc = planInc(E, Ok);
+      if (!Ok) {
+        Issue("DAG edge " + str(uint64_t(E.Src)) + "->" +
+              str(uint64_t(E.Dst)) + " has no plan constant");
+        continue;
+      }
+      const I128 Want = Phi[N] + static_cast<I128>(E.Val) - Inc;
+      if (!Known[E.Dst]) {
+        Known[E.Dst] = true;
+        Phi[E.Dst] = Want;
+        Work.push_back(E.Dst);
+      } else if (Phi[E.Dst] != Want) {
+        Issue("increment algebra violated on DAG edge " +
+              str(uint64_t(E.Src)) + "->" + str(uint64_t(E.Dst)) +
+              ": no potential reconciles Val " + str(E.Val) +
+              " with plan increment " + str(static_cast<int64_t>(Inc)));
+      }
+    }
+  }
+  if (!Known[Exit]) {
+    Issue("EXIT is unreachable from ENTRY in the DAG");
+  } else if (Phi[Exit] != 0) {
+    Issue("potential at EXIT is " + str(static_cast<int64_t>(Phi[Exit])) +
+          ", not 0: plan sums do not equal the canonical path IDs");
+  }
+  for (uint32_t N = 0; N < NumNodes; ++N)
+    if (Active[N] && !Known[N])
+      Issue("DAG node " + str(uint64_t(N)) + " is unreachable from ENTRY");
+
+  // ---- Spanning-tree chord discipline ---------------------------------
+  if (Mode == bl::PlacementMode::SpanningTree) {
+    // The zero-increment edges, plus the virtual EXIT--ENTRY edge, must
+    // connect every reachable DAG node: then the edges carrying nonzero
+    // increments are chords of a spanning tree, the Ball-Larus minimum.
+    // RetToExit edges are tree candidates too — their flush probe is
+    // mandatory either way, so the planner happily puts them on the tree
+    // with FlushAdd 0. Only the back-edge dummy pair is forced off-tree
+    // (its flush/reset constants encode path boundaries, not increments),
+    // so only those may not be needed for connectivity.
+    std::vector<uint32_t> UF(NumNodes);
+    std::iota(UF.begin(), UF.end(), 0u);
+    std::function<uint32_t(uint32_t)> Find = [&](uint32_t X) -> uint32_t {
+      while (UF[X] != X) {
+        UF[X] = UF[UF[X]];
+        X = UF[X];
+      }
+      return X;
+    };
+    auto Unite = [&](uint32_t A, uint32_t B) { UF[Find(A)] = Find(B); };
+    Unite(Exit, Entry); // the virtual edge closing every path into a cycle
+    for (const bl::DagEdge &E : Edges) {
+      if (E.Kind != bl::DagEdgeKind::Real &&
+          E.Kind != bl::DagEdgeKind::EntryToFirst &&
+          E.Kind != bl::DagEdgeKind::RetToExit)
+        continue;
+      bool Ok = false;
+      if (planInc(E, Ok) == 0 && Ok)
+        Unite(E.Src, E.Dst);
+    }
+    const uint32_t Root = Find(Entry);
+    for (uint32_t N = 0; N < NumNodes; ++N)
+      if (Known[N] && Find(N) != Root)
+        Issue("spanning-tree placement: zero-increment edges do not span "
+              "DAG node " +
+              str(uint64_t(N)) + " (a tree edge carries a probe)");
+  }
+
+  return R;
+}
+
+AuditResult auditModule(const mir::Module &Base, const mir::Module &Inst,
+                        const InstrumentReport &Report,
+                        const InstrumentOptions &Opts) {
+  AuditResult R;
+  auto Issue = [&R](std::string S) { R.Issues.push_back(std::move(S)); };
+
+  if (Report.Mode != Opts.Mode)
+    Issue("report feedback mode disagrees with the options");
+  if (Base.Funcs.size() != Inst.Funcs.size()) {
+    Issue("function count changed by instrumentation");
+    return R;
+  }
+  if (Report.PerFunction.size() != Inst.Funcs.size()) {
+    Issue("report covers " + str(uint64_t(Report.PerFunction.size())) +
+          " of " + str(uint64_t(Inst.Funcs.size())) + " functions");
+    return R;
+  }
+  if (Report.FuncKeys.size() != Inst.Funcs.size())
+    Issue("per-function key table has the wrong size");
+  if (Opts.Mode != Feedback::None && !Inst.Instrumented)
+    Issue("instrumented module does not carry the Instrumented flag");
+
+  // The extended verifier runs over the instrumented module: register
+  // bounds for the appended path register, probe placement sanity, and
+  // the probes-only-in-instrumented-modules rule.
+  mir::VerifyResult VR = mir::verifyModule(Inst);
+  if (!VR.ok())
+    Issue("verifier: " + VR.message());
+
+  std::vector<int64_t> EdgeIds; // global precise-edge IDs, for density
+  for (size_t F = 0; F < Inst.Funcs.size(); ++F) {
+    const mir::Function &BaseF = Base.Funcs[F];
+    const mir::Function &InstF = Inst.Funcs[F];
+    const FunctionInstrInfo &Info = Report.PerFunction[F];
+    const std::string Prefix = "function '" + InstF.Name + "': ";
+    auto FIssue = [&R, &Prefix](std::string S) {
+      R.Issues.push_back(Prefix + std::move(S));
+    };
+
+    switch (Opts.Mode) {
+    case Feedback::None:
+      auditUntouched(BaseF, InstF, FIssue);
+      break;
+    case Feedback::EdgeClassic:
+      auditClassic(BaseF, InstF, Opts.MapSizeLog2, FIssue);
+      break;
+    case Feedback::EdgePrecise:
+      auditEdgePrecise(BaseF, InstF, Info, EdgeIds, FIssue);
+      break;
+    case Feedback::Path:
+      if (Info.PathFallback) {
+        cfg::CfgView BG(BaseF);
+        if (bl::BLDag::build(BG, Opts.MaxPathsPerFunction))
+          FIssue("fell back to edge probes although the path count fits "
+                 "the cap");
+        auditEdgePrecise(BaseF, InstF, Info, EdgeIds, FIssue);
+      } else {
+        auditPathFunction(BaseF, InstF, Info, Opts, FIssue);
+      }
+      break;
+    }
+  }
+
+  // Precise edge IDs must be exactly [0, NumEdgeIds), each used once.
+  if (Opts.Mode == Feedback::EdgePrecise || Opts.Mode == Feedback::Path) {
+    if (EdgeIds.size() != Report.NumEdgeIds) {
+      Issue("module carries " + str(uint64_t(EdgeIds.size())) +
+            " edge probes but the report assigned " +
+            str(Report.NumEdgeIds) + " IDs");
+    } else {
+      std::sort(EdgeIds.begin(), EdgeIds.end());
+      for (size_t I = 0; I < EdgeIds.size(); ++I)
+        if (EdgeIds[I] != static_cast<int64_t>(I)) {
+          Issue("precise edge IDs are not the dense range [0, " +
+                str(Report.NumEdgeIds) + ")");
+          break;
+        }
+    }
+  }
+
+  return R;
+}
+
+bool auditEnabled() {
+  if (AuditOverride >= 0)
+    return AuditOverride != 0;
+  if (const char *Env = std::getenv("PATHFUZZ_AUDIT")) {
+    if (Env[0] == '0')
+      return false;
+    if (Env[0] == '1')
+      return true;
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+void setAuditEnabled(bool On) { AuditOverride = On ? 1 : 0; }
+
+} // namespace instr
+} // namespace pathfuzz

@@ -1,0 +1,94 @@
+//===- Audit.h - Static instrumentation auditor -----------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Proves — without enumerating paths — that instrumentation output is
+// sound. Two layers:
+//
+// auditPlan: given a function's Ball-Larus DAG and a PathProbePlan, prove
+// the plan's increment/flush/reset constants realize the canonical path
+// numbering. The argument is the potential algebra of the spanning-tree
+// optimization run in reverse:
+//
+//  1. Re-derive NumPaths bottom-up and check every DAG edge's Val is the
+//     canonical prefix sum of its successors' path counts. This is the
+//     Ball-Larus invariant that makes Val sums injective onto
+//     [0, NumPaths): paths through distinct first-divergence edges land in
+//     disjoint ID intervals. O(V+E), no enumeration.
+//  2. Map each DAG edge to the constant the plan makes it contribute to
+//     the flushed ID (EntryToFirst -> EntryInit, Real -> its EdgeInc or 0,
+//     EntryDummy -> Reset, ExitDummy -> FlushAdd, RetToExit -> FlushAdd).
+//  3. Search for a node potential phi with phi(ENTRY) = 0 such that every
+//     DAG edge e = u->v satisfies PlanInc(e) = Val(e) + phi(u) - phi(v),
+//     and phi(EXIT) = 0. A single BFS from ENTRY determines phi uniquely
+//     on a connected DAG; each edge then either confirms or refutes it.
+//     If phi exists, the plan's sum along any ENTRY->EXIT path telescopes
+//     to the Val sum — the canonical unique ID — for ALL NumPaths paths at
+//     once. If any constant is corrupted, some edge refutes phi (or
+//     phi(EXIT) != 0) and the audit fails.
+//
+//  For SpanningTree placement it additionally checks the chord discipline:
+//  the zero-increment real edges (plus the virtual EXIT--ENTRY edge) must
+//  connect every reachable DAG node, so probed edges are chords of some
+//  spanning tree, and back-edge dummies always carry their probes.
+//
+// auditModule: given the pristine module, the instrumented module and the
+// instrumentation report, re-derive each function's plan deterministically
+// and prove the lowering placed exactly the planned probes: original
+// instructions preserved in order, probes confined to block prefixes/
+// suffixes or fresh trampoline blocks, critical edges split, per-edge
+// placement following the single-successor/single-predecessor rules, and
+// constants bit-exact. Edge and classic modes get the analogous placement
+// checks. The audited module must also pass mir::verifyModule.
+//
+// strategy::BuildCache runs auditModule on every instrumented module when
+// auditing is enabled (default: debug builds; override with PATHFUZZ_AUDIT
+// = 0/1).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_INSTRUMENT_AUDIT_H
+#define PATHFUZZ_INSTRUMENT_AUDIT_H
+
+#include "bl/BallLarus.h"
+#include "instrument/Instrument.h"
+#include "mir/Mir.h"
+
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+namespace instr {
+
+/// Audit outcome; Issues is empty iff the artifact is proven sound.
+struct AuditResult {
+  std::vector<std::string> Issues;
+
+  bool ok() const { return Issues.empty(); }
+  std::string message() const;
+};
+
+/// Prove a probe plan realizes the canonical Ball-Larus numbering of Dag.
+/// G must be the CfgView the DAG was built from. Checks are O(V + E).
+AuditResult auditPlan(const cfg::CfgView &G, const bl::BLDag &Dag,
+                      const bl::PathProbePlan &Plan, bl::PlacementMode Mode);
+
+/// Prove an instrumented module is a sound lowering of Base under Opts.
+/// Base must be the pre-instrumentation module, Inst the output of
+/// instrumentModule(Base-copy, Opts), and Report its return value.
+AuditResult auditModule(const mir::Module &Base, const mir::Module &Inst,
+                        const InstrumentReport &Report,
+                        const InstrumentOptions &Opts);
+
+/// Whether BuildCache should audit each instrumented module. Defaults to
+/// on in assert-enabled builds and off in release; the PATHFUZZ_AUDIT env
+/// var (0/1) and setAuditEnabled override in that order.
+bool auditEnabled();
+void setAuditEnabled(bool On);
+
+} // namespace instr
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_INSTRUMENT_AUDIT_H

@@ -173,6 +173,10 @@ InstrumentReport instrumentModule(mir::Module &M,
     Report.FuncKeys.push_back(
         mix64(Opts.Seed ^ (0x9e3779b97f4a7c15ULL * (I + 1))));
 
+  // Mark before inserting probes: the verifier rejects probe opcodes in
+  // modules that never passed through this function.
+  M.Instrumented = true;
+
   uint32_t NextEdgeId = 0;
   Rng ClassicRng(Opts.Seed ^ 0xc1a551cULL);
 

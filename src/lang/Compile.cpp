@@ -128,6 +128,9 @@ private:
       return; // a redefinition diagnosed earlier
 
     FB.emplace(F.Name, static_cast<uint16_t>(F.Params.size()));
+    FB->function().DeclLine = F.Loc.Line;
+    FB->function().DeclCol = F.Loc.Col;
+    FB->function().ParamNames = F.Params;
     Scopes.clear();
     Scopes.emplace_back();
     Loops.clear();
@@ -177,6 +180,7 @@ private:
 
   void lowerStmt(const Stmt &S) {
     ensureOpenBlock();
+    FB->setCurLoc(S.Loc.Line, S.Loc.Col);
     switch (S.Kind) {
     case StmtKind::Block: {
       Scopes.emplace_back();
@@ -189,9 +193,15 @@ private:
       mir::Reg V = FB->newReg();
       if (S.A) {
         mir::Reg R = lowerExpr(*S.A);
+        FB->setCurLoc(S.Loc.Line, S.Loc.Col);
         FB->emitMoveInto(V, R);
       } else {
+        // `var x;` zero-initializes at the MIR level for VM determinism,
+        // but the store is synthetic: the lint analyses must still treat
+        // x as uninitialized until the program assigns it.
+        FB->setSynth(true);
         FB->emitConstInto(V, 0);
+        FB->setSynth(false);
       }
       declare(S.Loc, S.Name, V);
       break;
@@ -209,6 +219,7 @@ private:
         return;
       }
       mir::Reg R = lowerExpr(*S.A);
+      FB->setCurLoc(S.Loc.Line, S.Loc.Col);
       FB->emitMoveInto(*V, R);
       break;
     }
@@ -216,6 +227,7 @@ private:
       mir::Reg Base = lowerExpr(*S.A);
       mir::Reg Idx = lowerExpr(*S.B);
       mir::Reg Val = lowerExpr(*S.C);
+      FB->setCurLoc(S.Loc.Line, S.Loc.Col);
       FB->emitStore(Base, Idx, Val);
       break;
     }
@@ -228,6 +240,7 @@ private:
     case StmtKind::Return: {
       if (S.A) {
         mir::Reg R = lowerExpr(*S.A);
+        FB->setCurLoc(S.Loc.Line, S.Loc.Col);
         FB->setRet(R);
       } else {
         FB->setRetConst(0);
@@ -312,6 +325,7 @@ private:
 
   mir::Reg lowerExpr(const Expr &E) {
     ensureOpenBlock();
+    FB->setCurLoc(E.Loc.Line, E.Loc.Col);
     switch (E.Kind) {
     case ExprKind::IntLit:
       return FB->emitConst(E.IntVal);
@@ -325,6 +339,7 @@ private:
     }
     case ExprKind::Unary: {
       mir::Reg V = lowerExpr(*E.Lhs);
+      FB->setCurLoc(E.Loc.Line, E.Loc.Col);
       return E.Op == TokKind::Minus ? FB->emitNeg(V) : FB->emitNot(V);
     }
     case ExprKind::Binary:
@@ -332,6 +347,7 @@ private:
     case ExprKind::Index: {
       mir::Reg Base = lowerExpr(*E.Lhs);
       mir::Reg Idx = lowerExpr(*E.Rhs);
+      FB->setCurLoc(E.Loc.Line, E.Loc.Col);
       return FB->emitLoad(Base, Idx);
     }
     case ExprKind::Call:
@@ -402,6 +418,7 @@ private:
       error(E.Loc, "invalid binary operator");
       return FB->emitConst(0);
     }
+    FB->setCurLoc(E.Loc.Line, E.Loc.Col);
     return FB->emitBin(Op, L, R);
   }
 
@@ -458,14 +475,15 @@ private:
       if (!arity(1))
         return FB->emitConst(0);
       mir::Reg Ptr = lowerExpr(*E.Args[0]);
+      FB->setCurLoc(E.Loc.Line, E.Loc.Col);
       FB->emitFree(Ptr);
-      return FB->emitConst(0);
+      return synthZero();
     }
     if (E.Name == "abort") {
       if (!arity(0))
         return FB->emitConst(0);
       FB->emitAbort(0);
-      return FB->emitConst(0);
+      return synthZero();
     }
 
     auto It = Funcs.find(E.Name);
@@ -479,7 +497,17 @@ private:
     Args.reserve(E.Args.size());
     for (const ExprPtr &A : E.Args)
       Args.push_back(lowerExpr(*A));
+    FB->setCurLoc(E.Loc.Line, E.Loc.Col);
     return FB->emitCall(It->second.Index, Args);
+  }
+
+  /// Placeholder value for void builtins (`free`, `abort` yield nothing at
+  /// the source level); synthetic so the dead-store lint ignores it.
+  mir::Reg synthZero() {
+    FB->setSynth(true);
+    mir::Reg R = FB->emitConst(0);
+    FB->setSynth(false);
+    return R;
   }
 
   const Program &P;

@@ -1,0 +1,366 @@
+//===- Lint.cpp - MiniLang lint suite over MIR --------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lint.h"
+
+#include "analysis/ConstRange.h"
+#include "analysis/Liveness.h"
+#include "analysis/ReachingDefs.h"
+#include "analysis/UseDef.h"
+#include "cfg/Cfg.h"
+#include "lang/Compile.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pathfuzz {
+namespace lang {
+
+const char *lintCheckName(LintCheck C) {
+  switch (C) {
+  case LintCheck::UseBeforeInit:
+    return "use-before-init";
+  case LintCheck::DeadStore:
+    return "dead-store";
+  case LintCheck::UnreachableCode:
+    return "unreachable-code";
+  case LintCheck::DivByZero:
+    return "div-by-zero";
+  case LintCheck::ConstOutOfBounds:
+    return "const-out-of-bounds";
+  case LintCheck::UnusedParam:
+    return "unused-param";
+  case LintCheck::UnusedFunction:
+    return "unused-function";
+  }
+  return "unknown";
+}
+
+std::string LintDiagnostic::str() const {
+  std::string S = std::to_string(Line) + ":" + std::to_string(Col) + ": [" +
+                  lintCheckName(Check) + "] " + Message;
+  if (!Func.empty()) {
+    S += " (in @" + Func;
+    if (!Block.empty())
+      S += ":" + Block;
+    S += ")";
+  }
+  return S;
+}
+
+namespace {
+
+class Linter {
+public:
+  Linter(const mir::Module &M, LintOptions Opts) : M(M), Opts(Opts) {}
+
+  std::vector<LintDiagnostic> run() {
+    for (const mir::Function &F : M.Funcs)
+      lintFunction(F);
+    if (Opts.EnableUnusedFunction)
+      checkUnusedFunctions();
+    return std::move(Diags);
+  }
+
+private:
+  const mir::Module &M;
+  LintOptions Opts;
+  std::vector<LintDiagnostic> Diags;
+
+  void report(LintCheck Check, const mir::Function &F, uint32_t Block,
+              uint32_t Line, uint32_t Col, std::string Msg) {
+    LintDiagnostic D;
+    D.Check = Check;
+    D.Func = F.Name;
+    if (Block != UINT32_MAX)
+      D.Block = F.Blocks[Block].Name;
+    D.Line = Line;
+    D.Col = Col;
+    D.Message = std::move(Msg);
+    Diags.push_back(std::move(D));
+  }
+
+  /// Value-producing instructions with no observable effect besides their
+  /// result; only these can be dead stores. Div/Rem can trap, Alloc and
+  /// Call have effects, Load can fault on a bad index.
+  static bool isPureProducer(const mir::Instr &I) {
+    using mir::Opcode;
+    switch (I.Op) {
+    case Opcode::Const:
+    case Opcode::Move:
+    case Opcode::Neg:
+    case Opcode::Not:
+    case Opcode::InLen:
+    case Opcode::InByte:
+    case Opcode::GlobalAddr:
+      return true;
+    case Opcode::Bin:
+    case Opcode::BinImm:
+      return I.BOp != mir::BinOp::Div && I.BOp != mir::BinOp::Rem;
+    default:
+      return false;
+    }
+  }
+
+  void lintFunction(const mir::Function &F) {
+    if (F.Blocks.empty())
+      return;
+    cfg::CfgView G(F);
+
+    size_t FuncDiagStart = Diags.size();
+    if (Opts.EnableUseBeforeInit)
+      checkUseBeforeInit(F, G);
+    if (Opts.EnableDeadStore)
+      checkDeadStores(F, G);
+    if (Opts.EnableUnreachable)
+      checkUnreachable(F, G);
+    if (Opts.EnableDivByZero || Opts.EnableConstOutOfBounds)
+      checkConstFacts(F, G);
+    if (Opts.EnableUnusedParam)
+      checkUnusedParams(F);
+
+    // Within a function, order findings by source position.
+    std::sort(Diags.begin() + FuncDiagStart, Diags.end(),
+              [](const LintDiagnostic &A, const LintDiagnostic &B) {
+                if (A.Line != B.Line)
+                  return A.Line < B.Line;
+                if (A.Col != B.Col)
+                  return A.Col < B.Col;
+                return static_cast<int>(A.Check) < static_cast<int>(B.Check);
+              });
+  }
+
+  void checkUseBeforeInit(const mir::Function &F, const cfg::CfgView &G) {
+    analysis::ReachingDefsOptions RDOpts;
+    RDOpts.IgnoreSynthDefs = true; // `var x;` zero-init does not initialize
+    analysis::ReachingDefs RD(F, G, RDOpts);
+
+    // One finding per register: the first read that may see it
+    // uninitialized, in block/program order.
+    std::set<mir::Reg> Reported;
+    for (uint32_t B = 0; B < F.numBlocks(); ++B) {
+      if (!G.isReachable(B))
+        continue;
+      const mir::BasicBlock &BB = F.Blocks[B];
+      for (uint32_t K = 0; K < BB.Instrs.size(); ++K) {
+        const mir::Instr &I = BB.Instrs[K];
+        if (I.Synth)
+          continue;
+        analysis::forEachUse(F, I, [&](mir::Reg R) {
+          if (Reported.count(R) || !RD.mayBeUninitAt(B, K, R))
+            return;
+          Reported.insert(R);
+          report(LintCheck::UseBeforeInit, F, B, I.Line, I.Col,
+                 "variable may be read before it is assigned");
+        });
+      }
+      analysis::forEachTermUse(BB.Term, [&](mir::Reg R) {
+        uint32_t End = static_cast<uint32_t>(BB.Instrs.size());
+        if (Reported.count(R) || !RD.mayBeUninitAt(B, End, R))
+          return;
+        Reported.insert(R);
+        report(LintCheck::UseBeforeInit, F, B, BB.Term.Line, BB.Term.Col,
+               "variable may be read before it is assigned");
+      });
+    }
+  }
+
+  void checkDeadStores(const mir::Function &F, const cfg::CfgView &G) {
+    analysis::LivenessResult LV = analysis::computeLiveness(F, G);
+    for (uint32_t B = 0; B < F.numBlocks(); ++B) {
+      if (!G.isReachable(B))
+        continue;
+      const mir::BasicBlock &BB = F.Blocks[B];
+      analysis::BitVec Live = LV.LiveOut[B];
+      analysis::forEachTermUse(BB.Term, [&](mir::Reg R) { Live.set(R); });
+      for (size_t K = BB.Instrs.size(); K-- > 0;) {
+        const mir::Instr &I = BB.Instrs[K];
+        bool AnyLive = false;
+        analysis::forEachDef(F, I, [&](mir::Reg R) { AnyLive |= Live.test(R); });
+        if (!AnyLive && !I.Synth && I.Line > 0 && isPureProducer(I))
+          report(LintCheck::DeadStore, F, B, I.Line, I.Col,
+                 "value is computed but never read");
+        analysis::forEachDef(F, I, [&](mir::Reg R) { Live.reset(R); });
+        analysis::forEachUse(F, I, [&](mir::Reg R) { Live.set(R); });
+      }
+    }
+  }
+
+  void checkUnreachable(const mir::Function &F, const cfg::CfgView &G) {
+    for (uint32_t B = 0; B < F.numBlocks(); ++B) {
+      if (G.isReachable(B))
+        continue;
+      // Only report blocks holding real source statements; structural
+      // padding the lowering synthesizes is not the user's code.
+      const mir::Instr *First = nullptr;
+      for (const mir::Instr &I : F.Blocks[B].Instrs)
+        if (!I.Synth && I.Line > 0) {
+          First = &I;
+          break;
+        }
+      uint32_t Line = First ? First->Line : F.Blocks[B].Term.Line;
+      uint32_t Col = First ? First->Col : F.Blocks[B].Term.Col;
+      if (Line == 0)
+        continue;
+      report(LintCheck::UnreachableCode, F, B, Line, Col,
+             "statement can never be executed");
+    }
+  }
+
+  /// DivByZero and ConstOutOfBounds share one walk: replay each reachable
+  /// block's instructions from its fixed-point input environment and
+  /// inspect operands at the faulting opcodes.
+  void checkConstFacts(const mir::Function &F, const cfg::CfgView &G) {
+    analysis::ConstRangeResult CR = analysis::computeConstRanges(F, G);
+    for (uint32_t B = 0; B < F.numBlocks(); ++B) {
+      if (!G.isReachable(B))
+        continue;
+      analysis::AbsEnv Env = CR.In[B];
+      for (const mir::Instr &I : F.Blocks[B].Instrs) {
+        if (!Env.Feasible)
+          break; // an earlier instruction in the block always faults
+        if (Opts.EnableDivByZero)
+          checkDiv(F, B, I, Env);
+        if (Opts.EnableConstOutOfBounds)
+          checkBounds(F, B, I, Env);
+        analysis::applyInstr(F, I, Env);
+      }
+    }
+  }
+
+  void checkDiv(const mir::Function &F, uint32_t B, const mir::Instr &I,
+                const analysis::AbsEnv &Env) {
+    using mir::Opcode;
+    if ((I.Op != Opcode::Bin && I.Op != Opcode::BinImm) ||
+        (I.BOp != mir::BinOp::Div && I.BOp != mir::BinOp::Rem))
+      return;
+    bool Zero = false;
+    if (I.Op == Opcode::BinImm) {
+      Zero = I.Imm == 0;
+    } else {
+      const analysis::AbsVal &D = Env.Regs[I.C];
+      Zero = D.isConst() && D.Lo == 0;
+    }
+    if (Zero)
+      report(LintCheck::DivByZero, F, B, I.Line, I.Col,
+             "divisor is always zero here");
+  }
+
+  void checkBounds(const mir::Function &F, uint32_t B, const mir::Instr &I,
+                   const analysis::AbsEnv &Env) {
+    using mir::Opcode;
+    using analysis::AbsVal;
+
+    if (I.Op == Opcode::Alloc) {
+      const AbsVal &Size = Env.Regs[I.B];
+      if (Size.K == AbsVal::Kind::Int && Size.Hi < 0)
+        report(LintCheck::ConstOutOfBounds, F, B, I.Line, I.Col,
+               "allocation size is always negative");
+      return;
+    }
+
+    mir::Reg BaseR, IdxR;
+    if (I.Op == Opcode::Load) {
+      BaseR = I.B;
+      IdxR = I.C;
+    } else if (I.Op == Opcode::Store) {
+      BaseR = I.A;
+      IdxR = I.B;
+    } else {
+      return;
+    }
+
+    const AbsVal &Base = Env.Regs[BaseR];
+    const AbsVal &Idx = Env.Regs[IdxR];
+    if (Idx.K != AbsVal::Kind::Int)
+      return;
+
+    // "Provably out of bounds" = every value the index can take misses
+    // every size the object can have.
+    if (Base.K == AbsVal::Kind::GlobalPtr) {
+      if (Base.GlobalIndex >= M.Globals.size())
+        return;
+      int64_t Size = M.Globals[Base.GlobalIndex].Size;
+      if (Idx.Hi < 0 || Idx.Lo >= Size)
+        report(LintCheck::ConstOutOfBounds, F, B, I.Line, I.Col,
+               "index is always outside global '" +
+                   M.Globals[Base.GlobalIndex].Name + "' (size " +
+                   std::to_string(Size) + ")");
+    } else if (Base.K == AbsVal::Kind::HeapPtr) {
+      if (Idx.Hi < 0 || (Base.Hi >= 0 && Idx.Lo >= Base.Hi))
+        report(LintCheck::ConstOutOfBounds, F, B, I.Line, I.Col,
+               "index is always outside the allocated object");
+    }
+  }
+
+  void checkUnusedParams(const mir::Function &F) {
+    if (F.ParamNames.empty())
+      return; // builder-made function: no source-level parameters
+    std::vector<bool> Used(F.NumParams, false);
+    for (const mir::BasicBlock &BB : F.Blocks) {
+      for (const mir::Instr &I : BB.Instrs)
+        analysis::forEachUse(F, I, [&](mir::Reg R) {
+          if (R < F.NumParams)
+            Used[R] = true;
+        });
+      analysis::forEachTermUse(BB.Term, [&](mir::Reg R) {
+        if (R < F.NumParams)
+          Used[R] = true;
+      });
+    }
+    for (uint16_t P = 0; P < F.NumParams && P < F.ParamNames.size(); ++P)
+      if (!Used[P])
+        report(LintCheck::UnusedParam, F, UINT32_MAX, F.DeclLine, F.DeclCol,
+               "parameter '" + F.ParamNames[P] + "' is never used");
+  }
+
+  void checkUnusedFunctions() {
+    int Main = M.findFunction("main");
+    if (Main < 0)
+      return;
+    std::vector<bool> Reached(M.Funcs.size(), false);
+    std::vector<uint32_t> Work{static_cast<uint32_t>(Main)};
+    Reached[Main] = true;
+    while (!Work.empty()) {
+      uint32_t FI = Work.back();
+      Work.pop_back();
+      for (const mir::BasicBlock &BB : M.Funcs[FI].Blocks)
+        for (const mir::Instr &I : BB.Instrs)
+          if (I.Op == mir::Opcode::Call && I.Callee < M.Funcs.size() &&
+              !Reached[I.Callee]) {
+            Reached[I.Callee] = true;
+            Work.push_back(I.Callee);
+          }
+    }
+    for (size_t FI = 0; FI < M.Funcs.size(); ++FI)
+      if (!Reached[FI])
+        report(LintCheck::UnusedFunction, M.Funcs[FI], UINT32_MAX,
+               M.Funcs[FI].DeclLine, M.Funcs[FI].DeclCol,
+               "function '" + M.Funcs[FI].Name +
+                   "' is never called from main");
+  }
+};
+
+} // namespace
+
+std::vector<LintDiagnostic> lintModule(const mir::Module &M, LintOptions Opts) {
+  return Linter(M, Opts).run();
+}
+
+std::vector<LintDiagnostic> lintSource(const std::string &Source,
+                                       const std::string &Name,
+                                       std::vector<std::string> &CompileErrors,
+                                       LintOptions Opts) {
+  CompileResult CR = compileSource(Source, Name);
+  if (!CR.ok()) {
+    CompileErrors = CR.Errors;
+    return {};
+  }
+  return lintModule(*CR.Mod, Opts);
+}
+
+} // namespace lang
+} // namespace pathfuzz

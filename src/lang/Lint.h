@@ -1,0 +1,94 @@
+//===- Lint.h - MiniLang lint suite over MIR --------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Static checks over compiled MiniLang programs, built on the dataflow
+// framework in src/analysis. Each diagnostic carries the source position
+// the lowering stamped onto the offending MIR instruction, so findings
+// point back at MiniLang source, not at IR.
+//
+// Checks:
+//   UseBeforeInit   — a variable read on some path before any (non-
+//                     synthetic) assignment; reaching-definitions based.
+//   DeadStore       — a pure value-producing instruction whose result no
+//                     path reads; liveness based. Side-effecting writes
+//                     (calls, loads that can fault) are exempt.
+//   UnreachableCode — a block with source-located statements that no
+//                     execution can enter.
+//   DivByZero       — a division whose divisor is the constant 0 on every
+//                     execution reaching it; constant/range based.
+//   ConstOutOfBounds— an index expression provably outside the bounds of
+//                     the global or alloc'd object it addresses, or an
+//                     alloc whose size is provably negative.
+//   UnusedParam     — a declared parameter no instruction ever reads.
+//   UnusedFunction  — a function unreachable from main in the call graph.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_LANG_LINT_H
+#define PATHFUZZ_LANG_LINT_H
+
+#include "mir/Mir.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+namespace lang {
+
+enum class LintCheck : uint8_t {
+  UseBeforeInit,
+  DeadStore,
+  UnreachableCode,
+  DivByZero,
+  ConstOutOfBounds,
+  UnusedParam,
+  UnusedFunction,
+};
+
+/// Printable kebab-case name of a check, e.g. "use-before-init".
+const char *lintCheckName(LintCheck C);
+
+/// One finding, located in MiniLang source.
+struct LintDiagnostic {
+  LintCheck Check = LintCheck::UseBeforeInit;
+  std::string Func;  ///< containing function name
+  std::string Block; ///< containing block name (empty for whole-function)
+  uint32_t Line = 0; ///< 1-based source position; 0 if unattributed
+  uint32_t Col = 0;
+  std::string Message;
+
+  /// "line:col: [check] message (in @func:block)"
+  std::string str() const;
+};
+
+struct LintOptions {
+  /// Enable every check; callers can mask individual ones off.
+  bool EnableUseBeforeInit = true;
+  bool EnableDeadStore = true;
+  bool EnableUnreachable = true;
+  bool EnableDivByZero = true;
+  bool EnableConstOutOfBounds = true;
+  bool EnableUnusedParam = true;
+  bool EnableUnusedFunction = true;
+};
+
+/// Lint a compiled module. Diagnostics are ordered by function, then by
+/// source position.
+std::vector<LintDiagnostic> lintModule(const mir::Module &M,
+                                       LintOptions Opts = {});
+
+/// Parse + compile + lint a MiniLang source string. Compilation errors are
+/// returned through CompileErrors (and yield no diagnostics).
+std::vector<LintDiagnostic> lintSource(const std::string &Source,
+                                       const std::string &Name,
+                                       std::vector<std::string> &CompileErrors,
+                                       LintOptions Opts = {});
+
+} // namespace lang
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_LANG_LINT_H

@@ -39,6 +39,9 @@ Instr &FunctionBuilder::append(Opcode Op) {
   assert(!Terminated[CurBlock] && "appending to a terminated block");
   Instr I;
   I.Op = Op;
+  I.Line = CurLine;
+  I.Col = CurCol;
+  I.Synth = SynthMode;
   F.Blocks[CurBlock].Instrs.push_back(I);
   return F.Blocks[CurBlock].Instrs.back();
 }
@@ -179,6 +182,8 @@ void FunctionBuilder::emitAbort(int64_t SiteTag) {
 void FunctionBuilder::setBr(uint32_t Target) {
   assert(!Terminated[CurBlock] && "block already terminated");
   Terminator &T = F.Blocks[CurBlock].Term;
+  T.Line = CurLine;
+  T.Col = CurCol;
   T.Kind = TermKind::Br;
   T.Succs = {Target};
   Terminated[CurBlock] = true;
@@ -187,6 +192,8 @@ void FunctionBuilder::setBr(uint32_t Target) {
 void FunctionBuilder::setCondBr(Reg Cond, uint32_t IfTrue, uint32_t IfFalse) {
   assert(!Terminated[CurBlock] && "block already terminated");
   Terminator &T = F.Blocks[CurBlock].Term;
+  T.Line = CurLine;
+  T.Col = CurCol;
   T.Kind = TermKind::CondBr;
   T.Cond = Cond;
   T.Succs = {IfTrue, IfFalse};
@@ -199,6 +206,8 @@ void FunctionBuilder::setSwitch(Reg Scrutinee, std::vector<int64_t> CaseValues,
   assert(!Terminated[CurBlock] && "block already terminated");
   assert(CaseValues.size() == CaseTargets.size() && "case arity mismatch");
   Terminator &T = F.Blocks[CurBlock].Term;
+  T.Line = CurLine;
+  T.Col = CurCol;
   T.Kind = TermKind::Switch;
   T.Cond = Scrutinee;
   T.Succs = std::move(CaseTargets);
@@ -210,6 +219,8 @@ void FunctionBuilder::setSwitch(Reg Scrutinee, std::vector<int64_t> CaseValues,
 void FunctionBuilder::setRet(Reg Value) {
   assert(!Terminated[CurBlock] && "block already terminated");
   Terminator &T = F.Blocks[CurBlock].Term;
+  T.Line = CurLine;
+  T.Col = CurCol;
   T.Kind = TermKind::Ret;
   T.Cond = Value;
   T.Succs.clear();
@@ -224,6 +235,9 @@ void FunctionBuilder::setRetConst(int64_t V) {
 Function FunctionBuilder::take() {
   // Give every unterminated block a `ret 0` so the function is always
   // well-formed (the frontend may leave dead join blocks unterminated).
+  // These fills are synthetic: no source attribution, invisible to lint.
+  setCurLoc(0, 0);
+  setSynth(true);
   for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
     if (Terminated[B])
       continue;

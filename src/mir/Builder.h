@@ -36,6 +36,16 @@ public:
   void setInsertPoint(uint32_t Block);
   uint32_t insertPoint() const { return CurBlock; }
 
+  /// Source position stamped onto subsequently emitted instructions and
+  /// terminators (0,0 = no attribution, the default for builder-made IR).
+  void setCurLoc(uint32_t Line, uint32_t Col) {
+    CurLine = Line;
+    CurCol = Col;
+  }
+  /// Mark subsequently emitted instructions as compiler-synthesized (no
+  /// source-level counterpart); see mir::Instr::Synth.
+  void setSynth(bool On) { SynthMode = On; }
+
   // Instruction emitters; each returns the destination register where
   // applicable.
   Reg emitConst(int64_t V);
@@ -81,6 +91,9 @@ private:
 
   Function F;
   uint32_t CurBlock = 0;
+  uint32_t CurLine = 0;
+  uint32_t CurCol = 0;
+  bool SynthMode = false;
   std::vector<bool> Terminated;
 };
 

@@ -97,6 +97,15 @@ struct Instr {
   uint32_t Callee = 0;           ///< function index for Call
   uint8_t NumArgs = 0;           ///< argument count for Call
   Reg Args[MaxCallArgs] = {0};   ///< argument registers for Call
+  /// Source position (1-based; 0 = no source attribution). Stamped by the
+  /// MiniLang lowering so lint/audit diagnostics can point at source.
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  /// Compiler-synthesized value with no source-level counterpart (implicit
+  /// zero-init of `var x;`, discarded builtin results). The lint passes
+  /// skip these: a synthetic zero-init must not count as "initialization"
+  /// for use-before-init, nor be reported as a dead store.
+  bool Synth = false;
 
   /// Whether this opcode writes register A.
   bool producesValue() const {
@@ -143,6 +152,10 @@ struct Terminator {
   Reg Cond = 0;
   std::vector<uint32_t> Succs;      ///< successor block indices
   std::vector<int64_t> CaseValues;  ///< Switch only; size == Succs.size()-1
+  /// Source position of the statement that produced this terminator
+  /// (1-based; 0 = no source attribution).
+  uint32_t Line = 0;
+  uint32_t Col = 0;
 
   unsigned numSuccessors() const {
     return static_cast<unsigned>(Succs.size());
@@ -163,6 +176,12 @@ struct Function {
   uint16_t NumParams = 0;
   uint16_t NumRegs = 0;
   std::vector<BasicBlock> Blocks;
+
+  /// Source position of the declaration (0 = unknown) and the parameter
+  /// spellings, kept for diagnostics; empty for builder-made functions.
+  uint32_t DeclLine = 0;
+  uint32_t DeclCol = 0;
+  std::vector<std::string> ParamNames;
 
   /// Set by instrumentation: register holding the Ball-Larus path state.
   /// Only meaningful when HasPathReg is true.
@@ -188,6 +207,11 @@ struct Module {
   std::string Name;
   std::vector<Function> Funcs;
   std::vector<Global> Globals;
+
+  /// Set by instr::instrumentModule. The verifier rejects probe opcodes in
+  /// modules that never went through an instrumentation pass, so stray
+  /// probes in frontend output are caught at the pipeline boundary.
+  bool Instrumented = false;
 
   /// Returns the index of the named function, or -1 if absent.
   int findFunction(const std::string &FnName) const {

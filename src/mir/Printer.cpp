@@ -208,10 +208,34 @@ std::string printTerminator(const Terminator &T, const Function &F) {
 
 std::string printFunction(const Function &F, const Module *M) {
   std::string S = "func @" + F.Name + "(" + std::to_string(F.NumParams) +
-                  ") regs=" + std::to_string(F.NumRegs) + " {\n";
+                  ") regs=" + std::to_string(F.NumRegs);
+  if (F.HasPathReg)
+    S += " ; pathreg r" + std::to_string(F.PathReg) + " init " +
+         std::to_string(F.PathRegInit);
+  S += " {\n";
+
+  // CFG edge IDs in the canonical (block, slot) enumeration — the same
+  // numbering cfg::CfgView assigns, recomputed here so the printer stays
+  // free of a cfg dependency. The annotation lets probe constants in a
+  // dump be matched against a probe plan's CfgEdgeIndex values by eye.
+  std::vector<uint32_t> EdgeBase(F.Blocks.size() + 1, 0);
+  for (uint32_t B = 0; B < F.Blocks.size(); ++B)
+    EdgeBase[B + 1] = EdgeBase[B] + F.Blocks[B].Term.numSuccessors();
+
   for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
     const BasicBlock &BB = F.Blocks[B];
-    S += BB.Name + ":\n";
+    S += BB.Name + ":";
+    if (BB.Term.numSuccessors() > 0) {
+      S += " ; edges";
+      for (uint32_t Slot = 0; Slot < BB.Term.numSuccessors(); ++Slot) {
+        uint32_t Succ = BB.Term.Succs[Slot];
+        S += " #" + std::to_string(EdgeBase[B] + Slot) + "->" +
+             (Succ < F.Blocks.size() ? F.Blocks[Succ].Name
+                                     : "<bad-block-" + std::to_string(Succ) +
+                                           ">");
+      }
+    }
+    S += "\n";
     for (const Instr &I : BB.Instrs)
       S += "  " + printInstr(I, M) + "\n";
     S += "  " + printTerminator(BB.Term, F) + "\n";

@@ -43,8 +43,11 @@ private:
     Result.Errors.push_back("@" + F.Name + ": " + Msg);
   }
 
+  /// Block-scoped errors carry a uniform `@function:block:` prefix so
+  /// tooling (and humans) can locate them without parsing prose.
   void errorAt(uint32_t Block, const std::string &Msg) {
-    error(F.Blocks[Block].Name + ": " + Msg);
+    Result.Errors.push_back("@" + F.Name + ":" + F.Blocks[Block].Name + ": " +
+                            Msg);
   }
 
   void checkReg(uint32_t Block, Reg R, const char *What) {
@@ -68,6 +71,10 @@ private:
   }
 
   void verifyInstr(uint32_t B, const Instr &I) {
+    if (I.isProbe() && !M.Instrumented)
+      errorAt(B, std::string(opcodeName(I.Op)) +
+                     " probe in a module that never went through "
+                     "instrumentation");
     if (I.producesValue())
       checkReg(B, I.A, "destination");
     switch (I.Op) {
@@ -117,11 +124,22 @@ private:
         checkReg(B, I.Args[K], "argument");
       break;
     }
+    case Opcode::EdgeProbe:
+    case Opcode::BlockProbe:
+      if (I.Imm < 0)
+        errorAt(B, std::string(opcodeName(I.Op)) + " has negative id " +
+                       std::to_string(I.Imm));
+      break;
     case Opcode::PathAdd:
-    case Opcode::PathFlushRet:
     case Opcode::PathFlushBack:
       if (!F.HasPathReg)
         errorAt(B, "path probe in a function without a path register");
+      break;
+    case Opcode::PathFlushRet:
+      if (!F.HasPathReg)
+        errorAt(B, "path probe in a function without a path register");
+      if (F.Blocks[B].Term.Kind != TermKind::Ret)
+        errorAt(B, "path.flush.ret outside a return block");
       break;
     default:
       break;

@@ -6,12 +6,41 @@
 
 #include "strategy/BuildCache.h"
 
+#include "instrument/Audit.h"
 #include "support/FaultInjection.h"
 
 #include <cassert>
 
 namespace pathfuzz {
 namespace strategy {
+
+namespace {
+
+/// The "strategy.instrument.corrupt" fault: flip the first path/edge probe
+/// constant in the freshly instrumented module. A single off-by-one in a
+/// path increment makes some path IDs collide or escape [0, NumPaths) —
+/// exactly the class of silent miscompile the static audit exists to
+/// catch. Classic block probes are left alone: their location IDs are
+/// random by design, so no audit can (or should) pin their values.
+bool corruptOneProbe(mir::Module &M) {
+  for (auto &F : M.Funcs)
+    for (auto &BB : F.Blocks)
+      for (auto &I : BB.Instrs) {
+        switch (I.Op) {
+        case mir::Opcode::EdgeProbe:
+        case mir::Opcode::PathAdd:
+        case mir::Opcode::PathFlushRet:
+        case mir::Opcode::PathFlushBack:
+          ++I.Imm;
+          return true;
+        default:
+          break;
+        }
+      }
+  return false;
+}
+
+} // namespace
 
 SubjectBuild::SubjectBuild(const Subject &S) : S(&S) {
   // Injected build faults surface through the same structured-error path
@@ -61,6 +90,25 @@ SubjectBuild::tryInstrumented(instr::Feedback Mode, const CampaignOptions &Opts,
     IO.MapSizeLog2 = Opts.MapSizeLog2;
     IO.Seed = 0x5eed0000 + Opts.MapSizeLog2; // stable across runs
     Slot->Report = instr::instrumentModule(Slot->Mod, IO);
+
+    // Static audit: prove the probe constants realize the canonical path
+    // numbering and the lowering followed the placement rules. On by
+    // default in assert-enabled builds (PATHFUZZ_AUDIT=0/1 overrides);
+    // always on when the corruption fault just fired, so the fault is
+    // caught deterministically in any build flavor.
+    bool Corrupted =
+        fault::enabled() && fault::shouldFail("strategy.instrument.corrupt") &&
+        corruptOneProbe(Slot->Mod);
+    if (instr::auditEnabled() || Corrupted) {
+      instr::AuditResult AR =
+          instr::auditModule(Base, Slot->Mod, Slot->Report, IO);
+      if (!AR.ok()) {
+        Builds.erase(K);
+        if (ErrOut)
+          *ErrOut = "instrumentation audit failed: " + AR.message();
+        return nullptr;
+      }
+    }
   }
   return Slot.get();
 }

@@ -78,8 +78,11 @@ public:
   /// options; built on first use, then shared. Thread-safe. The returned
   /// reference stays valid for the lifetime of this SubjectBuild.
   /// Returns null — with the diagnostic in *ErrOut when provided — when
-  /// the "strategy.instrument" fault site triggers; failed attempts are
-  /// not cached, so a retry re-runs the pass.
+  /// the "strategy.instrument" fault site triggers, or when the static
+  /// instrumentation audit (instr::auditModule; on in debug builds, via
+  /// PATHFUZZ_AUDIT elsewhere, and always after the
+  /// "strategy.instrument.corrupt" fault fires) rejects the module.
+  /// Failed attempts are not cached, so a retry re-runs the pass.
   const InstrumentedBuild *tryInstrumented(instr::Feedback Mode,
                                            const CampaignOptions &Opts,
                                            std::string *ErrOut = nullptr);

@@ -34,6 +34,10 @@
 // Wired sites:
 //   strategy.compile      subject front-end compilation (BuildCache)
 //   strategy.instrument   instrumentation pass (SubjectBuild)
+//   strategy.instrument.corrupt
+//                         corrupt one probe constant after the pass; the
+//                         static audit (instr::auditModule) must reject
+//                         the build — exercises the auditor end to end
 //   support.pool.dispatch ThreadPool::trySubmit task dispatch
 //   vm.heap.alloc         VM heap allocation (fails as OutOfMemory)
 //

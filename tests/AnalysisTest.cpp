@@ -1,0 +1,348 @@
+//===- AnalysisTest.cpp - Dataflow framework and analyses ---------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConstRange.h"
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+#include "analysis/ReachingDefs.h"
+#include "analysis/UseDef.h"
+
+#include "TestUtil.h"
+#include "lang/Compile.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+using namespace pathfuzz;
+using namespace pathfuzz::analysis;
+
+namespace {
+
+/// Blocks reachable from entry when Banned is deleted from the graph.
+std::vector<bool> reachableWithout(const cfg::CfgView &G, uint32_t Banned) {
+  std::vector<bool> Seen(G.numBlocks(), false);
+  if (Banned == 0)
+    return Seen;
+  Seen[0] = true;
+  std::deque<uint32_t> Q{0};
+  while (!Q.empty()) {
+    uint32_t B = Q.front();
+    Q.pop_front();
+    for (uint32_t E : G.succEdges(B)) {
+      uint32_t D = G.edges()[E].Dst;
+      if (D != Banned && !Seen[D]) {
+        Seen[D] = true;
+        Q.push_back(D);
+      }
+    }
+  }
+  return Seen;
+}
+
+/// Blocks that can reach some reachable Ret block when Banned is deleted.
+/// Pass Banned = UINT32_MAX to delete nothing.
+std::vector<bool> reachesExitWithout(const cfg::CfgView &G, uint32_t Banned) {
+  std::vector<bool> Seen(G.numBlocks(), false);
+  std::deque<uint32_t> Q;
+  for (uint32_t B = 0; B < G.numBlocks(); ++B)
+    if (B != Banned && G.isReachable(B) && G.isExitBlock(B)) {
+      Seen[B] = true;
+      Q.push_back(B);
+    }
+  while (!Q.empty()) {
+    uint32_t B = Q.front();
+    Q.pop_front();
+    for (uint32_t E : G.predEdges(B)) {
+      uint32_t S = G.edges()[E].Src;
+      if (S != Banned && !Seen[S]) {
+        Seen[S] = true;
+        Q.push_back(S);
+      }
+    }
+  }
+  return Seen;
+}
+
+class AnalysisRandom : public ::testing::TestWithParam<uint64_t> {};
+
+/// Dominance against the brute-force oracle: A dominates B iff deleting A
+/// disconnects B from the entry.
+TEST_P(AnalysisRandom, DominatorsMatchDeletionOracle) {
+  Rng R(GetParam());
+  mir::Function F = test::randomFunction(R);
+  cfg::CfgView G(F);
+  DominatorTree DT(G);
+
+  for (uint32_t A = 0; A < G.numBlocks(); ++A) {
+    if (!G.isReachable(A))
+      continue;
+    std::vector<bool> Without = reachableWithout(G, A);
+    for (uint32_t B = 0; B < G.numBlocks(); ++B) {
+      if (!G.isReachable(B))
+        continue;
+      bool Oracle = (A == B) || !Without[B];
+      ASSERT_EQ(DT.dominates(A, B), Oracle)
+          << "dominates(" << A << ", " << B << ")";
+    }
+  }
+}
+
+/// Post-dominance against the oracle: A post-dominates B iff deleting A
+/// cuts every B -> exit path.
+TEST_P(AnalysisRandom, PostDominatorsMatchDeletionOracle) {
+  Rng R(GetParam() ^ 0x9d0f);
+  mir::Function F = test::randomFunction(R);
+  cfg::CfgView G(F);
+  PostDominatorTree PDT(G);
+
+  std::vector<bool> ReachesExit = reachesExitWithout(G, UINT32_MAX);
+  for (uint32_t A = 0; A < G.numBlocks(); ++A) {
+    if (!G.isReachable(A))
+      continue;
+    std::vector<bool> Without = reachesExitWithout(G, A);
+    for (uint32_t B = 0; B < G.numBlocks(); ++B) {
+      if (!G.isReachable(B) || !ReachesExit[B])
+        continue;
+      bool Oracle = (A == B) || !Without[B];
+      ASSERT_EQ(PDT.postDominates(A, B), Oracle)
+          << "postDominates(" << A << ", " << B << ")";
+    }
+  }
+}
+
+/// The liveness fixed point must satisfy its own defining equations:
+/// LiveOut = union of successors' LiveIn, and LiveIn = backward transfer
+/// of LiveOut through the block (recomputed here instruction by
+/// instruction, independently of the solver's Use/Kill summaries).
+TEST_P(AnalysisRandom, LivenessSatisfiesDataflowEquations) {
+  Rng R(GetParam() ^ 0x11fe);
+  mir::Function F = test::randomFunction(R);
+  cfg::CfgView G(F);
+  LivenessResult L = computeLiveness(F, G);
+
+  ASSERT_EQ(L.LiveIn.size(), F.numBlocks());
+  ASSERT_EQ(L.LiveOut.size(), F.numBlocks());
+
+  for (uint32_t B = 0; B < G.numBlocks(); ++B) {
+    if (!G.isReachable(B))
+      continue;
+    // LiveOut = union over successors.
+    BitVec Out(F.NumRegs);
+    for (uint32_t E : G.succEdges(B))
+      Out.unionWith(L.LiveIn[G.edges()[E].Dst]);
+    ASSERT_TRUE(Out == L.LiveOut[B]) << "block " << B;
+
+    // LiveIn = per-instruction backward transfer of LiveOut.
+    BitVec Live = L.LiveOut[B];
+    forEachTermUse(F.Blocks[B].Term,
+                   [&](mir::Reg Use) { Live.set(Use); });
+    const auto &Instrs = F.Blocks[B].Instrs;
+    for (size_t I = Instrs.size(); I-- > 0;) {
+      forEachDef(F, Instrs[I], [&](mir::Reg Def) { Live.reset(Def); });
+      forEachUse(F, Instrs[I], [&](mir::Reg Use) { Live.set(Use); });
+    }
+    ASSERT_TRUE(Live == L.LiveIn[B]) << "block " << B;
+  }
+}
+
+/// The interval solver must terminate (widening) and stay sound on
+/// arbitrary CFG shapes, including loops and unreachable blocks.
+TEST_P(AnalysisRandom, ConstRangeTerminatesOnArbitraryCfgs) {
+  Rng R(GetParam() ^ 0xc0de);
+  mir::Function F = test::randomFunction(R);
+  cfg::CfgView G(F);
+  ConstRangeResult CR = computeConstRanges(F, G);
+  ASSERT_EQ(CR.In.size(), F.numBlocks());
+  // The entry is always feasible, and no feasible env may hold Bottom for
+  // a register a reachable instruction reads (values, not contradictions).
+  EXPECT_TRUE(CR.In[0].Feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisRandom,
+                         ::testing::Range<uint64_t>(0, 40));
+
+TEST(Liveness, DiamondKeepsBranchUsedValueLive) {
+  // entry: c = in.len; v = const 7; condbr c, t, e
+  // t: ret v           e: ret c
+  mir::FunctionBuilder FB("f", 0);
+  mir::Reg C = FB.emitInLen();
+  mir::Reg V = FB.emitConst(7);
+  uint32_t T = FB.newBlock("t"), E = FB.newBlock("e");
+  FB.setCondBr(C, T, E);
+  FB.setInsertPoint(T);
+  FB.setRet(V);
+  FB.setInsertPoint(E);
+  FB.setRet(C);
+  mir::Function F = FB.take();
+  cfg::CfgView G(F);
+  LivenessResult L = computeLiveness(F, G);
+
+  EXPECT_TRUE(L.LiveOut[0].test(V)) << "v is read on the t path";
+  EXPECT_TRUE(L.LiveOut[0].test(C)) << "c is read on the e path";
+  EXPECT_TRUE(L.LiveIn[T].test(V));
+  EXPECT_FALSE(L.LiveIn[T].test(C)) << "t never reads c";
+  EXPECT_FALSE(L.LiveIn[E].test(V)) << "e never reads v";
+  // Nothing is live after a return.
+  EXPECT_EQ(L.LiveOut[T].count(), 0u);
+}
+
+TEST(ReachingDefs, PartialInitReachesJoinAsMaybeUninit) {
+  // entry: c = in.len; condbr c, t, j
+  // t: x = const 1; br j
+  // j: ret x          -- x is uninitialized on the entry->j path
+  mir::FunctionBuilder FB("f", 0);
+  mir::Reg C = FB.emitInLen();
+  uint32_t T = FB.newBlock("t"), J = FB.newBlock("j");
+  FB.setCondBr(C, T, J);
+  FB.setInsertPoint(T);
+  mir::Reg X = FB.emitConst(1);
+  FB.setBr(J);
+  FB.setInsertPoint(J);
+  FB.setRet(X);
+  mir::Function F = FB.take();
+  cfg::CfgView G(F);
+  ReachingDefs RD(F, G);
+
+  // At the terminator of j (index = #instrs), x may be uninitialized.
+  EXPECT_TRUE(RD.mayBeUninitAt(J, 0, X));
+  // Inside t, right after its def, it cannot be.
+  EXPECT_FALSE(RD.mayBeUninitAt(T, 1, X));
+  // The pool register c is defined at entry before the branch.
+  EXPECT_FALSE(RD.mayBeUninitAt(J, 0, C));
+}
+
+TEST(ReachingDefs, SynthDefsDoNotCountWhenIgnored) {
+  // x's only def is marked Synth (the frontend's implicit zero-init).
+  mir::FunctionBuilder FB("f", 0);
+  mir::Reg X = FB.emitConst(0);
+  FB.setRet(X);
+  mir::Function F = FB.take();
+  F.Blocks[0].Instrs[0].Synth = true;
+  cfg::CfgView G(F);
+
+  ReachingDefsOptions Strict;
+  Strict.IgnoreSynthDefs = true;
+  ReachingDefs Lax(F, G);
+  ReachingDefs NoSynth(F, G, Strict);
+  EXPECT_FALSE(Lax.mayBeUninitAt(0, 1, X))
+      << "the synth def initializes x when synth defs count";
+  EXPECT_TRUE(NoSynth.mayBeUninitAt(0, 1, X))
+      << "ignoring synth defs, x is still uninitialized at its use";
+}
+
+TEST(ConstRange, FoldsConstantChains) {
+  mir::FunctionBuilder FB("f", 0);
+  mir::Reg A = FB.emitConst(7);
+  mir::Reg B = FB.emitBinImm(mir::BinOp::Add, A, 3);
+  mir::Reg C = FB.emitBinImm(mir::BinOp::Mul, B, 4);
+  FB.setRet(C);
+  mir::Function F = FB.take();
+  cfg::CfgView G(F);
+  ConstRangeResult CR = computeConstRanges(F, G);
+
+  ASSERT_TRUE(CR.Out[0].Feasible);
+  EXPECT_TRUE(CR.Out[0].Regs[C] == AbsVal::intConst(40));
+}
+
+TEST(ConstRange, GuaranteedDivByZeroMakesSuccessorInfeasible) {
+  // entry: z = const 0; q = 10 / z; br next   -- traps before the branch
+  mir::FunctionBuilder FB("f", 0);
+  mir::Reg Z = FB.emitConst(0);
+  mir::Reg Ten = FB.emitConst(10);
+  mir::Reg Q = FB.emitBin(mir::BinOp::Div, Ten, Z);
+  uint32_t Next = FB.newBlock("next");
+  FB.setBr(Next);
+  FB.setInsertPoint(Next);
+  FB.setRet(Q);
+  mir::Function F = FB.take();
+  cfg::CfgView G(F);
+  ConstRangeResult CR = computeConstRanges(F, G);
+
+  EXPECT_TRUE(CR.In[0].Feasible);
+  EXPECT_FALSE(CR.Out[0].Feasible) << "the division always traps";
+  EXPECT_FALSE(CR.In[Next].Feasible);
+}
+
+TEST(ConstRange, CountingLoopWidensAndTerminates) {
+  lang::CompileResult R = lang::compileSource(R"ml(
+fn main() {
+  var i = 0;
+  while (i < 100000) {
+    i = i + 1;
+  }
+  return i;
+}
+)ml",
+                                              "loop");
+  ASSERT_TRUE(R.ok()) << R.message();
+  const mir::Function &F =
+      R.Mod->Funcs[static_cast<size_t>(R.Mod->findFunction("main"))];
+  cfg::CfgView G(F);
+  ConstRangeResult CR = computeConstRanges(F, G);
+  // Must reach a fixed point (widening) with every reachable block's input
+  // environment feasible — the loop is executable.
+  for (uint32_t B = 0; B < G.numBlocks(); ++B) {
+    if (G.isReachable(B)) {
+      EXPECT_TRUE(CR.In[B].Feasible) << "block " << B;
+    }
+  }
+}
+
+TEST(Dominators, DiamondAndLoopStructure) {
+  // entry -> (t | e) -> join; join -> entry would be a back edge; keep it
+  // simple: diamond only, plus LoopInfo on a separate while-loop shape.
+  mir::FunctionBuilder FB("f", 0);
+  mir::Reg C = FB.emitInLen();
+  uint32_t T = FB.newBlock("t"), E = FB.newBlock("e"), J = FB.newBlock("j");
+  FB.setCondBr(C, T, E);
+  FB.setInsertPoint(T);
+  FB.setBr(J);
+  FB.setInsertPoint(E);
+  FB.setBr(J);
+  FB.setInsertPoint(J);
+  FB.setRet(C);
+  mir::Function F = FB.take();
+  cfg::CfgView G(F);
+
+  DominatorTree DT(G);
+  EXPECT_EQ(DT.idom(T), 0u);
+  EXPECT_EQ(DT.idom(E), 0u);
+  EXPECT_EQ(DT.idom(J), 0u) << "neither arm dominates the join";
+  EXPECT_TRUE(DT.dominates(0, J));
+  EXPECT_FALSE(DT.dominates(T, J));
+
+  PostDominatorTree PDT(G);
+  EXPECT_EQ(PDT.ipostdom(T), J);
+  EXPECT_EQ(PDT.ipostdom(E), J);
+  EXPECT_EQ(PDT.ipostdom(0), J) << "the join postdominates the fork";
+  EXPECT_EQ(PDT.ipostdom(J), PostDominatorTree::VirtualExit);
+  EXPECT_TRUE(PDT.postDominates(J, 0));
+  EXPECT_FALSE(PDT.postDominates(T, 0));
+}
+
+TEST(LoopInfo, WhileLoopHasOneHeader) {
+  lang::CompileResult R = lang::compileSource(R"ml(
+fn main() {
+  var i = 0;
+  while (i < 10) {
+    i = i + 1;
+  }
+  return i;
+}
+)ml",
+                                              "loop");
+  ASSERT_TRUE(R.ok()) << R.message();
+  const mir::Function &F =
+      R.Mod->Funcs[static_cast<size_t>(R.Mod->findFunction("main"))];
+  cfg::CfgView G(F);
+  LoopInfo LI = LoopInfo::compute(G);
+  ASSERT_EQ(LI.Headers.size(), 1u);
+  uint32_t H = LI.Headers[0];
+  EXPECT_EQ(LI.InnermostHeader[H], H);
+}
+
+} // namespace

@@ -1,0 +1,447 @@
+//===- AuditTest.cpp - Static instrumentation auditor -------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The auditor's contract, exercised from both sides:
+//
+//  - every plan the Ball-Larus planner emits is accepted, and the
+//    acceptance verdict agrees with brute-force path-enumeration
+//    simulation (the thing the audit exists to avoid at scale);
+//  - every single-constant mutation of a plan is rejected, and the
+//    simulation confirms some path really would emit a wrong ID;
+//  - auditModule proves soundness for every function of all bundled
+//    subjects under both placements, and for a function with 2^28
+//    acyclic paths — where enumeration is out of the question;
+//  - the strategy.instrument.corrupt fault site makes BuildCache reject
+//    the corrupted build end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Audit.h"
+
+#include "bl/BallLarus.h"
+#include "cfg/Cfg.h"
+#include "instrument/Instrument.h"
+#include "lang/Compile.h"
+#include "strategy/BuildCache.h"
+#include "support/FaultInjection.h"
+#include "targets/Targets.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace pathfuzz;
+using namespace pathfuzz::bl;
+using namespace pathfuzz::instr;
+
+namespace {
+
+/// Simulate a probe plan over one acyclic path (as DAG edge indices) and
+/// return the value the flush probe would emit. This is the brute-force
+/// oracle the audit replaces; mirrors the helper in BallLarusTest.
+int64_t simulatePlan(const BLDag &Dag, const PathProbePlan &Plan,
+                     const std::vector<uint32_t> &PathEdges) {
+  const std::vector<DagEdge> &Edges = Dag.edges();
+  EXPECT_FALSE(PathEdges.empty());
+
+  int64_t R = 0;
+  const DagEdge &First = Edges[PathEdges.front()];
+  if (First.Kind == DagEdgeKind::EntryToFirst) {
+    R = Plan.EntryInit;
+  } else {
+    EXPECT_EQ(First.Kind, DagEdgeKind::EntryDummy);
+    bool Found = false;
+    for (const auto &BP : Plan.BackProbes) {
+      if (BP.CfgEdgeIndex == First.CfgEdgeIndex) {
+        R = BP.Reset;
+        Found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(Found) << "missing back probe for the path's entry dummy";
+  }
+
+  for (size_t I = 1; I < PathEdges.size(); ++I) {
+    const DagEdge &E = Edges[PathEdges[I]];
+    if (E.Kind != DagEdgeKind::Real)
+      continue;
+    for (const auto &EI : Plan.EdgeIncs)
+      if (EI.CfgEdgeIndex == E.CfgEdgeIndex)
+        R += EI.Inc;
+  }
+
+  const DagEdge &Last = Edges[PathEdges.back()];
+  if (Last.Kind == DagEdgeKind::RetToExit) {
+    for (const auto &RP : Plan.RetProbes)
+      if (RP.Block == Last.Src)
+        return R + RP.FlushAdd;
+    ADD_FAILURE() << "missing ret probe for block " << Last.Src;
+    return -1;
+  }
+  EXPECT_EQ(Last.Kind, DagEdgeKind::ExitDummy);
+  for (const auto &BP : Plan.BackProbes)
+    if (BP.CfgEdgeIndex == Last.CfgEdgeIndex)
+      return R + BP.FlushAdd;
+  ADD_FAILURE() << "missing back probe flush";
+  return -1;
+}
+
+/// Whether simulating the plan over every enumerated path reproduces the
+/// canonical IDs 0..NumPaths-1 exactly.
+bool simulationAgrees(const BLDag &Dag, const PathProbePlan &Plan,
+                      const std::vector<std::vector<uint32_t>> &PathEdges) {
+  for (uint64_t Id = 0; Id < PathEdges.size(); ++Id)
+    if (simulatePlan(Dag, Plan, PathEdges[Id]) != static_cast<int64_t>(Id))
+      return false;
+  return true;
+}
+
+/// All single-constant mutations of a plan, the corruption class the
+/// rejection property quantifies over.
+std::vector<std::pair<std::string, PathProbePlan>>
+allSingleConstantMutations(const PathProbePlan &Plan) {
+  std::vector<std::pair<std::string, PathProbePlan>> Out;
+  for (size_t I = 0; I < Plan.EdgeIncs.size(); ++I)
+    for (int64_t D : {int64_t(1), int64_t(-1)}) {
+      PathProbePlan P = Plan;
+      P.EdgeIncs[I].Inc += D;
+      Out.emplace_back("EdgeIncs[" + std::to_string(I) + "] " +
+                           (D > 0 ? "+1" : "-1"),
+                       std::move(P));
+    }
+  {
+    PathProbePlan P = Plan;
+    P.EntryInit += 1;
+    Out.emplace_back("EntryInit +1", std::move(P));
+  }
+  for (size_t I = 0; I < Plan.BackProbes.size(); ++I) {
+    PathProbePlan P = Plan;
+    P.BackProbes[I].FlushAdd += 1;
+    Out.emplace_back("BackProbes[" + std::to_string(I) + "].FlushAdd +1",
+                     std::move(P));
+    P = Plan;
+    P.BackProbes[I].Reset += 1;
+    Out.emplace_back("BackProbes[" + std::to_string(I) + "].Reset +1",
+                     std::move(P));
+  }
+  for (size_t I = 0; I < Plan.RetProbes.size(); ++I) {
+    PathProbePlan P = Plan;
+    P.RetProbes[I].FlushAdd += 1;
+    Out.emplace_back("RetProbes[" + std::to_string(I) + "].FlushAdd +1",
+                     std::move(P));
+  }
+  return Out;
+}
+
+class AuditRandom : public ::testing::TestWithParam<uint64_t> {};
+
+/// Acceptance side: canonical plans pass the audit, and the audit verdict
+/// matches the enumeration oracle.
+TEST_P(AuditRandom, AcceptsCanonicalPlansInBothPlacements) {
+  Rng R(GetParam());
+  mir::Function F = test::randomFunction(R);
+  cfg::CfgView G(F);
+  auto Dag = BLDag::build(G, 1 << 16);
+  if (!Dag)
+    return; // overflow guard tripped; nothing to audit
+
+  auto PathEdges = Dag->enumerateAllPathEdges();
+  for (PlacementMode Mode : {PlacementMode::Simple, PlacementMode::SpanningTree}) {
+    PathProbePlan Plan = Dag->makePlan(Mode);
+    AuditResult AR = auditPlan(G, *Dag, Plan, Mode);
+    EXPECT_TRUE(AR.ok()) << AR.message();
+    // What the audit just proved algebraically, the oracle confirms by
+    // walking every path.
+    EXPECT_TRUE(simulationAgrees(*Dag, Plan, PathEdges));
+  }
+}
+
+/// Rejection side: every single-constant corruption is caught, and in each
+/// case the enumeration oracle agrees that some path would emit a wrong ID.
+/// Together with the acceptance test this shows audit verdict == oracle
+/// verdict over this corruption class.
+TEST_P(AuditRandom, RejectsEverySingleConstantMutation) {
+  Rng R(GetParam() ^ 0xbadc0de);
+  mir::Function F = test::randomFunction(R);
+  cfg::CfgView G(F);
+  auto Dag = BLDag::build(G, 512); // keep enumeration cheap
+  if (!Dag)
+    return;
+
+  auto PathEdges = Dag->enumerateAllPathEdges();
+  for (PlacementMode Mode : {PlacementMode::Simple, PlacementMode::SpanningTree}) {
+    PathProbePlan Plan = Dag->makePlan(Mode);
+    for (auto &[What, Mutated] : allSingleConstantMutations(Plan)) {
+      AuditResult AR = auditPlan(G, *Dag, Mutated, Mode);
+      EXPECT_FALSE(AR.ok())
+          << "audit accepted a corrupted plan: " << What << " (seed "
+          << GetParam() << ")";
+      EXPECT_FALSE(simulationAgrees(*Dag, Mutated, PathEdges))
+          << "audit rejected " << What
+          << " but simulation says the plan still works (audit too strict?)";
+    }
+  }
+}
+
+/// Module-level audit over random functions, all four feedback modes.
+TEST_P(AuditRandom, ModuleAuditAcceptsAllFeedbackModes) {
+  Rng R(GetParam() ^ 0x5151);
+  mir::Module Base = test::moduleWith(test::randomFunction(R));
+  for (Feedback Mode : {Feedback::None, Feedback::EdgePrecise,
+                        Feedback::EdgeClassic, Feedback::Path}) {
+    for (PlacementMode P :
+         {PlacementMode::Simple, PlacementMode::SpanningTree}) {
+      mir::Module Inst = Base;
+      InstrumentOptions IO;
+      IO.Mode = Mode;
+      IO.Placement = P;
+      InstrumentReport Rep = instrumentModule(Inst, IO);
+      AuditResult AR = auditModule(Base, Inst, Rep, IO);
+      EXPECT_TRUE(AR.ok()) << "mode " << int(Mode) << ": " << AR.message();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuditRandom,
+                         ::testing::Range<uint64_t>(0, 40));
+
+/// The acceptance criterion: the audit proves plan soundness for every
+/// function of every bundled subject, under both placements, without
+/// enumerating a single path.
+TEST(Audit, ProvesAllSubjectsSoundUnderBothPlacements) {
+  for (const auto &S : targets::allSubjects()) {
+    lang::CompileResult CR = lang::compileSource(S.Source, S.Name);
+    ASSERT_TRUE(CR.ok()) << S.Name << ": " << CR.message();
+    for (PlacementMode P :
+         {PlacementMode::Simple, PlacementMode::SpanningTree}) {
+      mir::Module Inst = *CR.Mod;
+      InstrumentOptions IO;
+      IO.Mode = Feedback::Path;
+      IO.Placement = P;
+      InstrumentReport Rep = instrumentModule(Inst, IO);
+      AuditResult AR = auditModule(*CR.Mod, Inst, Rep, IO);
+      EXPECT_TRUE(AR.ok())
+          << S.Name << " ("
+          << (P == PlacementMode::Simple ? "simple" : "spanning-tree")
+          << "): " << AR.message();
+    }
+    // The edge feedbacks audit clean too.
+    for (Feedback Mode : {Feedback::EdgePrecise, Feedback::EdgeClassic}) {
+      mir::Module Inst = *CR.Mod;
+      InstrumentOptions IO;
+      IO.Mode = Mode;
+      InstrumentReport Rep = instrumentModule(Inst, IO);
+      AuditResult AR = auditModule(*CR.Mod, Inst, Rep, IO);
+      EXPECT_TRUE(AR.ok()) << S.Name << ": " << AR.message();
+    }
+  }
+}
+
+/// The point of the algebra: a function with 2^28 acyclic paths is proven
+/// sound in milliseconds. Enumeration would walk 268 million paths.
+TEST(Audit, ProvesHugePathCountWithoutEnumeration) {
+  const int Diamonds = 28;
+  mir::FunctionBuilder FB("wide", 1);
+  mir::Reg C = FB.emitInLen();
+  for (int I = 0; I < Diamonds; ++I) {
+    uint32_t T = FB.newBlock(), E = FB.newBlock(), J = FB.newBlock();
+    FB.setCondBr(C, T, E);
+    FB.setInsertPoint(T);
+    FB.setBr(J);
+    FB.setInsertPoint(E);
+    FB.setBr(J);
+    FB.setInsertPoint(J);
+  }
+  FB.setRet(C);
+  mir::Function F = FB.take();
+
+  // Plan-level: the DAG has exactly 2^28 paths and its plan audits clean.
+  cfg::CfgView G(F);
+  auto Dag = BLDag::build(G, 1ULL << 30);
+  ASSERT_TRUE(Dag.has_value());
+  EXPECT_EQ(Dag->numPaths(), 1ULL << Diamonds);
+  for (PlacementMode P : {PlacementMode::Simple, PlacementMode::SpanningTree}) {
+    PathProbePlan Plan = Dag->makePlan(P);
+    AuditResult AR = auditPlan(G, *Dag, Plan, P);
+    EXPECT_TRUE(AR.ok()) << AR.message();
+  }
+
+  // Module-level: instrumentation must not fall back, and the whole module
+  // audit still proves soundness.
+  mir::Module Base = test::moduleWith(F);
+  mir::Module Inst = Base;
+  InstrumentOptions IO;
+  IO.Mode = Feedback::Path;
+  InstrumentReport Rep = instrumentModule(Inst, IO);
+  EXPECT_EQ(Rep.TotalPathFallbacks, 0u);
+  EXPECT_GE(Rep.TotalPaths, 1ULL << Diamonds);
+  AuditResult AR = auditModule(Base, Inst, Rep, IO);
+  EXPECT_TRUE(AR.ok()) << AR.message();
+}
+
+/// A loopy source program that exercises every path-probe kind: edge
+/// increments, a back-edge flush/reset and a return flush.
+const char *LoopySource = R"ml(
+fn main() {
+  var i = 0;
+  var s = 0;
+  while (i < len()) {
+    if (in(i) > 10) {
+      s = s + 2;
+    } else {
+      s = s + 1;
+    }
+    i = i + 1;
+  }
+  return s;
+}
+)ml";
+
+struct InstrumentedSubject {
+  mir::Module Base;
+  mir::Module Inst;
+  InstrumentReport Rep;
+  InstrumentOptions IO;
+};
+
+InstrumentedSubject instrumentLoopy(Feedback Mode) {
+  lang::CompileResult CR = lang::compileSource(LoopySource, "loopy");
+  EXPECT_TRUE(CR.ok()) << CR.message();
+  InstrumentedSubject S;
+  S.Base = std::move(*CR.Mod);
+  S.Inst = S.Base;
+  S.IO.Mode = Mode;
+  S.Rep = instrumentModule(S.Inst, S.IO);
+  return S;
+}
+
+mir::Instr *findProbe(mir::Module &M, mir::Opcode Op) {
+  for (auto &F : M.Funcs)
+    for (auto &B : F.Blocks)
+      for (auto &I : B.Instrs)
+        if (I.Op == Op)
+          return &I;
+  return nullptr;
+}
+
+/// Hand corruptions of a path-instrumented module are all caught.
+TEST(Audit, ModuleAuditCatchesHandCorruption) {
+  {
+    InstrumentedSubject S = instrumentLoopy(Feedback::Path);
+    mir::Instr *P = findProbe(S.Inst, mir::Opcode::PathAdd);
+    ASSERT_NE(P, nullptr) << "the loop body must carry an increment";
+    P->Imm += 1;
+    EXPECT_FALSE(auditModule(S.Base, S.Inst, S.Rep, S.IO).ok())
+        << "off-by-one path increment not caught";
+  }
+  {
+    InstrumentedSubject S = instrumentLoopy(Feedback::Path);
+    mir::Instr *P = findProbe(S.Inst, mir::Opcode::PathFlushBack);
+    ASSERT_NE(P, nullptr) << "the while loop must carry a back-edge flush";
+    P->Imm += 1;
+    EXPECT_FALSE(auditModule(S.Base, S.Inst, S.Rep, S.IO).ok())
+        << "corrupted back-edge flush constant not caught";
+  }
+  {
+    InstrumentedSubject S = instrumentLoopy(Feedback::Path);
+    mir::Instr *P = findProbe(S.Inst, mir::Opcode::PathFlushRet);
+    ASSERT_NE(P, nullptr);
+    P->Imm += 1;
+    EXPECT_FALSE(auditModule(S.Base, S.Inst, S.Rep, S.IO).ok())
+        << "corrupted return flush constant not caught";
+  }
+  {
+    InstrumentedSubject S = instrumentLoopy(Feedback::Path);
+    int Main = S.Inst.findFunction("main");
+    ASSERT_GE(Main, 0);
+    S.Inst.Funcs[static_cast<size_t>(Main)].PathRegInit += 1;
+    EXPECT_FALSE(auditModule(S.Base, S.Inst, S.Rep, S.IO).ok())
+        << "corrupted path register init not caught";
+  }
+  {
+    // Deleting a probe outright must break the structural replay.
+    InstrumentedSubject S = instrumentLoopy(Feedback::Path);
+    bool Removed = false;
+    for (auto &F : S.Inst.Funcs) {
+      for (auto &B : F.Blocks) {
+        for (size_t I = 0; I < B.Instrs.size(); ++I)
+          if (B.Instrs[I].Op == mir::Opcode::PathAdd) {
+            B.Instrs.erase(B.Instrs.begin() + static_cast<long>(I));
+            Removed = true;
+            break;
+          }
+        if (Removed)
+          break;
+      }
+      if (Removed)
+        break;
+    }
+    ASSERT_TRUE(Removed);
+    EXPECT_FALSE(auditModule(S.Base, S.Inst, S.Rep, S.IO).ok())
+        << "deleted probe not caught";
+  }
+  {
+    InstrumentedSubject S = instrumentLoopy(Feedback::EdgePrecise);
+    mir::Instr *P = findProbe(S.Inst, mir::Opcode::EdgeProbe);
+    ASSERT_NE(P, nullptr);
+    P->Imm += 1;
+    EXPECT_FALSE(auditModule(S.Base, S.Inst, S.Rep, S.IO).ok())
+        << "duplicated edge ID not caught";
+  }
+}
+
+/// End-to-end: the strategy.instrument.corrupt fault flips one probe
+/// constant after the pass, and BuildCache's audit refuses the build —
+/// deterministically, in any build flavor. The retry (fault is one-shot)
+/// succeeds and serves an audited module.
+TEST(Audit, BuildCacheRejectsCorruptedBuild) {
+  fault::ScopedFaultInjection Guard;
+  strategy::Subject S;
+  S.Name = "audit-corrupt";
+  S.Source = LoopySource;
+
+  strategy::SubjectBuild SB(S);
+  ASSERT_TRUE(SB.ok()) << SB.error();
+  strategy::CampaignOptions Opts;
+
+  fault::SiteConfig C;
+  C.FailOnHit = 1;
+  fault::armSite("strategy.instrument.corrupt", C);
+
+  std::string Err;
+  const strategy::InstrumentedBuild *B =
+      SB.tryInstrumented(Feedback::Path, Opts, &Err);
+  EXPECT_EQ(B, nullptr) << "corrupted build was served";
+  EXPECT_NE(Err.find("audit"), std::string::npos) << Err;
+
+  // The fault fired once; the retry re-runs the pass cleanly.
+  instr::setAuditEnabled(true);
+  B = SB.tryInstrumented(Feedback::Path, Opts, &Err);
+  ASSERT_NE(B, nullptr) << Err;
+  EXPECT_TRUE(B->Mod.Instrumented);
+
+  // And the served module itself re-audits clean.
+  InstrumentOptions IO;
+  IO.Mode = Feedback::Path;
+  IO.Placement = Opts.Placement;
+  IO.MapSizeLog2 = Opts.MapSizeLog2;
+  IO.Seed = 0x5eed0000 + Opts.MapSizeLog2;
+  EXPECT_TRUE(auditModule(SB.base(), B->Mod, B->Report, IO).ok());
+  instr::setAuditEnabled(false);
+}
+
+/// The PATHFUZZ_AUDIT toggle and programmatic override.
+TEST(Audit, EnableOverrideWins) {
+  instr::setAuditEnabled(true);
+  EXPECT_TRUE(instr::auditEnabled());
+  instr::setAuditEnabled(false);
+  EXPECT_FALSE(instr::auditEnabled());
+  // Leave the audit ON for the rest of this binary: it makes every later
+  // BuildCache use in this process stricter, which is what we want here.
+  instr::setAuditEnabled(true);
+}
+
+} // namespace

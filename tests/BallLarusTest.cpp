@@ -241,9 +241,11 @@ TEST(BallLarus, SpanningTreePlacementBoundsProbesByChords) {
     if (!Dag)
       continue;
     Dag->computeChordIncrements();
-    for (const DagEdge &E : Dag->edges())
-      if (E.OnTree)
+    for (const DagEdge &E : Dag->edges()) {
+      if (E.OnTree) {
         EXPECT_EQ(E.Inc, 0) << "seed " << Seed;
+      }
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include "cfg/Cfg.h"
 
 #include "TestUtil.h"
+#include "analysis/Dominators.h"
 #include "cfg/EdgeSplit.h"
 #include "mir/Verifier.h"
 
@@ -111,7 +112,7 @@ TEST(Cfg, UnreachableBlocksExcluded) {
 TEST(Cfg, Dominators) {
   mir::Function F = loopFunction();
   CfgView G(F);
-  DominatorTree DT(G);
+  analysis::DominatorTree DT(G);
   EXPECT_EQ(DT.idom(1), 0u); // header dominated by entry
   EXPECT_EQ(DT.idom(2), 1u);
   EXPECT_EQ(DT.idom(3), 1u);
@@ -124,7 +125,7 @@ TEST(Cfg, Dominators) {
 TEST(Cfg, LoopInfo) {
   mir::Function F = loopFunction();
   CfgView G(F);
-  LoopInfo LI = LoopInfo::compute(G);
+  analysis::LoopInfo LI = analysis::LoopInfo::compute(G);
   ASSERT_EQ(LI.Headers.size(), 1u);
   EXPECT_EQ(LI.Headers[0], 1u);
   EXPECT_EQ(LI.InnermostHeader[1], 1u);

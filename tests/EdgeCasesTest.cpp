@@ -181,8 +181,9 @@ fn main() { return f(len()); }
   for (const auto &F : M.Funcs)
     for (const auto &BB : F.Blocks)
       for (const auto &I : BB.Instrs)
-        if (I.Op == mir::Opcode::BlockProbe)
+        if (I.Op == mir::Opcode::BlockProbe) {
           EXPECT_LT(I.Imm, 1 << 10);
+        }
 }
 
 TEST(CampaignEdge, ZeroBudgetStillTerminates) {

@@ -102,9 +102,11 @@ TEST_P(InstrumentRandom, RuntimePathIdsAreInRange) {
     Map.reset();
     auto In = randomInput(R);
     runOn(M, Shadow, In, Map.data(), Map.mask(), /*Keys=*/nullptr);
-    for (uint32_t Idx = 0; Idx < Map.size(); ++Idx)
-      if (Map.data()[Idx])
+    for (uint32_t Idx = 0; Idx < Map.size(); ++Idx) {
+      if (Map.data()[Idx]) {
         ASSERT_LT(Idx, MaxPaths) << "flushed path ID out of range";
+      }
+    }
   }
 }
 
@@ -177,8 +179,9 @@ TEST(Instrument, ShadowEdgeIdsStableAcrossModes) {
     uint32_t Orig = Shadow.origBlocks(FIdx);
     EXPECT_EQ(Orig, Base.Funcs[FIdx].numBlocks());
     for (uint32_t B = 0; B < Inst.Funcs[FIdx].numBlocks(); ++B) {
-      if (B >= Orig)
+      if (B >= Orig) {
         EXPECT_EQ(Shadow.edgeId(FIdx, B, 0), UINT32_MAX);
+      }
     }
   }
 }

@@ -8,6 +8,8 @@
 #include "mir/Printer.h"
 #include "mir/Verifier.h"
 
+#include "cfg/Cfg.h"
+
 #include <gtest/gtest.h>
 
 using namespace pathfuzz;
@@ -141,6 +143,119 @@ TEST(Verifier, CatchesStrayPathProbe) {
   F.Blocks[0].Instrs.insert(F.Blocks[0].Instrs.begin(), Probe);
   Module M = wrap(std::move(F)); // HasPathReg not set
   EXPECT_FALSE(verifyModule(M).ok());
+}
+
+TEST(Printer, BlockHeadersCarryCfgEdgeIds) {
+  // The printed "; edges #k->succ" annotations must agree with the edge
+  // numbering cfg::CfgView assigns — same IDs a PathProbePlan references.
+  FunctionBuilder FB("f", 0);
+  Reg C = FB.emitInLen();
+  uint32_t T = FB.newBlock("t"), E = FB.newBlock("e"), J = FB.newBlock("j");
+  FB.setCondBr(C, T, E);
+  FB.setInsertPoint(T);
+  FB.setBr(J);
+  FB.setInsertPoint(E);
+  FB.setBr(J);
+  FB.setInsertPoint(J);
+  FB.setRet(C);
+  Function F = FB.take();
+
+  std::string Out = printFunction(F);
+  cfg::CfgView G(F);
+  for (uint32_t E2 = 0; E2 < G.edges().size(); ++E2) {
+    const cfg::Edge &Edge = G.edges()[E2];
+    std::string Want =
+        "#" + std::to_string(E2) + "->" + F.Blocks[Edge.Dst].Name;
+    EXPECT_NE(Out.find(Want), std::string::npos)
+        << "missing edge annotation '" << Want << "' in:\n"
+        << Out;
+  }
+  EXPECT_NE(Out.find("entry: ; edges #0->t #1->e"), std::string::npos) << Out;
+  // Blocks without successors get no annotation.
+  EXPECT_NE(Out.find("j:\n"), std::string::npos) << Out;
+}
+
+TEST(Printer, HeaderShowsPathRegister) {
+  FunctionBuilder FB("f", 0);
+  FB.setRetConst(0);
+  Function F = FB.take();
+  EXPECT_EQ(printFunction(F).find("pathreg"), std::string::npos);
+  F.HasPathReg = true;
+  F.PathReg = F.NumRegs++;
+  F.PathRegInit = 3;
+  std::string Out = printFunction(F);
+  EXPECT_NE(Out.find("; pathreg r" + std::to_string(F.PathReg) + " init 3"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(Verifier, ErrorsCarryFunctionAndBlockPrefix) {
+  FunctionBuilder FB("f", 0);
+  FB.setRetConst(0);
+  Function F = FB.take();
+  F.Blocks[0].Instrs[0].A = 200;
+  Module M = wrap(std::move(F));
+  VerifyResult R = verifyModule(M);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("@main:entry:"), std::string::npos)
+      << R.message();
+}
+
+TEST(Verifier, RejectsProbesInNonInstrumentedModules) {
+  FunctionBuilder FB("f", 0);
+  FB.setRetConst(0);
+  Function F = FB.take();
+  Instr Probe;
+  Probe.Op = Opcode::EdgeProbe;
+  Probe.Imm = 0;
+  F.Blocks[0].Instrs.insert(F.Blocks[0].Instrs.begin(), Probe);
+  Module M = wrap(std::move(F));
+  ASSERT_FALSE(M.Instrumented);
+  VerifyResult R = verifyModule(M);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("never went through instrumentation"),
+            std::string::npos)
+      << R.message();
+
+  // The identical module is fine once it is marked as instrumented.
+  M.Instrumented = true;
+  EXPECT_TRUE(verifyModule(M).ok()) << verifyModule(M).message();
+}
+
+TEST(Verifier, RejectsRetFlushOutsideReturnBlocks) {
+  FunctionBuilder FB("f", 0);
+  uint32_t Next = FB.newBlock("next");
+  FB.setBr(Next);
+  FB.setInsertPoint(Next);
+  FB.setRetConst(0);
+  Function F = FB.take();
+  F.HasPathReg = true;
+  F.PathReg = F.NumRegs++;
+  Instr Probe;
+  Probe.Op = Opcode::PathFlushRet;
+  F.Blocks[0].Instrs.push_back(Probe); // entry ends in br, not ret
+  Module M = wrap(std::move(F));
+  M.Instrumented = true;
+  VerifyResult R = verifyModule(M);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("outside a return block"), std::string::npos)
+      << R.message();
+}
+
+TEST(Verifier, RejectsNegativeProbeIds) {
+  FunctionBuilder FB("f", 0);
+  FB.setRetConst(0);
+  Function F = FB.take();
+  Instr Probe;
+  Probe.Op = Opcode::EdgeProbe;
+  Probe.Imm = -1;
+  F.Blocks[0].Instrs.insert(F.Blocks[0].Instrs.begin(), Probe);
+  Module M = wrap(std::move(F));
+  M.Instrumented = true;
+  VerifyResult R = verifyModule(M);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("negative id"), std::string::npos)
+      << R.message();
 }
 
 TEST(Module, LookupAndCounts) {

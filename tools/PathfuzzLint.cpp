@@ -1,0 +1,147 @@
+//===- PathfuzzLint.cpp - MiniLang lint CLI ----------------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line front end for lang::lint:
+//
+//   pathfuzz-lint file.ml [file2.ml ...]   lint MiniLang source files
+//   pathfuzz-lint --subject cflow          lint one embedded subject
+//   pathfuzz-lint --all-subjects           lint the whole target suite
+//   pathfuzz-lint --allow-findings ...     findings don't fail the run
+//
+// Output is one diagnostic per line in the familiar compiler shape
+// `name:line:col: warning: [check] message`, so editors and CI log
+// scrapers can parse it. Exit codes: 0 = clean (or findings allowed),
+// 1 = findings, 2 = usage/compile errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lint.h"
+#include "targets/Targets.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pathfuzz;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> Files;
+  std::vector<std::string> Subjects;
+  bool AllSubjects = false;
+  bool AllowFindings = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: pathfuzz-lint [--allow-findings] <file.ml ...>\n"
+      "       pathfuzz-lint [--allow-findings] --subject <name> [...]\n"
+      "       pathfuzz-lint [--allow-findings] --all-subjects\n"
+      "\n"
+      "Lints MiniLang programs: use-before-init, dead stores, unreachable\n"
+      "code, guaranteed division by zero, constant out-of-bounds accesses,\n"
+      "unused parameters and functions. Exit 1 on findings (unless\n"
+      "--allow-findings), 2 on usage or compile errors.\n");
+}
+
+/// Lint one named source; prints diagnostics and returns their count, or
+/// -1 on compile errors.
+int lintOne(const std::string &Name, const std::string &Source) {
+  std::vector<std::string> CompileErrors;
+  std::vector<lang::LintDiagnostic> Diags =
+      lang::lintSource(Source, Name, CompileErrors);
+  if (!CompileErrors.empty()) {
+    for (const std::string &E : CompileErrors)
+      std::fprintf(stderr, "%s: error: %s\n", Name.c_str(), E.c_str());
+    return -1;
+  }
+  for (const lang::LintDiagnostic &D : Diags)
+    std::printf("%s:%u:%u: warning: [%s] %s%s%s%s\n", Name.c_str(), D.Line,
+                D.Col, lang::lintCheckName(D.Check), D.Message.c_str(),
+                D.Func.empty() ? "" : " (in @",
+                D.Func.empty() ? "" : D.Func.c_str(),
+                D.Func.empty() ? "" : ")");
+  return static_cast<int>(Diags.size());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (Arg == "--allow-findings") {
+      Opts.AllowFindings = true;
+    } else if (Arg == "--all-subjects") {
+      Opts.AllSubjects = true;
+    } else if (Arg == "--subject") {
+      if (++I == argc) {
+        usage();
+        return 2;
+      }
+      Opts.Subjects.push_back(argv[I]);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      usage();
+      return 2;
+    } else {
+      Opts.Files.push_back(Arg);
+    }
+  }
+  if (Opts.Files.empty() && Opts.Subjects.empty() && !Opts.AllSubjects) {
+    usage();
+    return 2;
+  }
+
+  int TotalFindings = 0;
+  bool HadErrors = false;
+  auto Accumulate = [&](int N) {
+    if (N < 0)
+      HadErrors = true;
+    else
+      TotalFindings += N;
+  };
+
+  for (const std::string &File : Opts.Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "%s: error: cannot open file\n", File.c_str());
+      HadErrors = true;
+      continue;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Accumulate(lintOne(File, SS.str()));
+  }
+
+  if (Opts.AllSubjects)
+    for (const strategy::Subject &S : targets::allSubjects())
+      Accumulate(lintOne(S.Name, S.Source));
+  for (const std::string &Name : Opts.Subjects) {
+    const strategy::Subject *S = targets::findSubject(Name);
+    if (!S) {
+      std::fprintf(stderr, "unknown subject: %s\n", Name.c_str());
+      HadErrors = true;
+      continue;
+    }
+    Accumulate(lintOne(S->Name, S->Source));
+  }
+
+  if (HadErrors)
+    return 2;
+  if (TotalFindings > 0) {
+    std::fprintf(stderr, "pathfuzz-lint: %d finding(s)\n", TotalFindings);
+    return Opts.AllowFindings ? 0 : 1;
+  }
+  return 0;
+}
