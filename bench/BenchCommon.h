@@ -18,6 +18,10 @@
 //   PATHFUZZ_JOBS   worker threads for the campaign batch runner
 //                   (default: hardware concurrency; results are
 //                   byte-identical at any value)
+//   PATHFUZZ_TRACE  telemetry tracing (see telemetry/Trace.h); with
+//                   out=PATH the drivers that call exportTraces() write
+//                   the merged campaign trace JSONL (and, with csv, the
+//                   queue-trajectory CSV) next to their printed tables
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +35,7 @@
 #include "support/Stats.h"
 #include "support/Table.h"
 #include "targets/Targets.h"
+#include "telemetry/Export.h"
 
 #include <cstdio>
 
@@ -43,6 +48,7 @@ struct BenchConfig {
   uint64_t Seed;
   bool Verbose;
   std::vector<strategy::Subject> Subjects;
+  telemetry::TraceConfig Trace;
 
   static BenchConfig fromEnv() {
     BenchConfig C;
@@ -53,6 +59,7 @@ struct BenchConfig {
     C.Seed = envU64("REPRO_SEED", 7);
     C.Verbose = envU64("REPRO_VERBOSE", 0) != 0;
     C.Subjects = targets::subjectsFromEnv();
+    C.Trace = telemetry::traceConfigFromEnv();
     return C;
   }
 
@@ -60,6 +67,7 @@ struct BenchConfig {
     strategy::CampaignOptions Opts;
     Opts.ExecBudget = Execs;
     Opts.Seed = Seed;
+    Opts.Trace = Trace;
     return Opts;
   }
 
@@ -81,6 +89,31 @@ runEvaluation(const BenchConfig &C,
               const std::vector<strategy::FuzzerKind> &Kinds) {
   return strategy::evaluate(C.Subjects, Kinds, C.Runs, C.campaignOptions(),
                             C.Verbose);
+}
+
+/// Emit the campaign traces a driver collected when PATHFUZZ_TRACE asks
+/// for out=PATH: the merged JSONL goes to PATH, and with the csv flag
+/// the queue-trajectory table additionally goes to PATH.csv. Export
+/// failures (including the telemetry.export.fail fault site) degrade to
+/// a stderr warning — the driver's printed tables are never affected.
+inline void exportTraces(const BenchConfig &C,
+                         const std::vector<strategy::CampaignResult> &Results) {
+  if (!C.Trace.Enabled || C.Trace.OutPath.empty())
+    return;
+  std::vector<const telemetry::CampaignTrace *> Traces;
+  for (const strategy::CampaignResult &R : Results)
+    if (R.Trace)
+      Traces.push_back(R.Trace.get());
+  if (Traces.empty())
+    return;
+  std::string Err;
+  std::string Jsonl = telemetry::mergedJsonl(Traces, C.Trace.Wall);
+  if (!telemetry::exportFile(C.Trace.OutPath, Jsonl, &Err))
+    std::fprintf(stderr, "warning: trace export failed: %s\n", Err.c_str());
+  if (C.Trace.Csv &&
+      !telemetry::exportFile(C.Trace.OutPath + ".csv",
+                             telemetry::queueTrajectoryCsv(Traces), &Err))
+    std::fprintf(stderr, "warning: trace export failed: %s\n", Err.c_str());
 }
 
 } // namespace bench

@@ -43,6 +43,7 @@ int main() {
     Jobs.push_back(J);
   }
   std::vector<CampaignResult> Results = runCampaigns(Jobs);
+  exportTraces(C, Results);
 
   std::printf("subject: %s\n\n", S->Name.c_str());
   std::printf("fuzzer,execs,queue\n");

@@ -14,6 +14,7 @@
 #include "instrument/Instrument.h"
 #include "lang/Compile.h"
 #include "targets/Targets.h"
+#include "telemetry/Trace.h"
 #include "vm/Vm.h"
 
 #include <benchmark/benchmark.h>
@@ -107,6 +108,48 @@ void BM_VmPath(benchmark::State &State) {
   runVmBench(State, instr::Feedback::Path);
 }
 BENCHMARK(BM_VmPath);
+
+// Telemetry hot-path costs. The disabled case is the one every untraced
+// execution pays: PF_TRACE_EVENT against a null recorder, i.e. one
+// branch. The enabled cases bound the per-exec cost a traced campaign
+// adds (one ring push + a couple of histogram observes).
+
+void BM_TraceEventDisabled(benchmark::State &State) {
+  telemetry::InstanceTrace *Tr = nullptr;
+  uint64_t Exec = 0;
+  for (auto _ : State) {
+    ++Exec;
+    PF_TRACE_EVENT(Tr, telemetry::EventKind::ExecCompleted, Exec, 64, 1000, 0);
+    benchmark::DoNotOptimize(Tr);
+  }
+}
+BENCHMARK(BM_TraceEventDisabled);
+
+void BM_TraceEventEnabled(benchmark::State &State) {
+  telemetry::TraceConfig Cfg;
+  Cfg.Enabled = true;
+  telemetry::InstanceTrace Trace(Cfg);
+  telemetry::InstanceTrace *Tr = &Trace;
+  (void)Tr; // PF_TRACE_EVENT is empty under PATHFUZZ_NO_TELEMETRY
+  uint64_t Exec = 0;
+  for (auto _ : State) {
+    ++Exec;
+    PF_TRACE_EVENT(Tr, telemetry::EventKind::ExecCompleted, Exec, 64, 1000, 0);
+    benchmark::DoNotOptimize(Trace.ring().recorded());
+  }
+}
+BENCHMARK(BM_TraceEventEnabled);
+
+void BM_HistogramObserve(benchmark::State &State) {
+  telemetry::Histogram H;
+  uint64_t V = 1;
+  for (auto _ : State) {
+    H.observe(V);
+    V = V * 2862933555777941757ULL + 3037000493ULL; // cheap LCG spread
+    benchmark::DoNotOptimize(H);
+  }
+}
+BENCHMARK(BM_HistogramObserve);
 
 } // namespace
 

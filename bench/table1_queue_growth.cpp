@@ -41,6 +41,7 @@ int main() {
   auto Start = std::chrono::steady_clock::now();
   BatchStats BS;
   std::vector<CampaignResult> Results = runCampaigns(Jobs, 0, &BS);
+  exportTraces(C, Results);
   double WallSec = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - Start)
                        .count();

@@ -17,6 +17,16 @@ Fuzzer::Fuzzer(const mir::Module &M, const instr::InstrumentReport &Report,
       Trace(Opts.MapSizeLog2), Virgin(Trace.size()), R(Opts.Seed),
       Mut(R, Opts.Mut), Q(Trace.size()) {
   EdgeCovered.assign(Shadow.numEdges(), 0);
+  if (telemetry::Compiled && this->Opts.Trace.Enabled) {
+    Tr = std::make_unique<telemetry::InstanceTrace>(this->Opts.Trace);
+    telemetry::MetricsRegistry &Reg = Tr->metrics();
+    MExecs = Reg.counter("execs");
+    MHeapAllocs = Reg.counter("vm.heap.allocs");
+    MHeapCells = Reg.counter("vm.heap.cells");
+    HSteps = Reg.histogram("exec.steps");
+    HInputSize = Reg.histogram("input.size");
+    HHeapCells = Reg.histogram("exec.heap.cells");
+  }
 }
 
 vm::ExecResult Fuzzer::executeRaw(const Input &Data, bool LogCmps) {
@@ -26,6 +36,10 @@ vm::ExecResult Fuzzer::executeRaw(const Input &Data, bool LogCmps) {
   Fb.MapMask = Trace.mask();
   Fb.FuncKeys = Report.FuncKeys.data();
   Fb.CallPathHash = Opts.PathAflAssist;
+  // Events the VM records (injected faults) carry the index this
+  // execution is about to get.
+  Fb.Trace = Tr.get();
+  Fb.TraceExec = Stats.Execs + 1;
 
   vm::ExecOptions EO = Opts.Exec;
   EO.LogCmps = LogCmps;
@@ -39,10 +53,43 @@ void Fuzzer::sampleGrowth() {
     Stats.QueueGrowth.push_back({Stats.Execs, Q.size()});
 }
 
+void Fuzzer::sampleTrace() {
+  if (!Tr || !Tr->sampleDue(Stats.Execs))
+    return;
+  telemetry::Sample S;
+  S.Exec = Stats.Execs;
+  S.QueueSize = Q.size();
+  S.Favored = Q.favoredCount();
+  S.EdgesCovered = EdgeCoveredCount;
+  S.Crashes = Stats.Crashes;
+  S.UniqueCrashes = Crashes.size();
+  S.Hangs = Stats.Hangs;
+  S.UniqueBugs = Bugs.size();
+  S.CullPasses = Q.cullPasses();
+  S.DictSize = CmpDict.size();
+  Tr->sample(S);
+}
+
 bool Fuzzer::processResult(const Input &Data, const vm::ExecResult &Res,
                            uint32_t Depth, bool ForceAdd) {
   ++Stats.Execs;
   sampleGrowth();
+
+  // Telemetry for the completed execution. `Compiled` is a constant, so
+  // the whole block folds away under -DPATHFUZZ_NO_TELEMETRY; otherwise
+  // the disabled cost is the one null test.
+  if (telemetry::Compiled && Tr) {
+    ++*MExecs;
+    *MHeapAllocs += Res.HeapAllocs;
+    *MHeapCells += Res.HeapCellsAllocated;
+    HSteps->observe(Res.Steps);
+    HInputSize->observe(Data.size());
+    HHeapCells->observe(Res.HeapCellsAllocated);
+    uint8_t Outcome = Res.crashed() ? 1 : (Res.hung() ? 2 : 0);
+    Tr->event(telemetry::EventKind::ExecCompleted, Stats.Execs,
+              static_cast<uint32_t>(Data.size()), Res.Steps, Outcome);
+    sampleTrace();
+  }
 
   // Union shadow edges (crashing runs count for coverage too, as the
   // paper's afl-showmap pass replays everything the fuzzer saved).
@@ -68,6 +115,9 @@ bool Fuzzer::processResult(const Input &Data, const vm::ExecResult &Res,
     uint64_t Hash = Res.TheFault.stackHash();
     Bugs.insert(Res.TheFault.bugId());
     if (CrashHashes.insert(Hash).second) {
+      PF_TRACE_EVENT(Tr.get(), telemetry::EventKind::CrashDeduped,
+                     Stats.Execs, static_cast<uint32_t>(Crashes.size()),
+                     Hash);
       CrashRecord C;
       C.Data = Data;
       C.TheFault = Res.TheFault;
@@ -88,6 +138,8 @@ bool Fuzzer::processResult(const Input &Data, const vm::ExecResult &Res,
     ++Stats.Hangs;
     uint64_t Hash = fnv1a(Data.data(), Data.size());
     if (HangHashes.insert(Hash).second) {
+      PF_TRACE_EVENT(Tr.get(), telemetry::EventKind::HangDeduped, Stats.Execs,
+                     static_cast<uint32_t>(Hangs.size()), Hash);
       HangRecord H;
       H.Data = Data;
       H.Steps = Res.Steps;
@@ -125,6 +177,8 @@ bool Fuzzer::processResult(const Input &Data, const vm::ExecResult &Res,
 
   Stats.LastFindExec = Stats.Execs;
   Q.add(std::move(E));
+  PF_TRACE_EVENT(Tr.get(), telemetry::EventKind::SeedAdded, Stats.Execs,
+                 static_cast<uint32_t>(Q.size() - 1), Data.size());
   return true;
 }
 
@@ -191,11 +245,19 @@ void Fuzzer::run(uint64_t ExecBudget) {
 
   while (Stats.Execs < ExecBudget && !stopNow()) {
     if (Interval && Opts.CheckpointBase + Stats.Execs >= NextCkpt) {
+      // Recorded before the hook runs so the event is part of the
+      // snapshot the hook writes.
+      PF_TRACE_EVENT(Tr.get(), telemetry::EventKind::CheckpointWritten,
+                     Stats.Execs, 0, Opts.CheckpointBase + Stats.Execs);
       Opts.OnCheckpoint(*this);
       NextCkpt =
           ((Opts.CheckpointBase + Stats.Execs) / Interval + 1) * Interval;
     }
+    uint64_t CyclesBefore = Sched.Cycles;
     size_t Index = Sched.next(Q.size());
+    if (Sched.Cycles != CyclesBefore)
+      PF_TRACE_EVENT(Tr.get(), telemetry::EventKind::CycleStarted, Stats.Execs,
+                     static_cast<uint32_t>(Sched.Cycles), Q.size());
     Stats.QueueCycles = Sched.completedCycles();
     Q.cullIfNeeded();
     QueueEntry &E = Q[Index];

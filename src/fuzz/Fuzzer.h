@@ -34,9 +34,11 @@
 #include "fuzz/Mutator.h"
 #include "fuzz/Queue.h"
 #include "instrument/Instrument.h"
+#include "telemetry/Trace.h"
 #include "vm/Vm.h"
 
 #include <functional>
+#include <memory>
 #include <unordered_set>
 
 namespace pathfuzz {
@@ -74,6 +76,11 @@ struct FuzzerOptions {
   /// instance-local count (0 = no limit), letting a campaign driver convert
   /// a runaway instance into a recorded error instead of a wedged worker.
   uint64_t ExecHardLimit = 0;
+
+  /// Telemetry: when enabled (and compiled in) the fuzzer owns a flight
+  /// recorder + metrics registry + sample series. Purely observational —
+  /// traced and untraced runs are byte-identical in campaign results.
+  telemetry::TraceConfig Trace;
 };
 
 struct FuzzStats {
@@ -196,6 +203,10 @@ public:
 
   const std::vector<int64_t> &cmpDict() const { return CmpDict; }
 
+  /// The instance recorder; null when tracing is disabled or compiled out.
+  telemetry::InstanceTrace *trace() { return Tr.get(); }
+  const telemetry::InstanceTrace *trace() const { return Tr.get(); }
+
 private:
   /// Process one executed input; returns true if it was added to the
   /// corpus. ForceAdd retains the input even without coverage novelty
@@ -204,6 +215,7 @@ private:
                      uint32_t Depth, bool ForceAdd = false);
   uint32_t energyFor(const QueueEntry &E) const;
   void sampleGrowth();
+  void sampleTrace();
 
   const mir::Module &M;
   const instr::InstrumentReport &Report;
@@ -231,6 +243,16 @@ private:
 
   CycleScheduler Sched;
   uint64_t AvgStepsNum = 0, AvgStepsDen = 0;
+
+  // Telemetry. The metric pointers are cached at construction so the hot
+  // path never does a name lookup; all null when tracing is off.
+  std::unique_ptr<telemetry::InstanceTrace> Tr;
+  uint64_t *MExecs = nullptr;
+  uint64_t *MHeapAllocs = nullptr;
+  uint64_t *MHeapCells = nullptr;
+  telemetry::Histogram *HSteps = nullptr;
+  telemetry::Histogram *HInputSize = nullptr;
+  telemetry::Histogram *HHeapCells = nullptr;
 };
 
 } // namespace fuzz

@@ -43,6 +43,7 @@ void Corpus::markFuzzed(size_t Index) {
 
 void Corpus::recomputeFavored() {
   NeedCull = false;
+  ++CullPasses;
   for (QueueEntry &E : Entries)
     E.Favored = false;
 
@@ -65,11 +66,12 @@ void Corpus::recomputeFavored() {
 
 void Corpus::restoreState(std::vector<QueueEntry> NewEntries,
                           std::vector<int32_t> NewTopRated, bool NewNeedCull,
-                          uint32_t NewPendingFavored) {
+                          uint32_t NewPendingFavored, uint64_t NewCullPasses) {
   Entries = std::move(NewEntries);
   TopRated = std::move(NewTopRated);
   NeedCull = NewNeedCull;
   PendingFavoredCount = NewPendingFavored;
+  CullPasses = NewCullPasses;
 }
 
 uint32_t Corpus::favoredCount() const {

@@ -77,6 +77,9 @@ public:
   /// Re-run the greedy favored marking now (normally automatic).
   void recomputeFavored();
 
+  /// Lifetime favored-marking passes (telemetry's culling-stats series).
+  uint64_t cullPasses() const { return CullPasses; }
+
   /// Greedy minimal-ish subset of entry indices whose EdgeSets union to
   /// the union of all entries' EdgeSets: the paper's culling criterion
   /// ("retain test cases exercising all edges encountered", via the
@@ -93,13 +96,14 @@ public:
   /// must have the same size as the map this corpus was built for.
   void restoreState(std::vector<QueueEntry> NewEntries,
                     std::vector<int32_t> NewTopRated, bool NewNeedCull,
-                    uint32_t NewPendingFavored);
+                    uint32_t NewPendingFavored, uint64_t NewCullPasses);
 
 private:
   std::vector<QueueEntry> Entries;
   std::vector<int32_t> TopRated; ///< per map index: best entry or -1
   bool NeedCull = false;
   uint32_t PendingFavoredCount = 0;
+  uint64_t CullPasses = 0;
 };
 
 } // namespace fuzz

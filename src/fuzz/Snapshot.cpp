@@ -208,6 +208,18 @@ std::vector<uint8_t> Fuzzer::snapshot() const {
     W.u32(static_cast<uint32_t>(T));
   W.u8(Q.cullPending());
   W.u32(Q.pendingFavored());
+  W.u64(Q.cullPasses());
+
+  // Telemetry section (version 2): the instance recorder's cumulative
+  // state, so a killed-and-resumed campaign reports the same metrics,
+  // samples and event history as an uninterrupted one. Untraced fuzzers
+  // write an absence byte.
+  if (Tr) {
+    W.u8(1);
+    Tr->serializeState(W);
+  } else {
+    W.u8(0);
+  }
 
   return sealSnapshot(W.take());
 }
@@ -297,10 +309,26 @@ bool Fuzzer::restore(const std::vector<uint8_t> &Blob) {
     T = static_cast<int32_t>(Rd.u32());
   bool NeedCull = Rd.u8() != 0;
   uint32_t PendingFavored = Rd.u32();
+  uint64_t CullPasses = Rd.u64();
+
+  // Telemetry section. When this fuzzer is untraced the section is still
+  // parsed (into a scratch recorder) so the trailing done() check keeps
+  // validating the whole payload.
+  if (Rd.u8() != 0) {
+    if (Tr) {
+      if (!Tr->restoreState(Rd))
+        return false;
+    } else {
+      telemetry::InstanceTrace Scratch{telemetry::TraceConfig{}};
+      if (!Scratch.restoreState(Rd))
+        return false;
+    }
+  }
+
   if (!Rd.done())
     return false;
   Q.restoreState(std::move(Entries), std::move(TopRated), NeedCull,
-                 PendingFavored);
+                 PendingFavored, CullPasses);
   return true;
 }
 

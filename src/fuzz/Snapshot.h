@@ -30,6 +30,7 @@
 #define PATHFUZZ_FUZZ_SNAPSHOT_H
 
 #include "fuzz/Fuzzer.h"
+#include "support/Bytes.h"
 
 #include <cstdint>
 #include <cstring>
@@ -39,159 +40,15 @@ namespace pathfuzz {
 namespace fuzz {
 
 constexpr uint32_t SnapshotMagic = 0x535a4650; // "PFZS" little-endian
-constexpr uint32_t SnapshotVersion = 1;
+/// Version 2 added the telemetry section (metrics counters, histograms,
+/// the sample series and the event ring) so a resumed campaign reports
+/// the same cumulative series as an uninterrupted one.
+constexpr uint32_t SnapshotVersion = 2;
 
-/// Append-only little-endian byte buffer.
-class ByteWriter {
-public:
-  void u8(uint8_t V) { Buf.push_back(V); }
-  void u32(uint32_t V) {
-    for (int I = 0; I < 4; ++I)
-      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
-  }
-  void u64(uint64_t V) {
-    for (int I = 0; I < 8; ++I)
-      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
-  }
-  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
-  void bytes(const void *Data, size_t N) {
-    const auto *P = static_cast<const uint8_t *>(Data);
-    Buf.insert(Buf.end(), P, P + N);
-  }
-  /// u64 length prefix + raw bytes.
-  void blob(const std::vector<uint8_t> &B) {
-    u64(B.size());
-    bytes(B.data(), B.size());
-  }
-  void vecU32(const std::vector<uint32_t> &Xs) {
-    u64(Xs.size());
-    for (uint32_t X : Xs)
-      u32(X);
-  }
-  void vecU64(const std::vector<uint64_t> &Xs) {
-    u64(Xs.size());
-    for (uint64_t X : Xs)
-      u64(X);
-  }
-  void vecI64(const std::vector<int64_t> &Xs) {
-    u64(Xs.size());
-    for (int64_t X : Xs)
-      i64(X);
-  }
-
-  const std::vector<uint8_t> &data() const { return Buf; }
-  std::vector<uint8_t> take() { return std::move(Buf); }
-
-private:
-  std::vector<uint8_t> Buf;
-};
-
-/// Bounds-checked little-endian reader. Any overrun latches ok() to false
-/// and subsequent reads return zeros; callers check ok() once at the end.
-class ByteReader {
-public:
-  ByteReader(const uint8_t *Data, size_t N) : P(Data), End(Data + N) {}
-  explicit ByteReader(const std::vector<uint8_t> &B)
-      : ByteReader(B.data(), B.size()) {}
-
-  uint8_t u8() {
-    uint8_t V = 0;
-    copy(&V, 1);
-    return V;
-  }
-  uint32_t u32() {
-    uint32_t V = 0;
-    for (int I = 0; I < 4; ++I)
-      V |= static_cast<uint32_t>(u8()) << (8 * I);
-    return V;
-  }
-  uint64_t u64() {
-    uint64_t V = 0;
-    for (int I = 0; I < 8; ++I)
-      V |= static_cast<uint64_t>(u8()) << (8 * I);
-    return V;
-  }
-  int64_t i64() { return static_cast<int64_t>(u64()); }
-  bool bytes(void *Out, size_t N) { return copy(Out, N); }
-  std::vector<uint8_t> blob() {
-    uint64_t N = u64();
-    if (N > remaining()) {
-      OkFlag = false;
-      return {};
-    }
-    std::vector<uint8_t> Out(P, P + N);
-    P += N;
-    return Out;
-  }
-  std::vector<uint32_t> vecU32() {
-    uint64_t N = u64();
-    if (N > remaining() / 4) {
-      OkFlag = false;
-      return {};
-    }
-    std::vector<uint32_t> Out(N);
-    for (auto &X : Out)
-      X = u32();
-    return Out;
-  }
-  std::vector<uint64_t> vecU64() {
-    uint64_t N = u64();
-    if (N > remaining() / 8) {
-      OkFlag = false;
-      return {};
-    }
-    std::vector<uint64_t> Out(N);
-    for (auto &X : Out)
-      X = u64();
-    return Out;
-  }
-  std::vector<int64_t> vecI64() {
-    uint64_t N = u64();
-    if (N > remaining() / 8) {
-      OkFlag = false;
-      return {};
-    }
-    std::vector<int64_t> Out(N);
-    for (auto &X : Out)
-      X = i64();
-    return Out;
-  }
-
-  /// Read exactly N raw bytes (no length prefix).
-  std::vector<uint8_t> raw(size_t N) {
-    if (N > remaining()) {
-      OkFlag = false;
-      return {};
-    }
-    std::vector<uint8_t> Out(P, P + N);
-    P += N;
-    return Out;
-  }
-
-  /// Latch the reader into the failed state (malformed length fields).
-  void invalidate() { OkFlag = false; }
-
-  size_t remaining() const { return static_cast<size_t>(End - P); }
-  bool ok() const { return OkFlag; }
-  /// ok() and fully consumed — the final acceptance check.
-  bool done() const { return OkFlag && P == End; }
-
-private:
-  bool copy(void *Out, size_t N) {
-    if (N > remaining()) {
-      OkFlag = false;
-      std::memset(Out, 0, N);
-      return false;
-    }
-    std::memcpy(Out, P, N);
-    P += N;
-    return true;
-  }
-
-  const uint8_t *P;
-  const uint8_t *End;
-  bool OkFlag = true;
-};
+// The byte writer/reader moved to support/Bytes.h (the telemetry layer
+// serializes with them too); re-exported here for the existing users.
+using pathfuzz::ByteReader;
+using pathfuzz::ByteWriter;
 
 /// Wrap a payload in the magic/version/length/checksum envelope.
 std::vector<uint8_t> sealSnapshot(std::vector<uint8_t> Payload);

@@ -8,6 +8,7 @@
 
 #include "cfg/Cfg.h"
 #include "mir/Verifier.h"
+#include "support/Env.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -786,16 +787,12 @@ AuditResult auditModule(const mir::Module &Base, const mir::Module &Inst,
 bool auditEnabled() {
   if (AuditOverride >= 0)
     return AuditOverride != 0;
-  if (const char *Env = std::getenv("PATHFUZZ_AUDIT")) {
-    if (Env[0] == '0')
-      return false;
-    if (Env[0] == '1')
-      return true;
-  }
+  // The shared env helper: "0" disables, anything else enables, unset
+  // falls through to the build-type default.
 #ifdef NDEBUG
-  return false;
+  return envBool("PATHFUZZ_AUDIT", false);
 #else
-  return true;
+  return envBool("PATHFUZZ_AUDIT", true);
 #endif
 }
 

@@ -35,6 +35,15 @@ namespace {
 CampaignResult runOneJob(BuildCache &Cache, const BatchJob &Job,
                          uint32_t MaxAttempts, BatchJobStatus &Status) {
   CampaignOptions Opts = Job.Opts;
+  if (!Opts.Trace.Enabled) {
+    // Honor PATHFUZZ_TRACE for jobs that don't configure tracing
+    // themselves (an explicit per-job config wins). Parsed once; traces
+    // are per-instance, so any thread count yields the same merged trace.
+    static const telemetry::TraceConfig EnvTrace =
+        telemetry::traceConfigFromEnv();
+    if (EnvTrace.Enabled)
+      Opts.Trace = EnvTrace;
+  }
   if (!Opts.WatchdogExecLimit) {
     // Default watchdog: generous enough that no legitimate campaign gets
     // near it (each driver executes ~ExecBudget total), tight enough to

@@ -55,7 +55,41 @@ fuzz::FuzzerOptions fuzzerOptions(const CampaignOptions &Opts, uint64_t Seed,
   // input-to-state stage; our afl/pathafl configs disable the cmp
   // dictionary accordingly.
   FO.UseCmpDict = !PathAflAssist;
+  FO.Trace = Opts.Trace;
   return FO;
+}
+
+/// Campaign trace container for this run, or null when tracing is off.
+/// Resume paths pass the checkpoint-carried trace through so completed
+/// instances survive the restart.
+std::shared_ptr<telemetry::CampaignTrace>
+makeCampaignTrace(const SubjectBuild &SB, const CampaignOptions &Opts,
+                  std::shared_ptr<telemetry::CampaignTrace> Carried) {
+  if (!(telemetry::Compiled && Opts.Trace.Enabled))
+    return nullptr;
+  if (Carried)
+    return Carried;
+  auto CT = std::make_shared<telemetry::CampaignTrace>();
+  CT->Subject = SB.subject().Name;
+  CT->Fuzzer = fuzzerKindName(Opts.Kind);
+  CT->Seed = Opts.Seed;
+  return CT;
+}
+
+/// Record a campaign-level driver event (cull verdicts, phase starts).
+/// Exec is campaign-cumulative.
+void campaignEvent(telemetry::CampaignTrace *CT, telemetry::EventKind K,
+                   uint64_t Exec, uint32_t A32 = 0, uint64_t A64 = 0,
+                   uint8_t A8 = 0) {
+  if (!CT)
+    return;
+  telemetry::Event E;
+  E.Exec = Exec;
+  E.Kind = K;
+  E.Arg32 = A32;
+  E.Arg64 = A64;
+  E.Arg8 = A8;
+  CT->CampaignEvents.push_back(E);
 }
 
 /// Fold one fuzzer instance's findings into the campaign aggregate.
@@ -250,6 +284,8 @@ struct CullResume {
   uint64_t ExecOffset = 0;
   CampaignResult Partial;
   uint64_t RngState[4] = {0, 0, 0, 0};
+  /// Telemetry collected for completed rounds (null when untraced).
+  std::shared_ptr<telemetry::CampaignTrace> Trace;
   std::vector<uint8_t> FuzzBlob;
 };
 
@@ -257,6 +293,8 @@ struct OppResume {
   uint8_t Phase = 1;
   uint64_t Phase1Execs = 0;               // phase 2 only
   std::vector<uint32_t> Phase1Edges;      // phase 2 only
+  /// Phase-1 telemetry (phase 2 only; null when untraced).
+  std::shared_ptr<telemetry::CampaignTrace> Trace;
   std::vector<uint8_t> FuzzBlob;
 };
 
@@ -279,6 +317,12 @@ CampaignResult runPlain(SubjectBuild &SB, const CampaignOptions &Opts,
     };
 
   fuzz::Fuzzer F(B->Mod, B->Report, SB.shadow(), FO);
+  std::shared_ptr<telemetry::CampaignTrace> CT =
+      makeCampaignTrace(SB, Opts, nullptr);
+  // A single-instance campaign always records its (one) phase start, even
+  // on resume: the event's position is fixed at exec 0, so resumed and
+  // uninterrupted traces agree.
+  campaignEvent(CT.get(), telemetry::EventKind::PhaseStarted, 0);
   if (Resume) {
     if (!F.restore(Resume->FuzzBlob)) {
       setError(Err, "checkpoint restore failed (incompatible state)", "",
@@ -299,6 +343,9 @@ CampaignResult runPlain(SubjectBuild &SB, const CampaignOptions &Opts,
   R.Kind = Opts.Kind;
   accumulate(R, F, 0);
   R.FinalQueueSize = F.corpus().size();
+  if (CT && F.trace())
+    telemetry::collectInstance(*CT, "main", 0, *F.trace());
+  R.Trace = CT;
   return R;
 }
 
@@ -331,6 +378,8 @@ CampaignResult runCull(SubjectBuild &SB, const CampaignOptions &Opts,
     ExecOffset = Resume->ExecOffset;
     CullRng.loadState(Resume->RngState);
   }
+  std::shared_ptr<telemetry::CampaignTrace> CT =
+      makeCampaignTrace(SB, Opts, Resume ? Resume->Trace : nullptr);
 
   for (uint32_t Round = StartRound; Round < Rounds; ++Round) {
     // The last round gets whatever remains of the overall budget (the
@@ -351,7 +400,7 @@ CampaignResult runCull(SubjectBuild &SB, const CampaignOptions &Opts,
       FO.ExecHardLimit = Opts.WatchdogExecLimit - ExecOffset;
     }
     if (Opts.CheckpointSink && Opts.CheckpointInterval)
-      FO.OnCheckpoint = [&Opts, &R, &CullRng, Round,
+      FO.OnCheckpoint = [&Opts, &R, &CullRng, CT, Round,
                          ExecOffset](const fuzz::Fuzzer &F) {
         ByteWriter W;
         writeCheckpointHeader(W, Opts);
@@ -362,6 +411,9 @@ CampaignResult runCull(SubjectBuild &SB, const CampaignOptions &Opts,
         CullRng.saveState(RS);
         for (uint64_t S : RS)
           W.u64(S);
+        // Completed rounds' telemetry; the live round's recorder rides
+        // inside the fuzzer snapshot below.
+        telemetry::writeCampaignTrace(W, CT.get());
         W.blob(F.snapshot());
         Opts.CheckpointSink(fuzz::sealSnapshot(W.take()));
       };
@@ -374,6 +426,10 @@ CampaignResult runCull(SubjectBuild &SB, const CampaignOptions &Opts,
         return {};
       }
     } else {
+      // Fresh round start: the carried checkpoint trace (if any) already
+      // holds this event for the resumed round.
+      campaignEvent(CT.get(), telemetry::EventKind::PhaseStarted, ExecOffset,
+                    Round);
       // Carry the cmp dictionary across instances (AFL++ re-mines cmplog
       // from the seed queue on restart).
       F.seedDict(CarriedDict);
@@ -386,6 +442,9 @@ CampaignResult runCull(SubjectBuild &SB, const CampaignOptions &Opts,
       return {};
     }
     accumulate(R, F, ExecOffset);
+    if (CT && F.trace())
+      telemetry::collectInstance(*CT, "round" + std::to_string(Round),
+                                 ExecOffset, *F.trace());
     ExecOffset += F.stats().Execs;
     R.FinalQueueSize = F.corpus().size();
     CarriedDict = F.cmpDict();
@@ -418,7 +477,10 @@ CampaignResult runCull(SubjectBuild &SB, const CampaignOptions &Opts,
     }
     if (RoundSeeds.empty())
       RoundSeeds = SB.subject().Seeds;
+    campaignEvent(CT.get(), telemetry::EventKind::SeedCulled, ExecOffset,
+                  static_cast<uint32_t>(RoundSeeds.size()), Q.size());
   }
+  R.Trace = CT;
   return R;
 }
 
@@ -429,8 +491,15 @@ CampaignResult runOpp(SubjectBuild &SB, const CampaignOptions &Opts,
   std::vector<uint32_t> Phase1Edges;
   std::vector<fuzz::Input> Handoff;
   std::vector<int64_t> HandoffDict;
+  std::shared_ptr<telemetry::CampaignTrace> CT =
+      makeCampaignTrace(SB, Opts, Resume ? Resume->Trace : nullptr);
 
   if (!Resume || Resume->Phase == 1) {
+    // Phase-1 checkpoints don't carry the campaign trace (nothing is
+    // collected yet), so this event is re-recorded on a phase-1 resume —
+    // its position is fixed at exec 0 either way.
+    campaignEvent(CT.get(), telemetry::EventKind::PhaseStarted, 0, 0, 0,
+                  /*A8=*/1);
     // Phase 1: edge-coverage exploration for half the budget.
     const InstrumentedBuild *EdgeBuild =
         instrumentOrError(SB, instr::Feedback::EdgePrecise, Opts, Err);
@@ -474,6 +543,10 @@ CampaignResult runOpp(SubjectBuild &SB, const CampaignOptions &Opts,
     HandoffDict = Phase1.cmpDict();
     Phase1Execs = Phase1.stats().Execs;
     Phase1Edges = Phase1.coveredEdgeList();
+    if (CT && Phase1.trace())
+      telemetry::collectInstance(*CT, "phase1", 0, *Phase1.trace());
+    campaignEvent(CT.get(), telemetry::EventKind::SeedCulled, Phase1Execs,
+                  static_cast<uint32_t>(Handoff.size()), Q1.size());
   } else {
     Phase1Execs = Resume->Phase1Execs;
     Phase1Edges = Resume->Phase1Edges;
@@ -496,16 +569,22 @@ CampaignResult runOpp(SubjectBuild &SB, const CampaignOptions &Opts,
     FO2.ExecHardLimit = Opts.WatchdogExecLimit - Phase1Execs;
   }
   if (Opts.CheckpointSink && Opts.CheckpointInterval)
-    FO2.OnCheckpoint = [&Opts, Phase1Execs,
-                        &Phase1Edges](const fuzz::Fuzzer &F) {
+    FO2.OnCheckpoint = [&Opts, Phase1Execs, &Phase1Edges,
+                        CT](const fuzz::Fuzzer &F) {
       ByteWriter W;
       writeCheckpointHeader(W, Opts);
       W.u8(2); // phase
       W.u64(Phase1Execs);
       W.vecU32(Phase1Edges);
+      // Phase-1 telemetry; the live phase-2 recorder rides inside the
+      // fuzzer snapshot below.
+      telemetry::writeCampaignTrace(W, CT.get());
       W.blob(F.snapshot());
       Opts.CheckpointSink(fuzz::sealSnapshot(W.take()));
     };
+  if (!(Resume && Resume->Phase == 2))
+    campaignEvent(CT.get(), telemetry::EventKind::PhaseStarted, Phase1Execs, 0,
+                  0, /*A8=*/2);
   fuzz::Fuzzer Phase2(PathBuild->Mod, PathBuild->Report, SB.shadow(), FO2);
   if (Resume && Resume->Phase == 2) {
     if (!Phase2.restore(Resume->FuzzBlob)) {
@@ -528,6 +607,9 @@ CampaignResult runOpp(SubjectBuild &SB, const CampaignOptions &Opts,
   R.Kind = Opts.Kind;
   accumulate(R, Phase2, Phase1Budget);
   R.FinalQueueSize = Phase2.corpus().size();
+  if (CT && Phase2.trace())
+    telemetry::collectInstance(*CT, "phase2", Phase1Execs, *Phase2.trace());
+  R.Trace = CT;
 
   // Edge coverage additionally includes the opportunistic phase-1
   // exploration, as in Table IV's discussion.
@@ -617,6 +699,7 @@ CampaignResult resumeCampaign(SubjectBuild &B, const CampaignOptions &Opts,
     CR.Partial = readCampaignResult(Rd);
     for (uint64_t &S : CR.RngState)
       S = Rd.u64();
+    CR.Trace = telemetry::readCampaignTrace(Rd);
     CR.FuzzBlob = Rd.blob();
     if (!Rd.done() || CR.Round >= std::max<uint32_t>(1, Opts.CullRounds))
       return Fail("malformed checkpoint payload");
@@ -628,6 +711,7 @@ CampaignResult resumeCampaign(SubjectBuild &B, const CampaignOptions &Opts,
     if (OR.Phase == 2) {
       OR.Phase1Execs = Rd.u64();
       OR.Phase1Edges = Rd.vecU32();
+      OR.Trace = telemetry::readCampaignTrace(Rd);
     } else if (OR.Phase != 1) {
       return Fail("malformed checkpoint payload");
     }

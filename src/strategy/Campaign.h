@@ -98,6 +98,13 @@ struct CampaignOptions {
   /// batch runner's default (a generous multiple of ExecBudget); the
   /// deterministic analogue of a wall-clock hang detector.
   uint64_t WatchdogExecLimit = 0;
+
+  /// Telemetry: when enabled, every fuzzer instance records events,
+  /// metrics and time-series samples, folded into CampaignResult::Trace.
+  /// Observational only — traced and untraced campaigns produce
+  /// byte-identical results. The batch runner arms this from the
+  /// PATHFUZZ_TRACE environment knob for jobs that don't set it.
+  telemetry::TraceConfig Trace;
 };
 
 /// Structured campaign failure, replacing in-band aborts: compile and
@@ -141,6 +148,11 @@ struct CampaignResult {
   /// One representative hang per distinct input (Table V's overhead
   /// discussion references the step-limited tail).
   std::vector<fuzz::HangRecord> UniqueHangs;
+  /// Telemetry trace (null when tracing was off). Deliberately excluded
+  /// from serializeCampaignResult: the byte-identity oracle covers the
+  /// campaign's *findings*, and the trace is exported through its own
+  /// deterministic JSONL/CSV path instead.
+  std::shared_ptr<telemetry::CampaignTrace> Trace;
 
   uint32_t edgesCovered() const {
     return static_cast<uint32_t>(EdgeSet.size());

@@ -12,22 +12,37 @@
 
 namespace pathfuzz {
 
+bool parseU64(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  // strtoull silently wraps negative input and saturates to ULLONG_MAX on
+  // overflow (setting ERANGE); both are out-of-range garbage for a u64
+  // knob, not values. It also skips leading whitespace and accepts signs,
+  // which a strict knob parser must not.
+  if (Text.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || *End != '\0' || errno == ERANGE)
+    return false;
+  Out = static_cast<uint64_t>(V);
+  return true;
+}
+
 uint64_t envU64(const char *Name, uint64_t Default) {
   const char *Raw = std::getenv(Name);
   if (!Raw || !*Raw)
     return Default;
-  // strtoull silently wraps negative input and saturates to ULLONG_MAX on
-  // overflow (setting ERANGE); both are out-of-range garbage for a u64
-  // knob, not values, so they fall back to the default like any other
-  // malformed input.
-  if (std::strchr(Raw, '-'))
+  uint64_t V = 0;
+  return parseU64(Raw, V) ? V : Default;
+}
+
+bool envBool(const char *Name, bool Default) {
+  const char *Raw = std::getenv(Name);
+  if (!Raw || !*Raw)
     return Default;
-  errno = 0;
-  char *End = nullptr;
-  unsigned long long V = std::strtoull(Raw, &End, 10);
-  if (End == Raw || *End != '\0' || errno == ERANGE)
-    return Default;
-  return static_cast<uint64_t>(V);
+  return Raw[0] != '0';
 }
 
 std::string envStr(const char *Name, const std::string &Default) {
@@ -55,6 +70,19 @@ std::vector<std::string> envList(const char *Name) {
   if (!Cur.empty())
     Out.push_back(Cur);
   return Out;
+}
+
+bool splitSpecU64(const std::string &Spec, std::string &Name,
+                  uint64_t &Value) {
+  size_t At = Spec.find('@');
+  if (At == std::string::npos || At == 0)
+    return false;
+  uint64_t V = 0;
+  if (!parseU64(Spec.substr(At + 1), V))
+    return false;
+  Name = Spec.substr(0, At);
+  Value = V;
+  return true;
 }
 
 } // namespace pathfuzz

@@ -4,10 +4,14 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The benchmark binaries scale their campaigns via environment variables
-// (REPRO_RUNS, REPRO_EXECS, REPRO_SUBJECTS, REPRO_SEED, REPRO_LONG),
-// mirroring how the paper's artifact exposes RUNTIME and
-// FUZZING_WINDOW_ORIG knobs for artifact evaluators.
+// The one place environment input is parsed. The benchmark binaries scale
+// their campaigns via environment variables (REPRO_RUNS, REPRO_EXECS,
+// REPRO_SUBJECTS, REPRO_SEED, REPRO_LONG), mirroring how the paper's
+// artifact exposes RUNTIME and FUZZING_WINDOW_ORIG knobs for artifact
+// evaluators; the robustness and telemetry layers configure themselves
+// from spec-list knobs (PATHFUZZ_FAULT_SITES, PATHFUZZ_TRACE) built on
+// the same strict parser, so a typo in a spec skips the entry instead of
+// arming it with a half-parsed number.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,15 +24,31 @@
 
 namespace pathfuzz {
 
+/// Strict decimal parse of an *entire* string into a u64. Rejects empty
+/// input, signs, whitespace, trailing garbage and overflow — every
+/// spec-list knob and envU64 route numbers through here.
+bool parseU64(const std::string &Text, uint64_t &Out);
+
 /// Integer environment variable with a default; malformed values fall back
 /// to the default.
 uint64_t envU64(const char *Name, uint64_t Default);
 
+/// Boolean environment variable: unset or empty returns Default; "0"
+/// disables, anything else enables (matching PATHFUZZ_AUDIT's contract).
+bool envBool(const char *Name, bool Default);
+
 /// String environment variable with a default.
 std::string envStr(const char *Name, const std::string &Default);
 
-/// Comma-separated list environment variable; empty if unset.
+/// Comma-separated list environment variable; empty if unset. Spaces are
+/// stripped and empty entries dropped.
 std::vector<std::string> envList(const char *Name);
+
+/// Split a `name@value` spec entry (the PATHFUZZ_FAULT_SITES /
+/// PATHFUZZ_TRACE attachment syntax). Returns false — leaving the outputs
+/// untouched — when there is no '@', the name is empty, or the value is
+/// not a strict u64.
+bool splitSpecU64(const std::string &Spec, std::string &Name, uint64_t &Value);
 
 } // namespace pathfuzz
 

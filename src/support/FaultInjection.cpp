@@ -74,26 +74,27 @@ size_t armFromEnv() {
       C.Transient = false;
       Spec.pop_back();
     }
-    size_t At = Spec.find('@');
+    // Numbers go through the strict support parser: "site@2x" is a typo
+    // to skip, not a request to fail on the second hit.
     size_t Pct = Spec.find('%');
     std::string Name;
-    if (At != std::string::npos) {
-      Name = Spec.substr(0, At);
-      C.FailOnHit = std::strtoull(Spec.c_str() + At + 1, nullptr, 10);
-      if (Name.empty() || C.FailOnHit == 0)
+    if (Spec.find('@') != std::string::npos) {
+      if (!splitSpecU64(Spec, Name, C.FailOnHit) || C.FailOnHit == 0)
         continue;
     } else if (Pct != std::string::npos) {
       Name = Spec.substr(0, Pct);
       std::string Rest = Spec.substr(Pct + 1);
       size_t Tilde = Rest.find('~');
       if (Tilde != std::string::npos) {
-        C.ProbSeed = std::strtoull(Rest.c_str() + Tilde + 1, nullptr, 10);
+        if (!parseU64(Rest.substr(Tilde + 1), C.ProbSeed))
+          continue;
         Rest = Rest.substr(0, Tilde);
       }
-      C.ProbPermille =
-          static_cast<uint32_t>(std::strtoull(Rest.c_str(), nullptr, 10));
-      if (Name.empty() || C.ProbPermille == 0 || C.ProbPermille > 1000)
+      uint64_t Permille = 0;
+      if (Name.empty() || !parseU64(Rest, Permille) || Permille == 0 ||
+          Permille > 1000)
         continue;
+      C.ProbPermille = static_cast<uint32_t>(Permille);
     } else {
       continue;
     }

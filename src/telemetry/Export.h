@@ -1,0 +1,64 @@
+//===- Export.h - JSONL / CSV trace exporters -------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Turns in-memory campaign traces into artifact files. Two formats:
+//
+//  - JSONL: one self-describing JSON object per line ("type" selects the
+//    schema), flat keys, deterministic field order. This is the lingua
+//    franca between campaigns and pathfuzz-report: the bench drivers write
+//    it, the report tool reads it back.
+//
+//  - CSV: the two series the paper's figures plot directly — queue
+//    trajectory (Fig. 2 / Table I) and coverage over execs (Table III).
+//
+// Determinism contract: traces are merged sorted by (subject, fuzzer,
+// seed) — never by completion order — and wall-clock fields are omitted
+// unless the config opts in, so the same campaign set produces
+// byte-identical exports at any PATHFUZZ_JOBS value.
+//
+// Export failure is a degradation, not an abort: exportFile() reports
+// errors (and hosts the `telemetry.export.fail` fault-injection site) so
+// callers warn and keep the campaign results.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_TELEMETRY_EXPORT_H
+#define PATHFUZZ_TELEMETRY_EXPORT_H
+
+#include "telemetry/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+namespace telemetry {
+
+/// JSONL for one campaign trace. Wall=true adds the non-deterministic
+/// wall-clock fields.
+std::string traceJsonl(const CampaignTrace &T, bool Wall = false);
+
+/// Merged JSONL for a set of campaigns, sorted by (subject, fuzzer, seed).
+/// Null entries are skipped (campaigns that ran without tracing).
+std::string mergedJsonl(const std::vector<const CampaignTrace *> &Traces,
+                        bool Wall = false);
+
+/// "subject,fuzzer,seed,execs,queue" rows from every sample, execs made
+/// campaign-cumulative via each instance's offset. Same sort as the JSONL.
+std::string queueTrajectoryCsv(const std::vector<const CampaignTrace *> &Traces);
+
+/// "subject,fuzzer,seed,execs,edges" rows (coverage over the exec budget).
+std::string coverageCsv(const std::vector<const CampaignTrace *> &Traces);
+
+/// Write Content to Path. Returns false (with *Err set when non-null) on
+/// failure; probes the `telemetry.export.fail` fault site first so tests
+/// can prove export failure never aborts a campaign.
+bool exportFile(const std::string &Path, const std::string &Content,
+                std::string *Err = nullptr);
+
+} // namespace telemetry
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_TELEMETRY_EXPORT_H

@@ -1,0 +1,66 @@
+//===- Metrics.cpp - Counters, gauges and log2 histograms ---------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Metrics.h"
+
+namespace pathfuzz {
+namespace telemetry {
+
+void MetricsRegistry::serialize(ByteWriter &W) const {
+  W.u64(Counters.size());
+  for (const auto &[Name, V] : Counters) {
+    W.str(Name);
+    W.u64(V);
+  }
+  W.u64(Gauges.size());
+  for (const auto &[Name, V] : Gauges) {
+    W.str(Name);
+    W.i64(V);
+  }
+  W.u64(Histograms.size());
+  for (const auto &[Name, H] : Histograms) {
+    W.str(Name);
+    W.u64(H.Count);
+    W.u64(H.Sum);
+    W.u64(H.Min);
+    W.u64(H.Max);
+    for (uint64_t B : H.Buckets)
+      W.u64(B);
+  }
+}
+
+bool MetricsRegistry::deserialize(ByteReader &R) {
+  uint64_t NCounters = R.u64();
+  for (uint64_t I = 0; I < NCounters && R.ok(); ++I) {
+    std::string Name = R.str();
+    Counters[Name] = R.u64();
+  }
+  uint64_t NGauges = R.u64();
+  for (uint64_t I = 0; I < NGauges && R.ok(); ++I) {
+    std::string Name = R.str();
+    Gauges[Name] = R.i64();
+  }
+  uint64_t NHists = R.u64();
+  for (uint64_t I = 0; I < NHists && R.ok(); ++I) {
+    std::string Name = R.str();
+    Histogram &H = Histograms[Name];
+    H.Count = R.u64();
+    H.Sum = R.u64();
+    H.Min = R.u64();
+    H.Max = R.u64();
+    for (uint64_t &B : H.Buckets)
+      B = R.u64();
+  }
+  return R.ok();
+}
+
+bool operator==(const MetricsRegistry &A, const MetricsRegistry &B) {
+  return A.counters() == B.counters() && A.gauges() == B.gauges() &&
+         A.histograms() == B.histograms();
+}
+
+} // namespace telemetry
+} // namespace pathfuzz

@@ -1,0 +1,174 @@
+//===- Telemetry.h - Campaign event tracing core ----------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The event half of the telemetry subsystem: a typed, fixed-capacity
+// flight recorder for the fuzzing hot paths. The paper's evaluation is
+// time-series shaped (queue trajectories, coverage growth, bugs over
+// time); this layer captures the raw events those series derive from —
+// executions, seed additions, cull verdicts, cycle starts, crash dedup,
+// checkpoints, injected faults — without perturbing the campaign.
+//
+// Cost model (the "Same Coverage, Less Bloat" lesson: feedback plumbing
+// is a first-order fuzzing cost):
+//
+//  - Compiled out (-DPATHFUZZ_NO_TELEMETRY): the PF_TRACE_* macros expand
+//    to nothing and `Compiled` is a constant false, so every recording
+//    block is dead code the optimizer deletes. Zero bytes, zero branches.
+//  - Compiled in, tracing disabled: each site is one null-pointer test.
+//  - Enabled: one masked store into a preallocated ring per event — no
+//    locks, no allocation, no syscalls.
+//
+// Threading: a ring is single-writer by construction. Each fuzzer
+// instance owns its own ring ("sharded when batched"): the parallel batch
+// runner never shares one recorder across jobs, so the single-threaded
+// push stays lock-free and the merged export stays deterministic — traces
+// are merged by (subject, fuzzer, trial seed), not by arrival order.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_TELEMETRY_TELEMETRY_H
+#define PATHFUZZ_TELEMETRY_TELEMETRY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace telemetry {
+
+#ifdef PATHFUZZ_NO_TELEMETRY
+inline constexpr bool Compiled = false;
+#else
+inline constexpr bool Compiled = true;
+#endif
+
+/// Every event the flight recorder can capture. Values are part of the
+/// trace schema: append only, never renumber.
+enum class EventKind : uint8_t {
+  ExecCompleted = 0,     ///< Arg8: 0 ok / 1 crash / 2 hang; Arg32: input
+                         ///< size; Arg64: VM steps
+  SeedAdded = 1,         ///< Arg32: queue index; Arg64: input size
+  SeedCulled = 2,        ///< Arg32: seeds retained; Arg64: queue size before
+  CycleStarted = 3,      ///< Arg32: cycle ordinal; Arg64: queue size
+  CrashDeduped = 4,      ///< Arg32: unique-crash ordinal; Arg64: stack hash
+  HangDeduped = 5,       ///< Arg32: unique-hang ordinal; Arg64: input hash
+  CheckpointWritten = 6, ///< Arg64: campaign-cumulative exec base
+  FaultInjected = 7,     ///< Arg32: site tag (VmFaultSite); Arg64: detail
+  PhaseStarted = 8,      ///< Arg8: driver phase/round; Arg32: round ordinal
+};
+
+/// Stable schema name for an event kind ("exec", "seed_added", ...).
+const char *eventKindName(EventKind K);
+
+/// Tags for FaultInjected events recorded below the fuzzer (the VM has no
+/// string table; exporters map tags back to site names).
+enum class VmFaultSite : uint32_t {
+  HeapAlloc = 1, ///< vm.heap.alloc (injected OutOfMemory)
+};
+
+/// One recorded event. 24 bytes, trivially copyable — the ring is a flat
+/// array of these.
+struct Event {
+  uint64_t Exec = 0; ///< instance-local exec index at record time
+  uint64_t Arg64 = 0;
+  uint32_t Arg32 = 0;
+  EventKind Kind = EventKind::ExecCompleted;
+  uint8_t Arg8 = 0;
+  uint16_t Pad = 0;
+};
+
+inline bool operator==(const Event &A, const Event &B) {
+  return A.Exec == B.Exec && A.Arg64 == B.Arg64 && A.Arg32 == B.Arg32 &&
+         A.Kind == B.Kind && A.Arg8 == B.Arg8;
+}
+
+/// Fixed-capacity single-writer flight recorder. Pushing past capacity
+/// overwrites the oldest event; recorded() keeps the lifetime total so
+/// exporters can report how much history was dropped.
+class EventRing {
+public:
+  /// Capacity is 2^CapacityLog2 events (clamped to [64, 2^20]).
+  explicit EventRing(uint32_t CapacityLog2) {
+    if (CapacityLog2 < 6)
+      CapacityLog2 = 6;
+    if (CapacityLog2 > 20)
+      CapacityLog2 = 20;
+    Buf.resize(size_t(1) << CapacityLog2);
+  }
+
+  void push(const Event &E) {
+    Buf[static_cast<size_t>(Recorded) & (Buf.size() - 1)] = E;
+    ++Recorded;
+  }
+
+  size_t capacity() const { return Buf.size(); }
+  /// Events currently held (min(recorded - lost-before-restore, capacity)).
+  size_t size() const {
+    uint64_t Kept = Recorded - Base;
+    return Kept < Buf.size() ? static_cast<size_t>(Kept) : Buf.size();
+  }
+  /// Lifetime events pushed, including overwritten ones.
+  uint64_t recorded() const { return Recorded; }
+  /// Events lost to overwriting (or dropped before a snapshot restore).
+  uint64_t dropped() const { return Recorded - size(); }
+
+  /// Events oldest → newest.
+  std::vector<Event> events() const {
+    std::vector<Event> Out;
+    Out.reserve(size());
+    uint64_t First = Recorded - size();
+    for (uint64_t I = First; I < Recorded; ++I)
+      Out.push_back(Buf[static_cast<size_t>(I) & (Buf.size() - 1)]);
+    return Out;
+  }
+
+  /// Replace the contents (snapshot restore). The ring's invariant is
+  /// that logical event #i lives at slot i & mask — the kept events are
+  /// replayed at their original logical positions so later pushes keep
+  /// overwriting oldest-first, and a restored ring stays byte-identical
+  /// to one that was never snapshotted. Events beyond capacity keep only
+  /// the newest; RecordedTotal preserves the lifetime counter.
+  void restore(const std::vector<Event> &Events, uint64_t RecordedTotal) {
+    uint64_t Total = RecordedTotal > Events.size() ? RecordedTotal
+                                                   : Events.size();
+    size_t Keep = Events.size() < Buf.size() ? Events.size() : Buf.size();
+    const Event *Newest = Events.data() + (Events.size() - Keep);
+    uint64_t First = Total - Keep;
+    for (size_t J = 0; J < Keep; ++J)
+      Buf[static_cast<size_t>(First + J) & (Buf.size() - 1)] = Newest[J];
+    Recorded = Total;
+    Base = First; // anything older than the kept set is gone for good
+  }
+
+private:
+  std::vector<Event> Buf;
+  uint64_t Recorded = 0;
+  /// Logical index of the oldest event that could still be in the buffer:
+  /// 0 for a ring that has only ever been pushed to; after a restore, the
+  /// first kept event's logical index (history before it was dropped).
+  uint64_t Base = 0;
+};
+
+} // namespace telemetry
+} // namespace pathfuzz
+
+// The compile-out-able macro surface. `TR` is an InstanceTrace* (null when
+// tracing is off); the remaining arguments forward to the recorder. Sites
+// stay in the hot paths permanently — disabled cost is one branch, and
+// under PATHFUZZ_NO_TELEMETRY the preprocessor removes them entirely.
+#ifdef PATHFUZZ_NO_TELEMETRY
+#define PF_TRACE_EVENT(TR, ...)                                              \
+  do {                                                                       \
+  } while (0)
+#else
+#define PF_TRACE_EVENT(TR, ...)                                              \
+  do {                                                                       \
+    if (TR)                                                                  \
+      (TR)->event(__VA_ARGS__);                                              \
+  } while (0)
+#endif
+
+#endif // PATHFUZZ_TELEMETRY_TELEMETRY_H

@@ -7,6 +7,7 @@
 #include "vm/Vm.h"
 
 #include "support/FaultInjection.h"
+#include "telemetry/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -293,6 +294,11 @@ ExecResult Vm::run(const uint8_t *Input, size_t Len, const ExecOptions &Opts,
         // fully qualified registry calls.)
         if (pathfuzz::fault::enabled() &&
             pathfuzz::fault::shouldFail("vm.heap.alloc")) {
+          if (Fb)
+            PF_TRACE_EVENT(
+                Fb->Trace, telemetry::EventKind::FaultInjected, Fb->TraceExec,
+                static_cast<uint32_t>(telemetry::VmFaultSite::HeapAlloc),
+                static_cast<uint64_t>(Size < 0 ? 0 : Size));
           fault(FaultKind::OutOfMemory);
           continue;
         }
@@ -308,6 +314,8 @@ ExecResult Vm::run(const uint8_t *Input, size_t Len, const ExecOptions &Opts,
         Cells.resize(Cells.size() + static_cast<size_t>(Size), 0);
         Regs[I.A] = PtrBase + static_cast<int64_t>(Objects.size());
         Objects.push_back(O);
+        ++R.HeapAllocs;
+        R.HeapCellsAllocated += static_cast<uint64_t>(Size);
         break;
       }
       case mir::Opcode::GlobalAddr:

@@ -37,6 +37,9 @@
 #include <vector>
 
 namespace pathfuzz {
+namespace telemetry {
+class InstanceTrace;
+} // namespace telemetry
 namespace vm {
 
 /// Execution outcome kinds. Everything except None and StepLimit is a
@@ -103,6 +106,11 @@ struct FeedbackContext {
   /// PathAFL-style assist: hash the sequence of *selected* function calls
   /// into the map (coarse whole-program path tracking).
   bool CallPathHash = false;
+  /// Flight recorder for events raised below the fuzzer (injected
+  /// faults); null disables recording. TraceExec is the instance-local
+  /// exec index stamped on those events.
+  telemetry::InstanceTrace *Trace = nullptr;
+  uint64_t TraceExec = 0;
 };
 
 /// Per-execution limits and switches.
@@ -125,6 +133,9 @@ struct ExecResult {
   std::vector<uint32_t> ShadowEdges;
   /// Logged comparison operand values (for the cmplog stage).
   std::vector<int64_t> CmpOperands;
+  /// Heap pressure of this execution (successful allocations only).
+  uint64_t HeapAllocs = 0;
+  uint64_t HeapCellsAllocated = 0;
 
   bool crashed() const { return isCrash(TheFault.Kind); }
   bool hung() const { return TheFault.Kind == FaultKind::StepLimit; }

@@ -148,10 +148,18 @@ TEST(Snapshot, RestoredFuzzerContinuesByteIdentically) {
   for (instr::Feedback Mode :
        {instr::Feedback::EdgePrecise, instr::Feedback::Path}) {
     SCOPED_TRACE(static_cast<int>(Mode));
-    // Reference: one uninterrupted run.
+    // Reference: one uninterrupted run. Traced, so the snapshot carries
+    // the versioned metrics section and the restore must round-trip it.
+    // Every fuzzer in this test shares the same checkpoint cadence (the
+    // reference's hook is a no-op): CheckpointWritten events land in the
+    // ring at identical exec points, keeping the event comparison exact.
     Harness HRef(BuggyLoop, Mode);
     FuzzerOptions FO;
     FO.Seed = 17;
+    FO.Trace.Enabled = true;
+    FO.Trace.SampleInterval = 512;
+    FO.CheckpointInterval = 4000;
+    FO.OnCheckpoint = [](const Fuzzer &) {};
     Fuzzer Ref(HRef.Mod, HRef.Report, HRef.Shadow, FO);
     Ref.addSeed({'B', 'B', 'U', 'x'});
     Ref.run(8000);
@@ -163,7 +171,6 @@ TEST(Snapshot, RestoredFuzzerContinuesByteIdentically) {
     // finish the budget there.
     Harness HA(BuggyLoop, Mode);
     FuzzerOptions FA = FO;
-    FA.CheckpointInterval = 4000;
     std::vector<uint8_t> Blob;
     Observed AtCheckpoint;
     FA.OnCheckpoint = [&Blob, &AtCheckpoint](const Fuzzer &F) {
@@ -190,7 +197,40 @@ TEST(Snapshot, RestoredFuzzerContinuesByteIdentically) {
       EXPECT_EQ(Ref.corpus()[I].Data, B.corpus()[I].Data);
       EXPECT_EQ(Ref.corpus()[I].Favored, B.corpus()[I].Favored);
     }
+    // Telemetry state too: same cumulative metrics, samples and events
+    // as the uninterrupted run (under PATHFUZZ_NO_TELEMETRY no trace is
+    // ever attached, so only the campaign-state half applies).
+    if (telemetry::Compiled) {
+      ASSERT_NE(Ref.trace(), nullptr);
+      ASSERT_NE(B.trace(), nullptr);
+      EXPECT_TRUE(Ref.trace()->metrics() == B.trace()->metrics());
+      EXPECT_EQ(Ref.trace()->samples(), B.trace()->samples());
+      EXPECT_EQ(Ref.trace()->ring().recorded(), B.trace()->ring().recorded());
+      EXPECT_EQ(Ref.trace()->ring().events(), B.trace()->ring().events());
+    }
   }
+}
+
+TEST(Snapshot, UntracedFuzzerAcceptsATracedSnapshot) {
+  // Restoring a traced snapshot into an untraced fuzzer must consume the
+  // metrics section (validating the trailing done() check) and simply
+  // drop it — operators may resume a campaign with tracing off.
+  Harness HA(BuggyLoop, instr::Feedback::Path);
+  FuzzerOptions Traced;
+  Traced.Seed = 11;
+  Traced.Trace.Enabled = true;
+  Fuzzer A(HA.Mod, HA.Report, HA.Shadow, Traced);
+  A.addSeed({'B', 'B', 'U', 'x'});
+  A.run(2000);
+  std::vector<uint8_t> Blob = A.snapshot();
+
+  Harness HB(BuggyLoop, instr::Feedback::Path);
+  FuzzerOptions Untraced;
+  Untraced.Seed = 11;
+  Fuzzer B(HB.Mod, HB.Report, HB.Shadow, Untraced);
+  ASSERT_TRUE(B.restore(Blob));
+  EXPECT_EQ(B.trace(), nullptr);
+  expectSame(Observed::of(A), Observed::of(B));
 }
 
 TEST(Snapshot, SnapshotItselfDoesNotPerturbTheRun) {

@@ -131,6 +131,64 @@ TEST(Env, ParsesValuesAndLists) {
   ::unsetenv("PF_TEST_LIST");
 }
 
+TEST(Env, ParseU64IsStrict) {
+  uint64_t V = 99;
+  EXPECT_TRUE(parseU64("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(parseU64("18446744073709551615", V));
+  EXPECT_EQ(V, ~0ull);
+
+  // Rejections must leave the output untouched.
+  V = 42;
+  EXPECT_FALSE(parseU64("", V));
+  EXPECT_FALSE(parseU64(" 1", V));
+  EXPECT_FALSE(parseU64("1 ", V));
+  EXPECT_FALSE(parseU64("+1", V));
+  EXPECT_FALSE(parseU64("-1", V));
+  EXPECT_FALSE(parseU64("0x10", V));
+  EXPECT_FALSE(parseU64("12junk", V));
+  EXPECT_FALSE(parseU64("18446744073709551616", V)); // UINT64_MAX + 1
+  EXPECT_FALSE(parseU64("99999999999999999999999", V));
+  EXPECT_EQ(V, 42u);
+}
+
+TEST(Env, BoolMatchesAuditContract) {
+  ::unsetenv("PF_TEST_BOOL");
+  EXPECT_TRUE(envBool("PF_TEST_BOOL", true));
+  EXPECT_FALSE(envBool("PF_TEST_BOOL", false));
+  ::setenv("PF_TEST_BOOL", "", 1);
+  EXPECT_TRUE(envBool("PF_TEST_BOOL", true));
+  ::setenv("PF_TEST_BOOL", "0", 1);
+  EXPECT_FALSE(envBool("PF_TEST_BOOL", true));
+  ::setenv("PF_TEST_BOOL", "1", 1);
+  EXPECT_TRUE(envBool("PF_TEST_BOOL", false));
+  ::setenv("PF_TEST_BOOL", "yes", 1); // anything non-"0" enables
+  EXPECT_TRUE(envBool("PF_TEST_BOOL", false));
+  ::unsetenv("PF_TEST_BOOL");
+}
+
+TEST(Env, SplitSpecRejectsMalformedEntries) {
+  std::string Name = "keep";
+  uint64_t Value = 7;
+  ASSERT_TRUE(splitSpecU64("sample@512", Name, Value));
+  EXPECT_EQ(Name, "sample");
+  EXPECT_EQ(Value, 512u);
+
+  // All of these leave the outputs untouched — a typo skips the spec
+  // instead of arming it half-parsed.
+  Name = "keep";
+  Value = 7;
+  EXPECT_FALSE(splitSpecU64("", Name, Value));
+  EXPECT_FALSE(splitSpecU64("noat", Name, Value));
+  EXPECT_FALSE(splitSpecU64("@5", Name, Value));
+  EXPECT_FALSE(splitSpecU64("site@", Name, Value));
+  EXPECT_FALSE(splitSpecU64("site@junk", Name, Value));
+  EXPECT_FALSE(splitSpecU64("site@-2", Name, Value));
+  EXPECT_FALSE(splitSpecU64("site@18446744073709551616", Name, Value));
+  EXPECT_EQ(Name, "keep");
+  EXPECT_EQ(Value, 7u);
+}
+
 TEST(ThreadPool, RunsEveryJobExactlyOnce) {
   for (size_t Threads : {1u, 2u, 4u}) {
     ThreadPool Pool(Threads);

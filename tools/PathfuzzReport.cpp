@@ -1,0 +1,147 @@
+//===- PathfuzzReport.cpp - Campaign trace report CLI ------------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line front end for telemetry::Report — turns campaign trace
+// JSONL files (written by the bench exporters or any PATHFUZZ_TRACE
+// out=... run) into the artifact tables and curves the paper reports:
+//
+//   pathfuzz-report --queue-csv trace.jsonl       queue trajectory CSV
+//   pathfuzz-report --coverage-csv trace.jsonl    coverage-over-execs CSV
+//   pathfuzz-report --crash-summary trace.jsonl   crash dedup summary CSV
+//   pathfuzz-report --bench-json NAME trace.jsonl per-config end states
+//   pathfuzz-report --out FILE ...                write instead of stdout
+//
+// Multiple JSONL inputs are concatenated (the exporter already sorts each
+// file by subject/fuzzer/seed; pass pre-merged files for a global sort).
+// Exit codes: 0 = ok, 1 = export failed (e.g. unwritable --out),
+// 2 = usage or unreadable input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Export.h"
+#include "telemetry/Report.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pathfuzz;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: pathfuzz-report [--out FILE] MODE <trace.jsonl ...>\n"
+      "\n"
+      "modes:\n"
+      "  --queue-csv          queue trajectory per configuration\n"
+      "                       (subject,fuzzer,seed,execs,queue)\n"
+      "  --coverage-csv       edge coverage over the exec budget\n"
+      "                       (subject,fuzzer,seed,execs,edges)\n"
+      "  --crash-summary      per-campaign crash dedup totals\n"
+      "  --bench-json NAME    per-config end states as one JSON record\n"
+      "\n"
+      "Inputs are trace JSONL files produced by running campaigns with\n"
+      "PATHFUZZ_TRACE=out=PATH (or the bench drivers). Without --out the\n"
+      "table goes to stdout.\n");
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Mode;
+  std::string BenchName;
+  std::string OutPath;
+  std::vector<std::string> Inputs;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (Arg == "--out") {
+      if (++I >= Argc) {
+        usage();
+        return 2;
+      }
+      OutPath = Argv[I];
+      continue;
+    }
+    if (Arg == "--queue-csv" || Arg == "--coverage-csv" ||
+        Arg == "--crash-summary") {
+      Mode = Arg;
+      continue;
+    }
+    if (Arg == "--bench-json") {
+      Mode = Arg;
+      if (++I >= Argc) {
+        usage();
+        return 2;
+      }
+      BenchName = Argv[I];
+      continue;
+    }
+    if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "pathfuzz-report: unknown option '%s'\n",
+                   Arg.c_str());
+      usage();
+      return 2;
+    }
+    Inputs.push_back(Arg);
+  }
+
+  if (Mode.empty() || Inputs.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::string Jsonl;
+  for (const std::string &Path : Inputs) {
+    std::string Chunk;
+    if (!readFile(Path, Chunk)) {
+      std::fprintf(stderr, "pathfuzz-report: cannot read '%s'\n",
+                   Path.c_str());
+      return 2;
+    }
+    Jsonl += Chunk;
+  }
+
+  std::string Table;
+  if (Mode == "--queue-csv")
+    Table = telemetry::queueCsvFromJsonl(Jsonl);
+  else if (Mode == "--coverage-csv")
+    Table = telemetry::coverageCsvFromJsonl(Jsonl);
+  else if (Mode == "--crash-summary")
+    Table = telemetry::crashSummaryFromJsonl(Jsonl);
+  else
+    Table = telemetry::benchJsonFromJsonl(Jsonl, BenchName);
+
+  if (OutPath.empty()) {
+    std::fwrite(Table.data(), 1, Table.size(), stdout);
+    return 0;
+  }
+  std::string Err;
+  if (!telemetry::exportFile(OutPath, Table, &Err)) {
+    std::fprintf(stderr, "pathfuzz-report: warning: %s\n", Err.c_str());
+    return 1;
+  }
+  return 0;
+}
