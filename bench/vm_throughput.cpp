@@ -1,0 +1,413 @@
+//===- vm_throughput.cpp - VM fast-path throughput measurement ----------------===//
+//
+// Part of the pathfuzz project.
+//
+// Measures what the VM execution fast path (vm/Image.h + vm/Exec.cpp)
+// buys over the reference interpreter, backing docs/PERFORMANCE.md:
+//
+//  - raw executor throughput on the example subjects
+//    (examples/minilang/*.ml): each replays the same mutated-seed input
+//    set through both engines — ns/step, execs/sec, best-of and
+//    median-of-paired-reps speedup per subject, with a field-level
+//    identity sweep (fault, steps, return value, coverage map, shadow
+//    edges, cmp log) before any timing. The headline is the median
+//    speedup across the example subjects;
+//  - end-to-end: interpreter vs fast-path campaigns on a shared target
+//    build, alternating paired reps, median per-pair speedup and
+//    best-of-N execs/sec, plus the serializeCampaignResult
+//    byte-identity check;
+//  - fast-path bookkeeping: pre-decoded image size and cache hits, and
+//    the vm.fastpath.* telemetry series (snapshot-reset bytes) from a
+//    traced campaign;
+//  - and writes the whole record to BENCH_vm.json (PATHFUZZ_BENCH_OUT
+//    overrides the path).
+//
+// The speedup is machine-dependent; the exit code reflects only the
+// identity checks, which must hold everywhere.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "cov/CoverageMap.h"
+#include "strategy/BuildCache.h"
+#include "telemetry/Report.h"
+#include "vm/Image.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace pathfuzz;
+using namespace pathfuzz::bench;
+using namespace pathfuzz::strategy;
+
+namespace {
+
+uint64_t nowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The example subjects under examples/minilang/. PATHFUZZ_EXAMPLES_DIR
+/// overrides the baked-in source location (for out-of-tree runs).
+std::vector<Subject> loadExampleSubjects() {
+#ifdef PATHFUZZ_SOURCE_DIR
+  const char *Default = PATHFUZZ_SOURCE_DIR "/examples/minilang";
+#else
+  const char *Default = "examples/minilang";
+#endif
+  std::string Dir = envStr("PATHFUZZ_EXAMPLES_DIR", Default);
+  std::vector<Subject> Out;
+  for (const char *Name : {"sum", "lookup", "checksum", "tokens", "rle"}) {
+    std::ifstream F(Dir + "/" + Name + ".ml");
+    if (!F)
+      continue;
+    std::ostringstream SS;
+    SS << F.rdbuf();
+    Subject S;
+    S.Name = Name;
+    S.Source = SS.str();
+    if (std::strcmp(Name, "lookup") == 0) {
+      S.Seeds.push_back({'a', 'b', 'c'});
+    } else {
+      // The loop subjects scale with input length; a 1 KiB seed keeps
+      // the measurement in the executor rather than in per-exec setup.
+      fuzz::Input In(1024);
+      Rng R(7);
+      for (uint8_t &B : In)
+        B = static_cast<uint8_t>(R.below(256));
+      S.Seeds.push_back(std::move(In));
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+/// The raw-executor workload: the subject's seeds plus mutated copies
+/// (fixed random stream, independent of the engine under test) — the
+/// same shape of input a fuzzing campaign replays.
+std::vector<fuzz::Input> makeWorkload(const Subject &S, size_t Count) {
+  std::vector<fuzz::Input> Inputs = S.Seeds;
+  Rng R(0x5eedbeef);
+  while (Inputs.size() < Count) {
+    fuzz::Input In = S.Seeds[R.index(S.Seeds.size())];
+    for (int M = 0; M < 4; ++M)
+      In[R.index(In.size())] = static_cast<uint8_t>(R.below(256));
+    Inputs.push_back(std::move(In));
+  }
+  return Inputs;
+}
+
+struct RawEngine {
+  vm::Vm Machine;
+  cov::CoverageMap Map;
+
+  RawEngine(const InstrumentedBuild &IB, const instr::ShadowEdgeIndex &Shadow,
+            const vm::ProgramImage *Image)
+      : Machine(IB.Mod, &Shadow), Map(16) {
+    if (Image)
+      Machine.attachImage(Image);
+  }
+
+  vm::ExecResult exec(const InstrumentedBuild &IB, const fuzz::Input &In,
+                      bool LogCmps, bool ResetMap) {
+    if (ResetMap)
+      Map.reset();
+    vm::FeedbackContext Fb;
+    Fb.Map = Map.data();
+    Fb.MapMask = Map.mask();
+    Fb.FuncKeys = IB.Report.FuncKeys.data();
+    vm::ExecOptions EO;
+    EO.LogCmps = LogCmps;
+    return Machine.run(In.data(), In.size(), EO, &Fb);
+  }
+};
+
+/// Field-level identity of two executions (everything ExecResult carries
+/// except the fast-path-only DirtyGlobalCells bookkeeping).
+bool sameResult(const vm::ExecResult &A, const vm::ExecResult &B) {
+  return A.TheFault.Kind == B.TheFault.Kind && A.TheFault.Func == B.TheFault.Func &&
+         A.TheFault.Block == B.TheFault.Block &&
+         A.TheFault.InstrIdx == B.TheFault.InstrIdx &&
+         A.TheFault.stackHash() == B.TheFault.stackHash() &&
+         A.Steps == B.Steps && A.ReturnValue == B.ReturnValue &&
+         A.ShadowEdges == B.ShadowEdges && A.CmpOperands == B.CmpOperands &&
+         A.HeapAllocs == B.HeapAllocs &&
+         A.HeapCellsAllocated == B.HeapCellsAllocated;
+}
+
+/// Per-example-subject measurement record.
+struct RawMeasurement {
+  std::string Name;
+  uint64_t StepsPerExec = 0;
+  double InterpNsPerStep = 0.0;
+  double FastNsPerStep = 0.0;
+  double InterpEps = 0.0;
+  double FastEps = 0.0;
+  double SpeedupBest = 0.0;
+  double SpeedupMedian = 0.0;
+  bool Identical = false;
+};
+
+/// Identity sweep + alternating paired timing of one subject through
+/// both engines. The identity pass resets the coverage map per exec and
+/// compares every observable field; the timed legs skip the reset (a
+/// constant memset cost identical for both engines) so they measure the
+/// executor itself.
+RawMeasurement measureRaw(const Subject &S, uint32_t Reps) {
+  RawMeasurement M;
+  M.Name = S.Name;
+
+  BuildCache Cache;
+  std::shared_ptr<SubjectBuild> SB = Cache.get(S);
+  CampaignOptions O;
+  O.VmMode = vm::VmExecMode::FastPath;
+  const InstrumentedBuild &IB = SB->instrumented(instr::Feedback::Path, O);
+
+  std::vector<fuzz::Input> Inputs = makeWorkload(S, 256);
+  RawEngine EngInterp(IB, SB->shadow(), nullptr);
+  RawEngine EngFast(IB, SB->shadow(), IB.Image.get());
+
+  M.Identical = true;
+  uint64_t TotalSteps = 0;
+  for (const fuzz::Input &In : Inputs) {
+    vm::ExecResult RA = EngInterp.exec(IB, In, /*LogCmps=*/true, true);
+    vm::ExecResult RB = EngFast.exec(IB, In, /*LogCmps=*/true, true);
+    M.Identical &= sameResult(RA, RB);
+    M.Identical &= std::memcmp(EngInterp.Map.data(), EngFast.Map.data(),
+                               EngInterp.Map.size()) == 0;
+    TotalSteps += RA.Steps;
+  }
+  M.StepsPerExec = TotalSteps / Inputs.size();
+
+  uint64_t InterpMin = ~0ull, FastMin = ~0ull;
+  std::vector<double> PairSpeedup;
+  for (uint32_t Rep = 0; Rep < Reps; ++Rep) {
+    const bool FastFirst = (Rep & 1) != 0;
+    uint64_t UI = 0, UF = 0;
+    for (int Leg = 0; Leg < 2; ++Leg) {
+      const bool RunFast = FastFirst == (Leg == 0);
+      RawEngine &E = RunFast ? EngFast : EngInterp;
+      uint64_t T0 = nowMicros();
+      for (const fuzz::Input &In : Inputs)
+        (void)E.exec(IB, In, /*LogCmps=*/false, false);
+      (RunFast ? UF : UI) = nowMicros() - T0;
+    }
+    InterpMin = std::min(InterpMin, UI);
+    FastMin = std::min(FastMin, UF);
+    if (UF)
+      PairSpeedup.push_back(double(UI) / double(UF));
+  }
+  std::sort(PairSpeedup.begin(), PairSpeedup.end());
+  M.SpeedupMedian =
+      PairSpeedup.empty() ? 0.0 : PairSpeedup[PairSpeedup.size() / 2];
+  M.SpeedupBest = FastMin ? double(InterpMin) / double(FastMin) : 0.0;
+  if (TotalSteps) {
+    M.InterpNsPerStep = double(InterpMin) * 1000.0 / double(TotalSteps);
+    M.FastNsPerStep = double(FastMin) * 1000.0 / double(TotalSteps);
+  }
+  if (InterpMin)
+    M.InterpEps = double(Inputs.size()) * 1e6 / double(InterpMin);
+  if (FastMin)
+    M.FastEps = double(Inputs.size()) * 1e6 / double(FastMin);
+  return M;
+}
+
+} // namespace
+
+int main() {
+  BenchConfig C = BenchConfig::fromEnv();
+  C.printHeader("VM throughput: fast path vs reference interpreter");
+
+  //===--------------------------------------------------------------------===//
+  // Raw executor on the example subjects: identity sweep, paired timing.
+  //===--------------------------------------------------------------------===//
+
+  std::vector<Subject> Examples = loadExampleSubjects();
+  const uint32_t RawReps = std::max<uint32_t>(7, C.Runs);
+  std::vector<RawMeasurement> Raw;
+  bool RawIdentical = true;
+  for (const Subject &S : Examples) {
+    Raw.push_back(measureRaw(S, RawReps));
+    RawIdentical &= Raw.back().Identical;
+  }
+  std::vector<double> Medians;
+  for (const RawMeasurement &M : Raw)
+    Medians.push_back(M.SpeedupMedian);
+  std::sort(Medians.begin(), Medians.end());
+  const double ExamplesSpeedupMedian =
+      Medians.empty() ? 0.0 : Medians[Medians.size() / 2];
+
+  //===--------------------------------------------------------------------===//
+  // End-to-end campaigns: alternating paired reps on a shared target
+  // build (the fuzzing layer on top dilutes the raw-executor win; both
+  // numbers are reported).
+  //===--------------------------------------------------------------------===//
+
+  const Subject *S = nullptr;
+  for (const Subject &Sub : C.Subjects)
+    if (Sub.Name == "jhead")
+      S = &Sub;
+  if (!S)
+    S = &C.Subjects.front();
+
+  BuildCache Cache;
+  std::shared_ptr<SubjectBuild> SB = Cache.get(*S);
+
+  CampaignOptions Interp = C.campaignOptions();
+  Interp.Kind = FuzzerKind::Path;
+  Interp.Trace = telemetry::TraceConfig(); // timed legs run untraced
+  Interp.VmMode = vm::VmExecMode::Interpreter;
+  CampaignOptions Fast = Interp;
+  Fast.VmMode = vm::VmExecMode::FastPath;
+
+  const uint32_t Reps = std::max<uint32_t>(3, C.Runs);
+  uint64_t InterpMin = ~0ull, FastMin = ~0ull;
+  std::vector<double> PairSpeedup;
+  bool CampaignIdentical = true;
+  (void)runCampaign(*SB, Interp); // warm caches before timing anything
+  for (uint32_t Rep = 0; Rep < Reps; ++Rep) {
+    const bool FastFirst = (Rep & 1) != 0;
+    uint64_t UI = 0, UF = 0;
+    std::vector<uint8_t> BytesI, BytesF;
+    for (int Leg = 0; Leg < 2; ++Leg) {
+      const bool RunFast = FastFirst == (Leg == 0);
+      uint64_t T0 = nowMicros();
+      CampaignResult R = runCampaign(*SB, RunFast ? Fast : Interp);
+      uint64_t Dt = nowMicros() - T0;
+      (RunFast ? UF : UI) = Dt;
+      (RunFast ? BytesF : BytesI) = serializeCampaignResult(R);
+    }
+    InterpMin = std::min(InterpMin, UI);
+    FastMin = std::min(FastMin, UF);
+    if (UF)
+      PairSpeedup.push_back(double(UI) / double(UF));
+    CampaignIdentical &= BytesI == BytesF;
+  }
+  std::sort(PairSpeedup.begin(), PairSpeedup.end());
+  const double CampaignSpeedup =
+      PairSpeedup.empty() ? 0.0 : PairSpeedup[PairSpeedup.size() / 2];
+  const double InterpEps =
+      InterpMin ? double(C.Execs) * 1e6 / double(InterpMin) : 0.0;
+  const double FastEps = FastMin ? double(C.Execs) * 1e6 / double(FastMin) : 0.0;
+
+  //===--------------------------------------------------------------------===//
+  // Fast-path bookkeeping: image cache stats and the vm.fastpath.* series
+  // from one traced fast-path campaign.
+  //===--------------------------------------------------------------------===//
+
+  CampaignOptions TracedFast = Fast;
+  TracedFast.Trace.Enabled = true;
+  CampaignResult TracedR = runCampaign(*SB, TracedFast);
+  uint64_t DirtyResetBytes = 0;
+  int64_t ImageBytes = 0;
+  if (TracedR.Trace)
+    for (const telemetry::InstanceRecord &I : TracedR.Trace->Instances) {
+      auto It = I.Metrics.counters().find("vm.fastpath.reset.bytes");
+      if (It != I.Metrics.counters().end())
+        DirtyResetBytes += It->second;
+      auto Gt = I.Metrics.gauges().find("vm.fastpath.image.bytes");
+      if (Gt != I.Metrics.gauges().end())
+        ImageBytes = Gt->second;
+    }
+
+  const bool Identical = RawIdentical && CampaignIdentical;
+
+  std::printf("dispatch: %s\n\n",
+              vm::threadedDispatch() ? "computed-goto (threaded)"
+                                     : "portable switch");
+  std::printf("raw executor, example subjects (256 mutated-seed inputs, "
+              "%u paired reps each):\n",
+              RawReps);
+  std::printf("  %-9s %11s %15s %13s %8s %8s\n", "subject", "steps/exec",
+              "interp ns/step", "fast ns/step", "best", "median");
+  for (const RawMeasurement &M : Raw)
+    std::printf("  %-9s %11" PRIu64 " %15.2f %13.2f %7.2fx %7.2fx\n",
+                M.Name.c_str(), M.StepsPerExec, M.InterpNsPerStep,
+                M.FastNsPerStep, M.SpeedupBest, M.SpeedupMedian);
+  std::printf("  median speedup across example subjects:  %.2fx\n\n",
+              ExamplesSpeedupMedian);
+  std::printf("campaign subject: %s (%" PRIu64 " execs, %u paired reps)\n",
+              S->Name.c_str(), C.Execs, Reps);
+  std::printf("campaign interpreter: %8" PRIu64 " us (best), %9.0f execs/sec\n",
+              InterpMin, InterpEps);
+  std::printf("campaign fast path:   %8" PRIu64 " us (best), %9.0f execs/sec\n",
+              FastMin, FastEps);
+  std::printf("campaign speedup, median of paired reps: %.2fx\n",
+              CampaignSpeedup);
+  std::printf("image: %" PRId64 " bytes, %zu decode(s), %zu cache hit(s)\n",
+              ImageBytes, SB->imageBuilds(), SB->imageHits());
+  std::printf("snapshot reset: %" PRIu64 " bytes restored over the traced "
+              "campaign\n",
+              DirtyResetBytes);
+  std::printf("fast path == interpreter results: %s\n",
+              Identical ? "yes" : "NO");
+
+  std::vector<const telemetry::CampaignTrace *> Traces;
+  if (TracedR.Trace)
+    Traces.push_back(TracedR.Trace.get());
+  std::string Jsonl = telemetry::mergedJsonl(Traces);
+  std::string Bench = telemetry::benchJsonFromJsonl(Jsonl, "vm_throughput");
+
+  // Splice the measurements into the report tool's bench record, right
+  // before its "configs" array.
+  std::string Extra;
+  {
+    char Buf[512];
+    Extra += "\"examples\":[";
+    for (size_t I = 0; I < Raw.size(); ++I) {
+      const RawMeasurement &M = Raw[I];
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s{\"name\":\"%s\",\"steps_per_exec\":%" PRIu64
+                    ",\"interp_ns_per_step\":%.3f,\"fast_ns_per_step\":%.3f,"
+                    "\"interp_execs_per_sec\":%.1f,\"fast_execs_per_sec\":%.1f,"
+                    "\"speedup_best\":%.3f,\"speedup_median\":%.3f,"
+                    "\"identical\":%s}",
+                    I ? "," : "", M.Name.c_str(), M.StepsPerExec,
+                    M.InterpNsPerStep, M.FastNsPerStep, M.InterpEps, M.FastEps,
+                    M.SpeedupBest, M.SpeedupMedian,
+                    M.Identical ? "true" : "false");
+      Extra += Buf;
+    }
+    Extra += "],";
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "\"examples_speedup_median\":%.3f,"
+        "\"threaded_dispatch\":%s,\"campaign_subject\":\"%s\","
+        "\"campaign_execs\":%" PRIu64 ",\"reps\":%u,",
+        ExamplesSpeedupMedian, vm::threadedDispatch() ? "true" : "false",
+        S->Name.c_str(), C.Execs, Reps);
+    Extra += Buf;
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "\"interp_campaign_micros\":%" PRIu64 ",\"fast_campaign_micros\":%" PRIu64
+        ",\"interp_execs_per_sec\":%.1f,\"fast_execs_per_sec\":%.1f,"
+        "\"campaign_speedup_median\":%.3f,"
+        "\"image_bytes\":%" PRId64 ",\"image_builds\":%zu,\"image_hits\":%zu,"
+        "\"dirty_reset_bytes\":%" PRIu64 ",\"results_identical\":%s,",
+        InterpMin, FastMin, InterpEps, FastEps, CampaignSpeedup, ImageBytes,
+        SB->imageBuilds(), SB->imageHits(), DirtyResetBytes,
+        Identical ? "true" : "false");
+    Extra += Buf;
+  }
+  std::string Doc = Bench;
+  size_t Pos = Doc.find("\"configs\":");
+  if (Pos != std::string::npos)
+    Doc.insert(Pos, Extra);
+
+  std::string OutPath = envStr("PATHFUZZ_BENCH_OUT", "BENCH_vm.json");
+  std::string Err;
+  if (!telemetry::exportFile(OutPath, Doc, &Err)) {
+    std::fprintf(stderr, "warning: bench record export failed: %s\n",
+                 Err.c_str());
+    return Identical ? 0 : 1;
+  }
+  std::printf("\nwrote %s\n", OutPath.c_str());
+  return Identical ? 0 : 1;
+}

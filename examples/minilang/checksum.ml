@@ -1,0 +1,14 @@
+// Adler-style rolling checksum over the whole input: two accumulators
+// and a modulus per byte — the arithmetic inner loop of a real hasher.
+fn main() {
+  var a = 1;
+  var b = 0;
+  var i = 0;
+  var n = len();
+  while (i < n) {
+    a = (a + in(i)) % 65521;
+    b = (b + a) % 65521;
+    i = i + 1;
+  }
+  return b * 65536 + a;
+}

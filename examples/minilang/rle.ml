@@ -1,0 +1,30 @@
+// Bounded run-length expansion into a fixed window, then a checksum of
+// what was written: load/store traffic with explicit clamping — the
+// shape of a decoder hot loop.
+global window[64];
+
+fn main() {
+  var out = 0;
+  var i = 0;
+  var n = len();
+  while (i + 1 < n) {
+    var count = in(i) & 15;
+    var value = in(i + 1);
+    var j = 0;
+    while (j < count) {
+      if (out < 64) {
+        window[out] = value;
+        out = out + 1;
+      }
+      j = j + 1;
+    }
+    i = i + 2;
+  }
+  var sum = 0;
+  var k = 0;
+  while (k < out) {
+    sum = sum + window[k];
+    k = k + 1;
+  }
+  return sum;
+}

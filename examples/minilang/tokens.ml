@@ -1,0 +1,37 @@
+// Whitespace-separated token scanner: classifies every byte and keeps a
+// small class histogram in a global — the branchy per-byte loop of a
+// real tokenizer, plus global stores for the snapshot-reset executor to
+// undo between runs.
+global classes[4];
+
+fn classOf(c) {
+  if (c == ' ' || c == 10 || c == 9) {
+    return 0;
+  }
+  if (c >= '0' && c <= '9') {
+    return 1;
+  }
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+    return 2;
+  }
+  return 3;
+}
+
+fn main() {
+  var tokens = 0;
+  var inTok = 0;
+  var i = 0;
+  var n = len();
+  while (i < n) {
+    var k = classOf(in(i));
+    classes[k] = classes[k] + 1;
+    if (k == 0) {
+      inTok = 0;
+    } else if (inTok == 0) {
+      inTok = 1;
+      tokens = tokens + 1;
+    }
+    i = i + 1;
+  }
+  return tokens * 256 + classes[1];
+}

@@ -6,6 +6,8 @@
 
 #include "fuzz/Fuzzer.h"
 
+#include "vm/Image.h"
+
 #include <algorithm>
 
 namespace pathfuzz {
@@ -16,6 +18,8 @@ Fuzzer::Fuzzer(const mir::Module &M, const instr::InstrumentReport &Report,
     : M(M), Report(Report), Opts(Opts), Machine(M, &Shadow),
       Trace(Opts.MapSizeLog2), Virgin(Trace.size()), R(Opts.Seed),
       Mut(R, Opts.Mut), Q(Trace.size()) {
+  if (this->Opts.Image)
+    Machine.attachImage(this->Opts.Image);
   EdgeCovered.assign(Shadow.numEdges(), 0);
   if (telemetry::Compiled && this->Opts.Trace.Enabled) {
     Tr = std::make_unique<telemetry::InstanceTrace>(this->Opts.Trace);
@@ -26,6 +30,14 @@ Fuzzer::Fuzzer(const mir::Module &M, const instr::InstrumentReport &Report,
     HSteps = Reg.histogram("exec.steps");
     HInputSize = Reg.histogram("input.size");
     HHeapCells = Reg.histogram("exec.heap.cells");
+    if (this->Opts.Image) {
+      // Fast-path-only series, registered only when an image is attached
+      // so interpreter traces carry no vm.fastpath.* family (identity
+      // comparisons across engines exclude exactly that family).
+      MResetBytes = Reg.counter("vm.fastpath.reset.bytes");
+      *Reg.gauge("vm.fastpath.image.bytes") =
+          static_cast<int64_t>(this->Opts.Image->byteSize());
+    }
   }
 }
 
@@ -82,6 +94,8 @@ bool Fuzzer::processResult(const Input &Data, const vm::ExecResult &Res,
     ++*MExecs;
     *MHeapAllocs += Res.HeapAllocs;
     *MHeapCells += Res.HeapCellsAllocated;
+    if (MResetBytes)
+      *MResetBytes += Res.DirtyGlobalCells * sizeof(int64_t);
     HSteps->observe(Res.Steps);
     HInputSize->observe(Data.size());
     HHeapCells->observe(Res.HeapCellsAllocated);

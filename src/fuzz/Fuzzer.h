@@ -81,6 +81,15 @@ struct FuzzerOptions {
   /// recorder + metrics registry + sample series. Purely observational —
   /// traced and untraced runs are byte-identical in campaign results.
   telemetry::TraceConfig Trace;
+
+  /// Pre-decoded program image for the VM fast path (vm/Image.h). Must be
+  /// built from the same instrumented module and shadow index the fuzzer
+  /// is constructed over; may be shared read-only across instances. Null
+  /// runs the reference interpreter — either way every execution result
+  /// is bit-identical, the fast path only changes per-exec cost. The
+  /// campaign drivers set this from the build cache when the fast path is
+  /// enabled (see CampaignOptions::VmMode).
+  const vm::ProgramImage *Image = nullptr;
 };
 
 struct FuzzStats {
@@ -203,6 +212,12 @@ public:
 
   const std::vector<int64_t> &cmpDict() const { return CmpDict; }
 
+  /// Whether executions run on the VM fast path (an image is attached).
+  bool usingFastPath() const { return Machine.usingImage(); }
+  /// Snapshot-reset accounting of the underlying Vm (all zero on the
+  /// interpreter).
+  const vm::ResetStats &vmResetStats() const { return Machine.resetStats(); }
+
   /// The instance recorder; null when tracing is disabled or compiled out.
   telemetry::InstanceTrace *trace() { return Tr.get(); }
   const telemetry::InstanceTrace *trace() const { return Tr.get(); }
@@ -250,6 +265,10 @@ private:
   uint64_t *MExecs = nullptr;
   uint64_t *MHeapAllocs = nullptr;
   uint64_t *MHeapCells = nullptr;
+  /// Fast-path-only counter (bytes of global state the snapshot reset
+  /// restores); null when tracing is off *or* no image is attached, so
+  /// interpreter traces never grow a vm.fastpath.* metric family.
+  uint64_t *MResetBytes = nullptr;
   telemetry::Histogram *HSteps = nullptr;
   telemetry::Histogram *HInputSize = nullptr;
   telemetry::Histogram *HHeapCells = nullptr;

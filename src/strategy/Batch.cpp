@@ -131,6 +131,8 @@ std::vector<CampaignResult> runCampaigns(const std::vector<BatchJob> &Jobs,
     Stats->Threads = Threads;
     Stats->SubjectsCompiled = Cache.subjectsCompiled();
     Stats->ModulesInstrumented = Cache.modulesInstrumented();
+    Stats->ImagesPredecoded = Cache.imagesPredecoded();
+    Stats->ImageCacheHits = Cache.imageCacheHits();
     Stats->DispatchRetries = DispatchRetries.load();
     Stats->JobsFailed = 0;
     Stats->JobsRetried = 0;

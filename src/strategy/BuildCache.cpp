@@ -110,6 +110,20 @@ SubjectBuild::tryInstrumented(instr::Feedback Mode, const CampaignOptions &Opts,
       }
     }
   }
+  // The pre-decoded fast-path image rides the same cache slot as the
+  // instrumented module: decoded at most once per (feedback, placement,
+  // map size) and shared read-only by every trial's Vm. Checked on the
+  // cache-hit path too, so a campaign that enables the fast path can add
+  // the image to a slot instrumented while the fast path was off.
+  if (vm::fastPathEnabled(Opts.VmMode)) {
+    if (!Slot->Image) {
+      Slot->Image = std::make_unique<vm::ProgramImage>(
+          vm::ProgramImage::build(Slot->Mod, &Shadow));
+      ++ImageBuildCount;
+    } else {
+      ++ImageHitCount;
+    }
+  }
   return Slot.get();
 }
 
@@ -123,6 +137,16 @@ SubjectBuild::instrumented(instr::Feedback Mode, const CampaignOptions &Opts) {
 size_t SubjectBuild::instrumentCount() const {
   std::lock_guard<std::mutex> L(M);
   return Builds.size();
+}
+
+size_t SubjectBuild::imageBuilds() const {
+  std::lock_guard<std::mutex> L(M);
+  return ImageBuildCount;
+}
+
+size_t SubjectBuild::imageHits() const {
+  std::lock_guard<std::mutex> L(M);
+  return ImageHitCount;
 }
 
 std::shared_ptr<SubjectBuild> BuildCache::get(const Subject &S) {
@@ -150,6 +174,22 @@ size_t BuildCache::modulesInstrumented() const {
   size_t N = 0;
   for (const auto &[Name, Build] : Subjects)
     N += Build->instrumentCount();
+  return N;
+}
+
+size_t BuildCache::imagesPredecoded() const {
+  std::lock_guard<std::mutex> L(M);
+  size_t N = 0;
+  for (const auto &[Name, Build] : Subjects)
+    N += Build->imageBuilds();
+  return N;
+}
+
+size_t BuildCache::imageCacheHits() const {
+  std::lock_guard<std::mutex> L(M);
+  size_t N = 0;
+  for (const auto &[Name, Build] : Subjects)
+    N += Build->imageHits();
   return N;
 }
 

@@ -33,6 +33,7 @@
 #define PATHFUZZ_STRATEGY_BUILDCACHE_H
 
 #include "strategy/Campaign.h"
+#include "vm/Image.h"
 
 #include <map>
 #include <memory>
@@ -47,6 +48,11 @@ namespace strategy {
 struct InstrumentedBuild {
   mir::Module Mod;
   instr::InstrumentReport Report;
+  /// Pre-decoded VM image of Mod (the fast-path executor's input; see
+  /// vm/Image.h), built once alongside the instrumentation when the fast
+  /// path is enabled and shared read-only by every trial's Vm. Null when
+  /// every campaign that touched this slot ran with the fast path off.
+  std::unique_ptr<vm::ProgramImage> Image;
 };
 
 /// Compiled artifacts for one subject, shared read-only across campaign
@@ -95,6 +101,12 @@ public:
   /// Instrumentation passes run so far on this subject.
   size_t instrumentCount() const;
 
+  /// Fast-path image decodes performed / avoided on this subject:
+  /// tryInstrumented builds the image at most once per cache slot and
+  /// counts every later fast-path request as a hit.
+  size_t imageBuilds() const;
+  size_t imageHits() const;
+
 private:
   /// Everything instrumentModule's output depends on besides the module.
   using Key = std::tuple<uint8_t /*Feedback*/, uint8_t /*PlacementMode*/,
@@ -110,6 +122,8 @@ private:
 
   mutable std::mutex M;
   std::map<Key, std::unique_ptr<InstrumentedBuild>> Builds;
+  size_t ImageBuildCount = 0;
+  size_t ImageHitCount = 0;
 };
 
 /// Lazily compiles each subject exactly once and hands out the shared
@@ -127,6 +141,9 @@ public:
 
   size_t subjectsCompiled() const;
   size_t modulesInstrumented() const;
+  /// Fast-path image decodes performed / avoided across all subjects.
+  size_t imagesPredecoded() const;
+  size_t imageCacheHits() const;
 
 private:
   mutable std::mutex M;

@@ -42,7 +42,8 @@ namespace {
 using fuzz::ByteReader;
 using fuzz::ByteWriter;
 
-fuzz::FuzzerOptions fuzzerOptions(const CampaignOptions &Opts, uint64_t Seed,
+fuzz::FuzzerOptions fuzzerOptions(const InstrumentedBuild &B,
+                                  const CampaignOptions &Opts, uint64_t Seed,
                                   bool PathAflAssist) {
   fuzz::FuzzerOptions FO;
   FO.MapSizeLog2 = Opts.MapSizeLog2;
@@ -56,6 +57,12 @@ fuzz::FuzzerOptions fuzzerOptions(const CampaignOptions &Opts, uint64_t Seed,
   // dictionary accordingly.
   FO.UseCmpDict = !PathAflAssist;
   FO.Trace = Opts.Trace;
+  // VM fast path: hand every instance the build's shared pre-decoded
+  // image. Gated on the mode (not just image presence) so a forced
+  // Interpreter campaign ignores an image a previous fast-path campaign
+  // left in the shared cache slot.
+  if (vm::fastPathEnabled(Opts.VmMode))
+    FO.Image = B.Image.get();
   return FO;
 }
 
@@ -305,7 +312,7 @@ CampaignResult runPlain(SubjectBuild &SB, const CampaignOptions &Opts,
   if (!B)
     return {};
 
-  fuzz::FuzzerOptions FO = fuzzerOptions(Opts, Opts.Seed, PathAflAssist);
+  fuzz::FuzzerOptions FO = fuzzerOptions(*B, Opts, Opts.Seed, PathAflAssist);
   FO.CheckpointInterval = Opts.CheckpointInterval;
   FO.ExecHardLimit = Opts.WatchdogExecLimit;
   if (Opts.CheckpointSink && Opts.CheckpointInterval)
@@ -389,7 +396,7 @@ CampaignResult runCull(SubjectBuild &SB, const CampaignOptions &Opts,
     uint64_t Budget = (Round + 1 == Rounds) ? Remaining : PerRound;
 
     fuzz::FuzzerOptions FO =
-        fuzzerOptions(Opts, Opts.Seed + Round * 7919, false);
+        fuzzerOptions(*B, Opts, Opts.Seed + Round * 7919, false);
     FO.CheckpointInterval = Opts.CheckpointInterval;
     FO.CheckpointBase = ExecOffset;
     if (Opts.WatchdogExecLimit) {
@@ -505,7 +512,8 @@ CampaignResult runOpp(SubjectBuild &SB, const CampaignOptions &Opts,
         instrumentOrError(SB, instr::Feedback::EdgePrecise, Opts, Err);
     if (!EdgeBuild)
       return {};
-    fuzz::FuzzerOptions FO = fuzzerOptions(Opts, Opts.Seed ^ 0x0bb, false);
+    fuzz::FuzzerOptions FO =
+        fuzzerOptions(*EdgeBuild, Opts, Opts.Seed ^ 0x0bb, false);
     FO.CheckpointInterval = Opts.CheckpointInterval;
     FO.ExecHardLimit = Opts.WatchdogExecLimit;
     if (Opts.CheckpointSink && Opts.CheckpointInterval)
@@ -558,7 +566,8 @@ CampaignResult runOpp(SubjectBuild &SB, const CampaignOptions &Opts,
       instrumentOrError(SB, instr::Feedback::Path, Opts, Err);
   if (!PathBuild)
     return {};
-  fuzz::FuzzerOptions FO2 = fuzzerOptions(Opts, Opts.Seed ^ 0x0bb1e5, false);
+  fuzz::FuzzerOptions FO2 =
+      fuzzerOptions(*PathBuild, Opts, Opts.Seed ^ 0x0bb1e5, false);
   FO2.CheckpointInterval = Opts.CheckpointInterval;
   FO2.CheckpointBase = Phase1Execs;
   if (Opts.WatchdogExecLimit) {

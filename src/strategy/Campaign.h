@@ -40,6 +40,7 @@
 
 #include "fuzz/Fuzzer.h"
 #include "lang/Compile.h"
+#include "vm/Image.h"
 
 #include <functional>
 #include <set>
@@ -105,6 +106,15 @@ struct CampaignOptions {
   /// byte-identical results. The batch runner arms this from the
   /// PATHFUZZ_TRACE environment knob for jobs that don't set it.
   telemetry::TraceConfig Trace;
+
+  /// VM execution engine. Auto (the default) follows the
+  /// PATHFUZZ_VM_FASTPATH environment knob (fast path on unless set to
+  /// "0"); Interpreter/FastPath force one engine regardless of the
+  /// environment. Both engines produce bit-identical campaign results —
+  /// the fast path only changes per-exec cost — so, like the robustness
+  /// knobs above, this is excluded from the checkpoint fingerprint: a run
+  /// checkpointed under one engine may be resumed under the other.
+  vm::VmExecMode VmMode = vm::VmExecMode::Auto;
 };
 
 /// Structured campaign failure, replacing in-band aborts: compile and

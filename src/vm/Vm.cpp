@@ -8,6 +8,7 @@
 
 #include "support/FaultInjection.h"
 #include "telemetry/Trace.h"
+#include "vm/Image.h"
 
 #include <algorithm>
 #include <cassert>
@@ -79,8 +80,26 @@ Vm::Vm(const mir::Module &M, const instr::ShadowEdgeIndex *Shadow)
     EdgeSeen.assign(Shadow->numEdges(), 0);
 }
 
+void Vm::attachImage(const ProgramImage *Image) {
+  assert((!Image || Image->module() == &M) &&
+         "image decoded from a different module");
+  assert((!Image || !Shadow || Image->builtWithShadow()) &&
+         "shadow-recording Vm needs an image with resolved edge IDs");
+  Img = Image;
+  // The persistent globals prefix belongs to the previous image (or to the
+  // reference interpreter's last run); force re-materialization.
+  GlobalsLive = false;
+  DirtyPage.clear();
+  DirtyList.clear();
+}
+
 ExecResult Vm::run(const uint8_t *Input, size_t Len, const ExecOptions &Opts,
                    FeedbackContext *Fb) {
+  if (Img)
+    return runImage(Input, Len, Opts, Fb);
+  // An interpreter run rebuilds Objects/Cells from scratch below, clobbering
+  // any persistent globals prefix a fast-path run may have left behind.
+  GlobalsLive = false;
   ExecResult R;
 
   Frames.clear();

@@ -42,6 +42,8 @@ class InstanceTrace;
 } // namespace telemetry
 namespace vm {
 
+class ProgramImage;
+
 /// Execution outcome kinds. Everything except None and StepLimit is a
 /// crash (StepLimit is the hang/timeout analogue).
 enum class FaultKind : uint8_t {
@@ -136,9 +138,22 @@ struct ExecResult {
   /// Heap pressure of this execution (successful allocations only).
   uint64_t HeapAllocs = 0;
   uint64_t HeapCellsAllocated = 0;
+  /// Fast path only: global cells this execution dirtied (page-granular;
+  /// what the snapshot reset will restore before the next run). Always 0
+  /// on the reference interpreter — a bookkeeping observation, not part
+  /// of the execution semantics or the identity contract.
+  uint64_t DirtyGlobalCells = 0;
 
   bool crashed() const { return isCrash(TheFault.Kind); }
   bool hung() const { return TheFault.Kind == FaultKind::StepLimit; }
+};
+
+/// Cumulative snapshot-reset accounting of one fast-path Vm: how much of
+/// the global image the persistent-mode reset actually had to restore.
+struct ResetStats {
+  uint64_t Resets = 0;          ///< dirty-page resets performed
+  uint64_t DirtyPagesReset = 0; ///< pages restored from the pristine image
+  uint64_t DirtyCellsReset = 0; ///< cells those pages span
 };
 
 /// The interpreter. One Vm per module; run() is reentrant per input and
@@ -151,6 +166,18 @@ public:
   /// Execute @main on the given input.
   ExecResult run(const uint8_t *Input, size_t Len, const ExecOptions &Opts,
                  FeedbackContext *Fb = nullptr);
+
+  /// Attach a pre-decoded image of this Vm's module: run() switches to the
+  /// threaded-dispatch, snapshot-reset executor (Exec.cpp), which produces
+  /// bit-identical results to the reference interpreter. The image must
+  /// have been built from the same module (and with a shadow index if this
+  /// Vm has one); it is borrowed, not owned, and may be shared read-only
+  /// across Vms. Pass null to detach and fall back to the interpreter.
+  void attachImage(const ProgramImage *Image);
+  bool usingImage() const { return Img != nullptr; }
+
+  /// Snapshot-reset accounting since the image was attached.
+  const ResetStats &resetStats() const { return RStats; }
 
   const mir::Module &module() const { return M; }
 
@@ -169,6 +196,25 @@ private:
     mir::Reg RetReg = 0;  ///< caller register receiving the return value
   };
 
+  /// Fast-path call frame: the reference Frame with (Block, InstrIdx)
+  /// collapsed into one saved PC. SavedPC of the *top* frame is dead (the
+  /// live PC is an executor local); below it, each frame's SavedPC is its
+  /// resume point just past the call.
+  struct FastFrame {
+    uint32_t SavedPC = 0;
+    uint32_t RegBase = 0;
+    mir::Reg RetReg = 0;
+  };
+
+  /// The fast-path executor (Exec.cpp). Requires Img.
+  ExecResult runImage(const uint8_t *Input, size_t Len,
+                      const ExecOptions &Opts, FeedbackContext *Fb);
+
+  /// Snapshot reset: restore the persistent globals prefix of
+  /// Objects/Cells to the image's pristine state, touching only pages the
+  /// previous execution dirtied.
+  void resetGlobalsFromImage();
+
   const mir::Module &M;
   const instr::ShadowEdgeIndex *Shadow;
   int MainIndex = -1;
@@ -180,6 +226,16 @@ private:
   std::vector<int64_t> Cells;
   std::vector<uint8_t> EdgeSeen;
   std::vector<uint32_t> EdgeTouched;
+
+  // Fast-path state (meaningful only while Img is attached).
+  const ProgramImage *Img = nullptr;
+  std::vector<FastFrame> FFrames;
+  /// Whether the persistent globals prefix of Objects/Cells is live (set
+  /// after the first fast-path run materializes it).
+  bool GlobalsLive = false;
+  std::vector<uint8_t> DirtyPage;  ///< per 64-cell page of the globals
+  std::vector<uint32_t> DirtyList; ///< pages dirtied by the last run
+  ResetStats RStats;
 };
 
 } // namespace vm
