@@ -6,6 +6,7 @@
 
 #include "fuzz/Fuzzer.h"
 
+#include "support/FaultInjection.h"
 #include "vm/Image.h"
 
 #include <algorithm>
@@ -20,6 +21,17 @@ Fuzzer::Fuzzer(const mir::Module &M, const instr::InstrumentReport &Report,
       Mut(R, Opts.Mut), Q(Trace.size()) {
   if (this->Opts.Image)
     Machine.attachImage(this->Opts.Image);
+  // Selective (two-tier) execution: construct the cheap machine over the
+  // same module and shadow index. Fault injection is stateful across
+  // executions (per-site hit counters), so an armed harness disables the
+  // mode — a cheap run would consume injection budget the full replay
+  // then misses.
+  SelectiveOn = this->Opts.Selective && !fault::enabled();
+  if (SelectiveOn) {
+    CheapMachine = std::make_unique<vm::Vm>(M, &Shadow);
+    if (this->Opts.CheapImage)
+      CheapMachine->attachImage(this->Opts.CheapImage);
+  }
   EdgeCovered.assign(Shadow.numEdges(), 0);
   if (telemetry::Compiled && this->Opts.Trace.Enabled) {
     Tr = std::make_unique<telemetry::InstanceTrace>(this->Opts.Trace);
@@ -37,6 +49,15 @@ Fuzzer::Fuzzer(const mir::Module &M, const instr::InstrumentReport &Report,
       MResetBytes = Reg.counter("vm.fastpath.reset.bytes");
       *Reg.gauge("vm.fastpath.image.bytes") =
           static_cast<int64_t>(this->Opts.Image->byteSize());
+    }
+    if (SelectiveOn) {
+      // Selective-only series: how the two-tier split played out. Engine-
+      // local (like vm.fastpath.*): identity comparisons across selective
+      // settings and across resumes exclude the family, because a resumed
+      // run re-replays paths its predecessor already consumed.
+      MSelSkipped = Reg.counter("vm.selective.skipped");
+      MSelReplays = Reg.counter("vm.selective.replays");
+      MSelMismatch = Reg.counter("vm.selective.replay.mismatch");
     }
   }
 }
@@ -56,6 +77,20 @@ vm::ExecResult Fuzzer::executeRaw(const Input &Data, bool LogCmps) {
   vm::ExecOptions EO = Opts.Exec;
   EO.LogCmps = LogCmps;
   return Machine.run(Data.data(), Data.size(), EO, &Fb);
+}
+
+vm::ExecResult Fuzzer::executeCheap(const Input &Data, bool LogCmps,
+                                    uint64_t &Sig) {
+  // No map, no trace: the run is invisible to coverage and telemetry. The
+  // coverage map is left untouched (not even reset) — a skipped execution
+  // must not perturb it, and a replaced one resets it in executeRaw. The
+  // crash/hang outcome, steps, cmp operands and shadow edges the result
+  // carries are exact: none of them depend on probes.
+  vm::FeedbackContext Fb;
+  Fb.PathSig = &Sig;
+  vm::ExecOptions EO = Opts.Exec;
+  EO.LogCmps = LogCmps;
+  return CheapMachine->run(Data.data(), Data.size(), EO, &Fb);
 }
 
 void Fuzzer::sampleGrowth() {
@@ -83,7 +118,7 @@ void Fuzzer::sampleTrace() {
 }
 
 bool Fuzzer::processResult(const Input &Data, const vm::ExecResult &Res,
-                           uint32_t Depth, bool ForceAdd) {
+                           uint32_t Depth, bool ForceAdd, bool SkipNovelty) {
   ++Stats.Execs;
   sampleGrowth();
 
@@ -163,6 +198,14 @@ bool Fuzzer::processResult(const Input &Data, const vm::ExecResult &Res,
     }
     return false;
   }
+
+  // Selective skip: the execution ran only on the cheap tier because its
+  // exec-path signature was seen before, which means an earlier full
+  // execution with a byte-identical trace already fed the virgin map —
+  // the novelty verdict is None by construction, and the (stale) map must
+  // not be read.
+  if (SkipNovelty && !ForceAdd)
+    return false;
 
   Trace.classifyCounts();
   cov::Novelty Nov = Virgin.hasNewBits(Trace);
@@ -312,8 +355,42 @@ void Fuzzer::run(uint64_t ExecBudget) {
       // Log comparisons on a small fraction of runs to refresh the
       // dictionary without paying the cost everywhere.
       bool LogCmps = Opts.UseCmpDict && R.oneIn(16);
-      vm::ExecResult Res = executeRaw(Data, LogCmps);
-      processResult(Data, Res, Depth);
+      vm::ExecResult Res;
+      bool SkipNovelty = false;
+      if (SelectiveOn) {
+        // Two-tier step: run the cheap (probe-free, map-less) tier first;
+        // only an unseen exec-path signature triggers the full, map-
+        // writing execution. Determinism makes the replay exact, so the
+        // observable campaign state evolves byte-identically to always
+        // running the full tier — the only difference is cost.
+        uint64_t Sig = 0;
+        Res = executeCheap(Data, LogCmps, Sig);
+        if (Res.crashed() || Res.hung()) {
+          // Crash/hang bookkeeping never reads the coverage map and every
+          // field it uses is exact on the cheap tier: process directly.
+        } else if (!SeenSigs.insert(Sig).second) {
+          SkipNovelty = true;
+          if (MSelSkipped)
+            ++*MSelSkipped;
+        } else {
+          if (MSelReplays)
+            ++*MSelReplays;
+          vm::ExecResult Full = executeRaw(Data, LogCmps);
+          // The replay contract says the full run reproduces the cheap
+          // run observation-for-observation; a mismatch means the engines
+          // (or the elision) diverged. Count it — the identity tests turn
+          // any nonzero value into a failure.
+          if (MSelMismatch &&
+              (Full.Steps != Res.Steps ||
+               Full.TheFault.Kind != Res.TheFault.Kind ||
+               Full.ReturnValue != Res.ReturnValue))
+            ++*MSelMismatch;
+          Res = std::move(Full);
+        }
+      } else {
+        Res = executeRaw(Data, LogCmps);
+      }
+      processResult(Data, Res, Depth, /*ForceAdd=*/false, SkipNovelty);
     }
   }
 }

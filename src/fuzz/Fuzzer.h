@@ -90,6 +90,23 @@ struct FuzzerOptions {
   /// campaign drivers set this from the build cache when the fast path is
   /// enabled (see CampaignOptions::VmMode).
   const vm::ProgramImage *Image = nullptr;
+
+  /// Two-tier selective execution (vm::SelectiveMode resolved by the
+  /// campaign driver). Bulk executions run on a second cheap machine with
+  /// no coverage map attached; the full, map-writing execution happens
+  /// only when the cheap run's exec-path signature was never seen before.
+  /// Equal signatures imply byte-identical coverage traces on this
+  /// deterministic VM, so results, queue contents and campaign-visible
+  /// coverage stay byte-identical to Selective = false — only per-exec
+  /// cost changes. Automatically disabled while fault injection is armed
+  /// (injected faults are stateful across executions, which breaks the
+  /// cheap/full replay equivalence).
+  bool Selective = false;
+  /// Probe-free twin of Image for the cheap tier (same module, probe slots
+  /// rewritten to no-ops; see instrument/Elide.h). Null makes the cheap
+  /// tier run the reference interpreter with a null map — same contract,
+  /// less speedup. Ignored unless Selective is set.
+  const vm::ProgramImage *CheapImage = nullptr;
 };
 
 struct FuzzStats {
@@ -225,9 +242,18 @@ public:
 private:
   /// Process one executed input; returns true if it was added to the
   /// corpus. ForceAdd retains the input even without coverage novelty
-  /// (seeds).
+  /// (seeds). SkipNovelty marks a selective-mode cheap execution whose
+  /// exec-path signature was already seen: the coverage map was neither
+  /// reset nor written for it, so the novelty check is skipped (its
+  /// outcome is already known to be None); crash/hang/cmp/shadow-edge
+  /// bookkeeping — all exact on the cheap tier — still runs.
   bool processResult(const Input &Data, const vm::ExecResult &Res,
-                     uint32_t Depth, bool ForceAdd = false);
+                     uint32_t Depth, bool ForceAdd = false,
+                     bool SkipNovelty = false);
+  /// Selective-mode cheap execution: no coverage map, no trace, just the
+  /// exec-path signature (and the exact crash/hang/cmp/shadow data).
+  vm::ExecResult executeCheap(const Input &Data, bool LogCmps,
+                              uint64_t &Sig);
   uint32_t energyFor(const QueueEntry &E) const;
   void sampleGrowth();
   void sampleTrace();
@@ -236,6 +262,14 @@ private:
   const instr::InstrumentReport &Report;
   FuzzerOptions Opts;
   vm::Vm Machine;
+  /// Cheap tier of the selective mode; null when Selective is off.
+  std::unique_ptr<vm::Vm> CheapMachine;
+  /// Exec-path signatures of clean executions already consumed by the
+  /// novelty check. A pure cache — never serialized into snapshots (a
+  /// resumed run re-replays and converges to the same results), cleared
+  /// on restore so stale entries cannot outlive the restored virgin map.
+  std::unordered_set<uint64_t> SeenSigs;
+  bool SelectiveOn = false;
   cov::CoverageMap Trace;
   cov::VirginMap Virgin;
   Rng R;
@@ -269,6 +303,13 @@ private:
   /// restores); null when tracing is off *or* no image is attached, so
   /// interpreter traces never grow a vm.fastpath.* metric family.
   uint64_t *MResetBytes = nullptr;
+  /// Selective-mode-only counters (registered only when SelectiveOn, so
+  /// non-selective traces never grow a vm.selective.* metric family —
+  /// like vm.fastpath.*, an engine-local family excluded from identity
+  /// comparisons; see telemetry::isEngineLocalMetric).
+  uint64_t *MSelSkipped = nullptr;
+  uint64_t *MSelReplays = nullptr;
+  uint64_t *MSelMismatch = nullptr;
   telemetry::Histogram *HSteps = nullptr;
   telemetry::Histogram *HInputSize = nullptr;
   telemetry::Histogram *HHeapCells = nullptr;

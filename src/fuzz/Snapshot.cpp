@@ -237,6 +237,13 @@ bool Fuzzer::restore(const std::vector<uint8_t> &Blob) {
       Rd.u32() != static_cast<uint32_t>(EdgeCovered.size()) || !Rd.ok())
     return false;
 
+  // The selective-mode signature cache is deliberately absent from the
+  // blob (it is pure cache: a resumed run just replays more). It must not
+  // survive the restore either — entries observed before the restore may
+  // name paths the restored virgin map has never consumed, and a stale
+  // skip would drop real novelty.
+  SeenSigs.clear();
+
   uint64_t RngState[4];
   for (uint64_t &S : RngState)
     S = Rd.u64();

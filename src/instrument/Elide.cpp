@@ -1,0 +1,245 @@
+//===- Elide.cpp - Probe elision plan for selective execution -------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Elide.h"
+
+#include "analysis/Dominators.h"
+#include "cfg/Cfg.h"
+
+#include <sstream>
+
+namespace pathfuzz {
+namespace instr {
+
+uint64_t ElisionPlan::count() const {
+  uint64_t N = 0;
+  for (const auto &Fn : Elide)
+    for (const auto &Blk : Fn)
+      for (uint8_t Flag : Blk)
+        N += Flag != 0;
+  return N;
+}
+
+ElisionPlan planProbeElision(const mir::Module &M) {
+  ElisionPlan Plan;
+  Plan.Elide.resize(M.Funcs.size());
+  for (size_t F = 0; F < M.Funcs.size(); ++F) {
+    const mir::Function &Fn = M.Funcs[F];
+    Plan.Elide[F].resize(Fn.Blocks.size());
+    for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+      const auto &Instrs = Fn.Blocks[B].Instrs;
+      Plan.Elide[F][B].assign(Instrs.size(), 0);
+      for (size_t I = 0; I < Instrs.size(); ++I)
+        if (Instrs[I].isProbe())
+          Plan.Elide[F][B][I] = 1;
+    }
+  }
+  return Plan;
+}
+
+namespace {
+
+/// Registers a non-probe instruction reads. Probes touch the path register
+/// implicitly and are exempt; everything else must not observe it.
+void appendReadRegs(const mir::Instr &In, std::vector<mir::Reg> &Out) {
+  using mir::Opcode;
+  switch (In.Op) {
+  case Opcode::Move:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::InByte:
+  case Opcode::Alloc:
+  case Opcode::BinImm:
+    Out.push_back(In.B);
+    break;
+  case Opcode::Bin:
+  case Opcode::Load:
+    Out.push_back(In.B);
+    Out.push_back(In.C);
+    break;
+  case Opcode::Store:
+    Out.push_back(In.A);
+    Out.push_back(In.B);
+    Out.push_back(In.C);
+    break;
+  case Opcode::Free:
+    Out.push_back(In.A);
+    break;
+  case Opcode::Call:
+    for (unsigned I = 0; I < In.NumArgs; ++I)
+      Out.push_back(In.Args[I]);
+    break;
+  default:
+    break; // Const, InLen, GlobalAddr, Abort, probes: no register reads.
+  }
+}
+
+} // namespace
+
+AuditResult auditElisionPlan(const mir::Module &M, const ElisionPlan &Plan) {
+  AuditResult R;
+  auto Issue = [&R](const std::string &S) { R.Issues.push_back(S); };
+
+  if (Plan.Elide.size() != M.Funcs.size()) {
+    std::ostringstream OS;
+    OS << "elision plan spans " << Plan.Elide.size() << " functions, module has "
+       << M.Funcs.size();
+    Issue(OS.str());
+    return R;
+  }
+
+  for (size_t F = 0; F < M.Funcs.size(); ++F) {
+    const mir::Function &Fn = M.Funcs[F];
+    const auto &FnPlan = Plan.Elide[F];
+    if (FnPlan.size() != Fn.Blocks.size()) {
+      std::ostringstream OS;
+      OS << Fn.Name << ": plan spans " << FnPlan.size() << " blocks, function has "
+         << Fn.Blocks.size();
+      Issue(OS.str());
+      continue;
+    }
+
+    const cfg::CfgView G(Fn);
+    const analysis::DominatorTree Dom(G);
+
+    // Blocks holding a PathFlushBack, for the per-edge converse check
+    // below.
+    std::vector<uint8_t> HasFlushBack(Fn.Blocks.size(), 0);
+    for (size_t B = 0; B < Fn.Blocks.size(); ++B)
+      for (const mir::Instr &In : Fn.Blocks[B].Instrs)
+        if (In.Op == mir::Opcode::PathFlushBack)
+          HasFlushBack[B] = 1;
+
+    for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+      const auto &Instrs = Fn.Blocks[B].Instrs;
+      const auto &BlkPlan = FnPlan[B];
+      if (BlkPlan.size() != Instrs.size()) {
+        std::ostringstream OS;
+        OS << Fn.Name << " block " << B << ": plan spans " << BlkPlan.size()
+           << " instructions, block has " << Instrs.size();
+        Issue(OS.str());
+        continue;
+      }
+
+      for (size_t I = 0; I < Instrs.size(); ++I) {
+        const mir::Instr &In = Instrs[I];
+        const bool Elided = BlkPlan[I] != 0;
+
+        // The plan must elide exactly the probes: a non-probe rewritten to
+        // a no-op changes program semantics; a surviving probe would write
+        // through the cheap tier's null coverage map.
+        if (Elided && !In.isProbe()) {
+          std::ostringstream OS;
+          OS << Fn.Name << " block " << B << " instr " << I
+             << ": plan elides non-probe " << mir::opcodeName(In.Op);
+          Issue(OS.str());
+        }
+        if (!Elided && In.isProbe()) {
+          std::ostringstream OS;
+          OS << Fn.Name << " block " << B << " instr " << I
+             << ": probe " << mir::opcodeName(In.Op) << " not covered by plan";
+          Issue(OS.str());
+        }
+        if (!In.isProbe())
+          continue;
+
+        // Placement sanity of the Ball-Larus flush probes, re-derived from
+        // CFG facts rather than trusted from the planner. A back-edge
+        // flush must sit adjacent to a retreating edge — the same
+        // classification the planner placed it on: in the edge's source
+        // block, its trampoline (the new source after splitting), or the
+        // block the edge enters (the single-predecessor placement). The
+        // target need not dominate the source — irreducible CFGs have
+        // retreating edges without the natural-loop property, and the
+        // planner flushes those too.
+        if (In.Op == mir::Opcode::PathFlushBack && G.isReachable(
+                static_cast<uint32_t>(B))) {
+          bool AdjacentBackEdge = false;
+          auto CheckEdges = [&](const std::vector<uint32_t> &EdgeIdxs) {
+            for (uint32_t EI : EdgeIdxs)
+              if (G.isBackEdge(EI))
+                AdjacentBackEdge = true;
+          };
+          CheckEdges(G.succEdges(static_cast<uint32_t>(B)));
+          CheckEdges(G.predEdges(static_cast<uint32_t>(B)));
+          if (!AdjacentBackEdge) {
+            std::ostringstream OS;
+            OS << Fn.Name << " block " << B << " instr " << I
+               << ": PathFlushBack not adjacent to any back edge";
+            Issue(OS.str());
+          }
+        }
+        if (In.Op == mir::Opcode::PathFlushRet &&
+            G.isReachable(static_cast<uint32_t>(B)) &&
+            !G.isExitBlock(static_cast<uint32_t>(B))) {
+          std::ostringstream OS;
+          OS << Fn.Name << " block " << B << " instr " << I
+             << ": PathFlushRet outside a return block";
+          Issue(OS.str());
+        }
+      }
+    }
+
+    // Converse placement check, from dominator facts: a retreating edge
+    // whose target dominates its source is a natural back edge, and
+    // natural back edges are retreating under *every* DFS order — so each
+    // one must have received a flush at planning time regardless of how
+    // edge splitting reshuffled the view. The flush lives in the edge's
+    // source (direct and trampoline placements — the trampoline becomes
+    // the new source) or its target (single-predecessor placement).
+    if (Fn.HasPathReg) {
+      for (uint32_t EI = 0; EI < G.edges().size(); ++EI) {
+        if (!G.isBackEdge(EI))
+          continue;
+        const cfg::Edge &E = G.edges()[EI];
+        if (!Dom.dominates(E.Dst, E.Src))
+          continue; // irreducible retreating edge: no dominance fact
+        if (!HasFlushBack[E.Src] && !HasFlushBack[E.Dst]) {
+          std::ostringstream OS;
+          OS << Fn.Name << ": natural back edge " << E.Src << "->" << E.Dst
+             << " carries no PathFlushBack";
+          Issue(OS.str());
+        }
+      }
+    }
+
+    // Eliding PathAdd/PathFlushBack stops the path register from being
+    // updated; that is only safe if nothing but probes ever reads it.
+    if (Fn.HasPathReg) {
+      std::vector<mir::Reg> Reads;
+      for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+        for (size_t I = 0; I < Fn.Blocks[B].Instrs.size(); ++I) {
+          const mir::Instr &In = Fn.Blocks[B].Instrs[I];
+          if (In.isProbe())
+            continue;
+          Reads.clear();
+          appendReadRegs(In, Reads);
+          for (mir::Reg Rg : Reads) {
+            if (Rg == Fn.PathReg) {
+              std::ostringstream OS;
+              OS << Fn.Name << " block " << B << " instr " << I << ": non-probe "
+                 << mir::opcodeName(In.Op) << " reads the path register";
+              Issue(OS.str());
+            }
+          }
+        }
+        const mir::Terminator &T = Fn.Blocks[B].Term;
+        if ((T.Kind == mir::TermKind::CondBr || T.Kind == mir::TermKind::Switch ||
+             T.Kind == mir::TermKind::Ret) &&
+            T.Cond == Fn.PathReg) {
+          std::ostringstream OS;
+          OS << Fn.Name << " block " << B
+             << ": terminator reads the path register";
+          Issue(OS.str());
+        }
+      }
+    }
+  }
+  return R;
+}
+
+} // namespace instr
+} // namespace pathfuzz

@@ -1,0 +1,75 @@
+//===- Elide.h - Probe elision plan for selective execution -----*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The two-tier (selective) execution mode runs bulk executions on a cheap
+// image whose coverage probes are replaced by no-ops, and re-executes an
+// input on the fully instrumented image only when the cheap run's exec-path
+// signature is new (see vm::FeedbackContext::PathSig). Because the replay
+// decision is driven purely by the branch-decision signature — never by
+// probe output — *every* probe is redundant on the cheap tier: probes only
+// write the coverage map, and the map is untouched on cheap runs.
+//
+// ElisionPlan records which instruction slots the cheap ProgramImage build
+// rewrites to DOp::Nop. The slots are rewritten in place (never deleted) so
+// the cheap image keeps the exact PC layout, PcInfo table, step accounting
+// and fault coordinates of the full image — the properties the byte-exact
+// replay contract depends on.
+//
+// auditElisionPlan proves the plan is safe with dominator/CFG facts rather
+// than trusting the planner: every elided slot is a probe, the plan covers
+// every probe (a survivor would write the null map), Ball-Larus flush
+// probes sit where the placement contract puts them (PathFlushBack
+// adjacent to a retreating edge, PathFlushRet in return blocks — the same
+// CfgView back-edge/exit classification the planner used), every natural
+// back edge — one whose target dominates its source, a dominator-tree
+// fact stable under any DFS order — carries a flush, and no non-probe
+// instruction reads the path register, so eliding its writers cannot
+// change any computed value. strategy::BuildCache runs the audit whenever
+// instr::auditEnabled().
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_INSTRUMENT_ELIDE_H
+#define PATHFUZZ_INSTRUMENT_ELIDE_H
+
+#include "instrument/Audit.h"
+#include "mir/Mir.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pathfuzz {
+namespace instr {
+
+/// Which instruction slots the cheap image build replaces with no-ops.
+/// Indexed [function][block][instruction]; a missing entry means "keep".
+struct ElisionPlan {
+  std::vector<std::vector<std::vector<uint8_t>>> Elide;
+
+  /// Whether the plan elides instruction `InstrIdx` of block `B` in
+  /// function `F`. Out-of-range coordinates are "keep" (false).
+  bool covers(uint32_t F, uint32_t B, uint32_t InstrIdx) const {
+    if (F >= Elide.size() || B >= Elide[F].size() ||
+        InstrIdx >= Elide[F][B].size())
+      return false;
+    return Elide[F][B][InstrIdx] != 0;
+  }
+
+  /// Total number of elided slots.
+  uint64_t count() const;
+};
+
+/// Build the elision plan for an instrumented module: mark every probe
+/// instruction. The plan is a pure function of the module.
+ElisionPlan planProbeElision(const mir::Module &M);
+
+/// Prove Plan is a safe elision of M's probes (see file comment).
+AuditResult auditElisionPlan(const mir::Module &M, const ElisionPlan &Plan);
+
+} // namespace instr
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_INSTRUMENT_ELIDE_H

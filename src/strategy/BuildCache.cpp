@@ -7,6 +7,7 @@
 #include "strategy/BuildCache.h"
 
 #include "instrument/Audit.h"
+#include "instrument/Elide.h"
 #include "support/FaultInjection.h"
 
 #include <cassert>
@@ -122,6 +123,24 @@ SubjectBuild::tryInstrumented(instr::Feedback Mode, const CampaignOptions &Opts,
       ++ImageBuildCount;
     } else {
       ++ImageHitCount;
+    }
+    // The selective mode's cheap image rides the slot the same way:
+    // decoded from an elision plan covering every probe, audited with the
+    // same gate as the instrumentation itself. An audit failure is a
+    // planner bug, reported like a failed instrumentation audit rather
+    // than silently running the campaign non-selectively.
+    if (vm::selectiveEnabled(Opts.Selective) && !Slot->CheapImage) {
+      instr::ElisionPlan Plan = instr::planProbeElision(Slot->Mod);
+      if (instr::auditEnabled()) {
+        instr::AuditResult AR = instr::auditElisionPlan(Slot->Mod, Plan);
+        if (!AR.ok()) {
+          if (ErrOut)
+            *ErrOut = "probe elision audit failed: " + AR.message();
+          return nullptr;
+        }
+      }
+      Slot->CheapImage = std::make_unique<vm::ProgramImage>(
+          vm::ProgramImage::build(Slot->Mod, &Shadow, &Plan));
     }
   }
   return Slot.get();

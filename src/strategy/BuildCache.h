@@ -53,6 +53,12 @@ struct InstrumentedBuild {
   /// path is enabled and shared read-only by every trial's Vm. Null when
   /// every campaign that touched this slot ran with the fast path off.
   std::unique_ptr<vm::ProgramImage> Image;
+  /// Probe-free twin of Image for the selective mode's cheap tier: same
+  /// module, same PC layout, probe slots rewritten to no-ops from an
+  /// audited elision plan (instrument/Elide.h). Built lazily alongside
+  /// Image when a campaign resolves to selective + fast-path execution;
+  /// null otherwise.
+  std::unique_ptr<vm::ProgramImage> CheapImage;
 };
 
 /// Compiled artifacts for one subject, shared read-only across campaign

@@ -63,6 +63,15 @@ fuzz::FuzzerOptions fuzzerOptions(const InstrumentedBuild &B,
   // left in the shared cache slot.
   if (vm::fastPathEnabled(Opts.VmMode))
     FO.Image = B.Image.get();
+  // Selective (two-tier) execution: byte-identical results either way,
+  // so the knob is resolved per campaign exactly like the engine choice.
+  // The cheap image is only present when the build cache ran under a
+  // selective + fast-path resolution; a null CheapImage falls back to the
+  // interpreter cheap tier inside the fuzzer.
+  if (vm::selectiveEnabled(Opts.Selective)) {
+    FO.Selective = true;
+    FO.CheapImage = B.CheapImage.get();
+  }
   return FO;
 }
 

@@ -115,6 +115,14 @@ struct CampaignOptions {
   /// knobs above, this is excluded from the checkpoint fingerprint: a run
   /// checkpointed under one engine may be resumed under the other.
   vm::VmExecMode VmMode = vm::VmExecMode::Auto;
+
+  /// Two-tier selective execution (fuzz/Fuzzer.h): bulk execs on a cheap
+  /// probe-free image, full instrumented replay only on unseen exec-path
+  /// signatures. Auto (the default) follows the PATHFUZZ_SELECTIVE
+  /// environment knob (on unless set to "0"). Byte-identical campaign
+  /// results either way — like VmMode, the knob only changes per-exec
+  /// cost, and it is likewise excluded from the checkpoint fingerprint.
+  vm::SelectiveMode Selective = vm::SelectiveMode::Auto;
 };
 
 /// Structured campaign failure, replacing in-band aborts: compile and

@@ -6,6 +6,7 @@
 
 #include "support/Env.h"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -74,6 +75,15 @@ std::vector<std::string> envList(const char *Name) {
 
 bool splitSpecU64(const std::string &Spec, std::string &Name,
                   uint64_t &Value) {
+  // Whitespace anywhere in a spec is a malformed entry, rejected as a
+  // whole. envList only strips plain spaces, so tabs (and any whitespace
+  // reaching the direct API) used to flow into the *name* — arming a
+  // fault site or trace series under a name no lookup would ever match.
+  // The value side was already strict (parseU64 rejects whitespace, signs
+  // and 0x prefixes), so the name side must be too.
+  for (char Ch : Spec)
+    if (std::isspace(static_cast<unsigned char>(Ch)))
+      return false;
   size_t At = Spec.find('@');
   if (At == std::string::npos || At == 0)
     return false;

@@ -46,8 +46,10 @@ std::vector<std::string> envList(const char *Name);
 
 /// Split a `name@value` spec entry (the PATHFUZZ_FAULT_SITES /
 /// PATHFUZZ_TRACE attachment syntax). Returns false — leaving the outputs
-/// untouched — when there is no '@', the name is empty, or the value is
-/// not a strict u64.
+/// untouched — when there is no '@', the name is empty, the spec contains
+/// any whitespace (around the separator or inside the name; envList only
+/// strips plain spaces, so tabs used to leak into names), or the value is
+/// not a strict u64 (no signs, no whitespace, no 0x prefix, no overflow).
 bool splitSpecU64(const std::string &Spec, std::string &Name, uint64_t &Value);
 
 } // namespace pathfuzz

@@ -75,7 +75,12 @@ size_t armFromEnv() {
       Spec.pop_back();
     }
     // Numbers go through the strict support parser: "site@2x" is a typo
-    // to skip, not a request to fail on the second hit.
+    // to skip, not a request to fail on the second hit. Whitespace
+    // anywhere makes the entry malformed, matching splitSpecU64 — tabs
+    // survive envList's space stripping and would otherwise arm a site
+    // under a name no shouldFail() lookup can match.
+    if (Spec.find_first_of(" \t\n\v\f\r") != std::string::npos)
+      continue;
     size_t Pct = Spec.find('%');
     std::string Name;
     if (Spec.find('@') != std::string::npos) {

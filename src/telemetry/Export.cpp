@@ -171,6 +171,19 @@ std::string mergedJsonl(const std::vector<const CampaignTrace *> &Traces,
   return Out;
 }
 
+std::string csvField(const std::string &Raw) {
+  if (Raw.find_first_of(",\"\n\r") == std::string::npos)
+    return Raw;
+  std::string Out = "\"";
+  for (char C : Raw) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
 std::string
 queueTrajectoryCsv(const std::vector<const CampaignTrace *> &Traces) {
   std::ostringstream O;
@@ -178,8 +191,9 @@ queueTrajectoryCsv(const std::vector<const CampaignTrace *> &Traces) {
   for (const CampaignTrace *T : sorted(Traces))
     for (const InstanceRecord &Rec : T->Instances)
       for (const Sample &S : Rec.Samples)
-        O << T->Subject << "," << T->Fuzzer << "," << T->Seed << ","
-          << (Rec.ExecOffset + S.Exec) << "," << S.QueueSize << "\n";
+        O << csvField(T->Subject) << "," << csvField(T->Fuzzer) << ","
+          << T->Seed << "," << (Rec.ExecOffset + S.Exec) << ","
+          << S.QueueSize << "\n";
   return O.str();
 }
 
@@ -189,8 +203,9 @@ std::string coverageCsv(const std::vector<const CampaignTrace *> &Traces) {
   for (const CampaignTrace *T : sorted(Traces))
     for (const InstanceRecord &Rec : T->Instances)
       for (const Sample &S : Rec.Samples)
-        O << T->Subject << "," << T->Fuzzer << "," << T->Seed << ","
-          << (Rec.ExecOffset + S.Exec) << "," << S.EdgesCovered << "\n";
+        O << csvField(T->Subject) << "," << csvField(T->Fuzzer) << ","
+          << T->Seed << "," << (Rec.ExecOffset + S.Exec) << ","
+          << S.EdgesCovered << "\n";
   return O.str();
 }
 

@@ -45,6 +45,13 @@ std::string traceJsonl(const CampaignTrace &T, bool Wall = false);
 std::string mergedJsonl(const std::vector<const CampaignTrace *> &Traces,
                         bool Wall = false);
 
+/// RFC-4180 CSV field: quoted (with doubled inner quotes) only when the
+/// value contains a comma, quote, or newline, so plain names — the
+/// overwhelmingly common case — stay byte-identical to the unquoted form.
+/// Every CSV emitter (Export and the report tool's JSONL re-derivations)
+/// routes name fields through here so the round-trip stays exact.
+std::string csvField(const std::string &Raw);
+
 /// "subject,fuzzer,seed,execs,queue" rows from every sample, execs made
 /// campaign-cumulative via each instance's offset. Same sort as the JSONL.
 std::string queueTrajectoryCsv(const std::vector<const CampaignTrace *> &Traces);

@@ -62,5 +62,47 @@ bool operator==(const MetricsRegistry &A, const MetricsRegistry &B) {
          A.histograms() == B.histograms();
 }
 
+bool isEngineLocalMetric(const std::string &Name) {
+  // Prefix families, one entry per engine facility. Keep this the only
+  // place such families are spelled: the identity tests and the report
+  // tooling all route through here.
+  static const char *const Prefixes[] = {
+      "vm.fastpath.",  // snapshot-reset/image accounting of the fast path
+      "vm.selective.", // two-tier skip/replay accounting
+  };
+  for (const char *P : Prefixes)
+    if (Name.rfind(P, 0) == 0)
+      return true;
+  return false;
+}
+
+namespace {
+
+template <typename MapT>
+bool sameObservableEntries(const MapT &A, const MapT &B) {
+  auto IA = A.begin(), IB = B.begin();
+  for (;;) {
+    while (IA != A.end() && isEngineLocalMetric(IA->first))
+      ++IA;
+    while (IB != B.end() && isEngineLocalMetric(IB->first))
+      ++IB;
+    if (IA == A.end() || IB == B.end())
+      return IA == A.end() && IB == B.end();
+    if (IA->first != IB->first || !(IA->second == IB->second))
+      return false;
+    ++IA;
+    ++IB;
+  }
+}
+
+} // namespace
+
+bool sameObservableMetrics(const MetricsRegistry &A,
+                           const MetricsRegistry &B) {
+  return sameObservableEntries(A.counters(), B.counters()) &&
+         sameObservableEntries(A.gauges(), B.gauges()) &&
+         sameObservableEntries(A.histograms(), B.histograms());
+}
+
 } // namespace telemetry
 } // namespace pathfuzz

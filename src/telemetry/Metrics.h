@@ -112,6 +112,21 @@ private:
 
 bool operator==(const MetricsRegistry &A, const MetricsRegistry &B);
 
+/// Whether a metric name belongs to an *engine-local* family: series that
+/// describe how the execution engine ran (vm.fastpath.* snapshot-reset
+/// accounting, vm.selective.* two-tier replay accounting) rather than what
+/// the campaign observed. The byte-identity contract — interpreter vs fast
+/// path, selective vs always-instrumented, resumed vs uninterrupted —
+/// covers every other metric; engine-local families legitimately differ
+/// across those settings and must be excluded from equality comparisons.
+/// This is the single definition the identity tests share, so a new
+/// engine-local family added here cannot silently break them.
+bool isEngineLocalMetric(const std::string &Name);
+
+/// Equality over the non-engine-local subset of two registries: the
+/// comparison the campaign/resume identity tests use.
+bool sameObservableMetrics(const MetricsRegistry &A, const MetricsRegistry &B);
+
 } // namespace telemetry
 } // namespace pathfuzz
 

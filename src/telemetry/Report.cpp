@@ -6,6 +6,8 @@
 
 #include "telemetry/Report.h"
 
+#include "telemetry/Export.h"
+
 #include <map>
 #include <sstream>
 #include <tuple>
@@ -70,8 +72,8 @@ std::string seriesCsv(const std::string &Jsonl, const char *Header,
     if (!lineKey(Line, K) || !jsonU64(Line, "exec", Exec) ||
         !jsonU64(Line, Field, Value))
       return;
-    O << K.Subject << "," << K.Fuzzer << "," << K.Seed << "," << Exec << ","
-      << Value << "\n";
+    O << csvField(K.Subject) << "," << csvField(K.Fuzzer) << "," << K.Seed
+      << "," << Exec << "," << Value << "\n";
   });
   return O.str();
 }
@@ -184,9 +186,9 @@ std::string crashSummaryFromJsonl(const std::string &Jsonl) {
   O << "subject,fuzzer,seed,crashes,unique_crashes,unique_bugs,"
        "dedup_events\n";
   for (const auto &[K, T] : Rows)
-    O << K.Subject << "," << K.Fuzzer << "," << K.Seed << "," << T.Crashes
-      << "," << T.UniqueCrashes << "," << T.UniqueBugs << ","
-      << T.DedupEvents << "\n";
+    O << csvField(K.Subject) << "," << csvField(K.Fuzzer) << "," << K.Seed
+      << "," << T.Crashes << "," << T.UniqueCrashes << "," << T.UniqueBugs
+      << "," << T.DedupEvents << "\n";
   return O.str();
 }
 

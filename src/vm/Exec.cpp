@@ -221,6 +221,8 @@ ExecResult Vm::runImage(const uint8_t *Input, size_t Len,
   uint64_t CallHash = 0x50a7af1dULL;
   const bool RecordEdges = Opts.RecordShadowEdges && Shadow;
   const bool DoCallHash = Fb && Fb->CallPathHash && Map;
+  const bool DoSig = Fb && Fb->PathSig;
+  uint64_t Sig = 0;
 
   // Hoisted once: the coverage-map writes go through uint8_t*, which may
   // alias anything, so loads left behind Opts./this-> would be re-issued
@@ -294,7 +296,7 @@ ExecResult Vm::runImage(const uint8_t *Input, size_t Len,
       &&L_BlockProbe, &&L_PathAdd,   &&L_PathFlushRet, &&L_PathFlushBack,
       &&L_Br,        &&L_CondBr,     &&L_Switch,       &&L_Ret,
       &&L_BinBr,     &&L_BinImmBr,   &&L_PathAddBr,    &&L_FlushRetRet,
-      &&L_ConstCondBr, &&L_ConstBin, &&L_ConstBinBr,
+      &&L_ConstCondBr, &&L_ConstBin, &&L_ConstBinBr,   &&L_Nop,
   };
   PF_NEXT();
 #else
@@ -576,6 +578,10 @@ ExecResult Vm::runImage(const uint8_t *Input, size_t Len,
 
   PF_OP_CT(CondBr) {
     const bool Taken = Regs[I->A] != 0;
+    // Decision-slot signature: CondBr contributes its taken slot (0/1),
+    // matching the interpreter's terminator Slot value exactly.
+    if (DoSig)
+      Sig = hashCombine(Sig, static_cast<uint64_t>(Taken ? 0 : 1));
     if (RecordEdges) {
       const uint64_t Packed = static_cast<uint64_t>(I->Imm);
       const uint32_t Id =
@@ -601,6 +607,8 @@ ExecResult Vm::runImage(const uint8_t *Input, size_t Len,
         break;
       }
     }
+    if (DoSig)
+      Sig = hashCombine(Sig, static_cast<uint64_t>(Slot));
     const SuccEntry &SE = SuccPool[I->X + Slot];
     if (RecordEdges) {
       const uint32_t Id = SE.EdgeId;
@@ -628,6 +636,8 @@ ExecResult Vm::runImage(const uint8_t *Input, size_t Len,
     I = &Code[PC++];
     {
       const bool Taken = Out != 0;
+      if (DoSig)
+        Sig = hashCombine(Sig, static_cast<uint64_t>(Taken ? 0 : 1));
       if (RecordEdges) {
         const uint64_t Packed = static_cast<uint64_t>(I->Imm);
         const uint32_t Id = Taken ? static_cast<uint32_t>(Packed)
@@ -655,6 +665,8 @@ ExecResult Vm::runImage(const uint8_t *Input, size_t Len,
     I = &Code[PC++];
     {
       const bool Taken = Out != 0;
+      if (DoSig)
+        Sig = hashCombine(Sig, static_cast<uint64_t>(Taken ? 0 : 1));
       if (RecordEdges) {
         const uint64_t Packed = static_cast<uint64_t>(I->Imm);
         const uint32_t Id = Taken ? static_cast<uint32_t>(Packed)
@@ -690,6 +702,11 @@ ExecResult Vm::runImage(const uint8_t *Input, size_t Len,
 
   PF_OP(ConstBinBr) { Regs[I->A] = I->Imm; }
   PF_CHAIN(BinBr);
+
+  // Elided probe slot of a cheap (selective) image: consumes its step and
+  // does nothing else, preserving PC layout and step accounting exactly.
+  PF_OP(Nop) {}
+  PF_NEXT();
 
   PF_OP_CT(Ret) {
     const int64_t Value = Regs[I->A];
@@ -736,6 +753,8 @@ RaiseFault: {
 
 Finish:
   R.Steps = Steps;
+  if (DoSig)
+    *Fb->PathSig = Sig;
   if (RecordEdges) {
     std::sort(EdgeTouched.begin(), EdgeTouched.end());
     R.ShadowEdges = EdgeTouched;

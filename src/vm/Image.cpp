@@ -6,6 +6,7 @@
 
 #include "vm/Image.h"
 
+#include "instrument/Elide.h"
 #include "instrument/ShadowEdges.h"
 #include "support/Env.h"
 #include "support/Rng.h"
@@ -30,8 +31,23 @@ bool fastPathEnabled(VmExecMode Mode) {
   return envBool("PATHFUZZ_VM_FASTPATH", true);
 }
 
+bool selectiveEnabled(SelectiveMode Mode) {
+  switch (Mode) {
+  case SelectiveMode::Off:
+    return false;
+  case SelectiveMode::On:
+    return true;
+  case SelectiveMode::Auto:
+    break;
+  }
+  // Same contract as fastPathEnabled: re-read the environment on every
+  // Auto query so tests can flip the knob at runtime.
+  return envBool("PATHFUZZ_SELECTIVE", true);
+}
+
 ProgramImage ProgramImage::build(const mir::Module &M,
-                                 const instr::ShadowEdgeIndex *Shadow) {
+                                 const instr::ShadowEdgeIndex *Shadow,
+                                 const instr::ElisionPlan *Elide) {
   ProgramImage P;
   P.Src = &M;
   P.HasShadow = Shadow != nullptr;
@@ -80,11 +96,23 @@ ProgramImage ProgramImage::build(const mir::Module &M,
     for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
       const mir::BasicBlock &BB = Fn.Blocks[B];
       uint32_t Norm = 0;
-      for (const mir::Instr &In : BB.Instrs) {
+      for (size_t InstrIdx = 0; InstrIdx < BB.Instrs.size(); ++InstrIdx) {
+        const mir::Instr &In = BB.Instrs[InstrIdx];
         DInstr D;
         P.Pc.push_back({static_cast<uint32_t>(F), static_cast<uint32_t>(B),
                         Norm});
         Norm += !In.isProbe();
+        // Selective (cheap) build: rewrite elided slots to no-ops *in
+        // place* — same PC layout, same PcInfo, same step accounting as the
+        // full image, just no coverage-map writes. The pool push for
+        // PathFlushBack is skipped along with the rest of the lowering.
+        if (Elide && Elide->covers(static_cast<uint32_t>(F),
+                                   static_cast<uint32_t>(B),
+                                   static_cast<uint32_t>(InstrIdx))) {
+          D.Op = DOp::Nop;
+          P.Code.push_back(D);
+          continue;
+        }
         D.BOp = In.BOp;
         D.A = In.A;
         D.B = In.B;

@@ -50,6 +50,7 @@
 namespace pathfuzz {
 namespace instr {
 class ShadowEdgeIndex;
+struct ElisionPlan;
 } // namespace instr
 namespace vm {
 
@@ -102,8 +103,14 @@ enum class DOp : uint8_t {
   ConstCondBr,   ///< Const, then a CondBr terminator
   ConstBin,      ///< Const, then a (non-fused) Bin
   ConstBinBr,    ///< Const, then a fused BinBr pair
+  /// An elided probe slot in a selective ("cheap") image: consumes its
+  /// step and does nothing else. Probe slots are rewritten in place — not
+  /// removed — so the PC layout, PcInfo table, step accounting and
+  /// fault/step-limit coordinates of the cheap image stay byte-identical
+  /// to the fully instrumented one.
+  Nop,
 };
-inline constexpr unsigned NumDOps = static_cast<unsigned>(DOp::ConstBinBr) + 1;
+inline constexpr unsigned NumDOps = static_cast<unsigned>(DOp::Nop) + 1;
 
 /// One decoded instruction slot. Exactly 32 bytes, two per cache line.
 /// Field meaning is per-op (register operands keep the reference names):
@@ -195,6 +202,17 @@ enum class VmExecMode : uint8_t { Auto, Interpreter, FastPath };
 /// PATHFUZZ_VM_FASTPATH on every call (tests flip it at runtime).
 bool fastPathEnabled(VmExecMode Mode);
 
+/// Selects the two-tier selective-instrumentation mode for campaign-level
+/// drivers (CampaignOptions::Selective). Auto resolves the
+/// PATHFUZZ_SELECTIVE environment knob (default: on). Like VmMode, the
+/// knob never changes campaign results — selective runs are byte-identical
+/// to always-instrumented ones; it exists for benchmarking and bisection.
+enum class SelectiveMode : uint8_t { Auto, Off, On };
+
+/// Whether Mode resolves to two-tier selective execution. Auto consults
+/// PATHFUZZ_SELECTIVE on every call (tests flip it at runtime).
+bool selectiveEnabled(SelectiveMode Mode);
+
 /// Whether the fast-path executor was compiled with computed-goto
 /// threaded dispatch (PATHFUZZ_THREADED_DISPATCH on a GNU-compatible
 /// compiler) rather than the portable switch loop. Informational only —
@@ -207,9 +225,13 @@ class ProgramImage {
 public:
   /// Decode M. Shadow (the index over the *original* module, as handed to
   /// Vm) resolves per-terminator edge IDs; pass null when shadow-edge
-  /// recording will never be requested.
+  /// recording will never be requested. Elide, when non-null, names probe
+  /// slots to rewrite to DOp::Nop (the selective mode's cheap image; see
+  /// instrument/Elide.h) — the slot layout, PcInfo table and step
+  /// accounting are unchanged, only the probes' side effects disappear.
   static ProgramImage build(const mir::Module &M,
-                            const instr::ShadowEdgeIndex *Shadow);
+                            const instr::ShadowEdgeIndex *Shadow,
+                            const instr::ElisionPlan *Elide = nullptr);
 
   const DInstr *code() const { return Code.data(); }
   size_t codeSize() const { return Code.size(); }

@@ -112,6 +112,8 @@ ExecResult Vm::run(const uint8_t *Input, size_t Len, const ExecOptions &Opts,
   uint64_t PrevLoc = 0;
   uint64_t CallHash = 0x50a7af1dULL;
   bool RecordEdges = Opts.RecordShadowEdges && Shadow;
+  const bool DoSig = Fb && Fb->PathSig;
+  uint64_t Sig = 0;
 
   // Materialize globals as the first heap objects (object index == global
   // index), re-initialized on every execution.
@@ -491,6 +493,12 @@ ExecResult Vm::run(const uint8_t *Input, size_t Len, const ExecOptions &Opts,
     case mir::TermKind::Ret:
       break; // handled above
     }
+    // The exec-path signature hashes only *decisions*: slots of CondBr and
+    // Switch. Br/Ret are forced transfers — including them would add
+    // nothing, and excluding them keeps the fast path's per-handler
+    // accumulation sites identical to these.
+    if (DoSig && T.Kind != mir::TermKind::Br)
+      Sig = hashCombine(Sig, Slot);
 
     if (RecordEdges) {
       uint32_t Id = Shadow->edgeId(Fr.Func, Fr.Block, Slot);
@@ -504,6 +512,8 @@ ExecResult Vm::run(const uint8_t *Input, size_t Len, const ExecOptions &Opts,
   }
 
   R.Steps = Steps;
+  if (DoSig)
+    *Fb->PathSig = Sig;
   if (RecordEdges) {
     std::sort(EdgeTouched.begin(), EdgeTouched.end());
     R.ShadowEdges = EdgeTouched;

@@ -185,8 +185,35 @@ TEST(Env, SplitSpecRejectsMalformedEntries) {
   EXPECT_FALSE(splitSpecU64("site@junk", Name, Value));
   EXPECT_FALSE(splitSpecU64("site@-2", Name, Value));
   EXPECT_FALSE(splitSpecU64("site@18446744073709551616", Name, Value));
+  // 0x-prefixed values are typos, not hex input.
+  EXPECT_FALSE(splitSpecU64("site@0x10", Name, Value));
+  // Whitespace around the separator (or anywhere in the spec) makes the
+  // entry malformed as a whole. envList strips only plain spaces, so a
+  // tab used to flow straight into the *name* — arming a fault site or
+  // trace series under a name no lookup would ever match.
+  EXPECT_FALSE(splitSpecU64("site @5", Name, Value));
+  EXPECT_FALSE(splitSpecU64("site@ 5", Name, Value));
+  EXPECT_FALSE(splitSpecU64(" site@5", Name, Value));
+  EXPECT_FALSE(splitSpecU64("site@5 ", Name, Value));
+  EXPECT_FALSE(splitSpecU64("si\tte@5", Name, Value));
+  EXPECT_FALSE(splitSpecU64("site\t@5", Name, Value));
+  EXPECT_FALSE(splitSpecU64("site@5\n", Name, Value));
   EXPECT_EQ(Name, "keep");
   EXPECT_EQ(Value, 7u);
+}
+
+TEST(Env, FaultSpecListRejectsWhitespaceNames) {
+  // End-to-end regression through armFromEnv: a tab inside a spec entry
+  // survives envList's space stripping; the malformed entry must be
+  // skipped, not armed under an unmatchable name (hit-count *and*
+  // probabilistic forms).
+  fault::ScopedFaultInjection Guard;
+  ::setenv("PATHFUZZ_FAULT_SITES", "si\tte@2,site\t%500,good@1", 1);
+  EXPECT_EQ(fault::armFromEnv(), 1u);
+  EXPECT_TRUE(fault::shouldFail("good"));
+  EXPECT_FALSE(fault::shouldFail("si\tte"));
+  EXPECT_FALSE(fault::shouldFail("site\t"));
+  ::unsetenv("PATHFUZZ_FAULT_SITES");
 }
 
 TEST(ThreadPool, RunsEveryJobExactlyOnce) {

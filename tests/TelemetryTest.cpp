@@ -440,13 +440,57 @@ TEST(Report, CsvsRoundTripThroughJsonl) {
   EXPECT_NE(Bench.find("\"fuzzer\":\"pcguard\""), std::string::npos);
 }
 
+TEST(Report, CsvEscapesDelimitersInNames) {
+  // Subject and fuzzer names flow verbatim from campaign configs into the
+  // CSV emitters. Before RFC-4180 quoting, a comma in a name shifted every
+  // later column; a quote or newline corrupted the row outright.
+  EXPECT_EQ(csvField("plain"), "plain");
+  EXPECT_EQ(csvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(csvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csvField("two\nlines"), "\"two\nlines\"");
+
+  CampaignTrace T;
+  T.Subject = "lib,v2";
+  T.Fuzzer = "path \"exp\"";
+  T.Seed = 7;
+  InstanceRecord Rec;
+  Rec.Label = "main";
+  Sample S;
+  S.Exec = 100;
+  S.QueueSize = 3;
+  S.EdgesCovered = 12;
+  Rec.Samples.push_back(S);
+  T.Instances.push_back(Rec);
+  std::vector<const CampaignTrace *> Traces{&T};
+
+  const std::string Row = "\"lib,v2\",\"path \"\"exp\"\"\",7,100,";
+  std::string Queue = queueTrajectoryCsv(Traces);
+  EXPECT_NE(Queue.find("\n" + Row + "3\n"), std::string::npos) << Queue;
+  std::string Cov = coverageCsv(Traces);
+  EXPECT_NE(Cov.find("\n" + Row + "12\n"), std::string::npos) << Cov;
+
+  // The JSONL path escapes the same names at the JSON layer, and the
+  // report tool's re-derived CSVs must still match the exporters byte for
+  // byte — the round-trip contract is independent of name contents.
+  std::string Jsonl = mergedJsonl(Traces);
+  EXPECT_EQ(queueCsvFromJsonl(Jsonl), Queue);
+  EXPECT_EQ(coverageCsvFromJsonl(Jsonl), Cov);
+  std::string Crash = crashSummaryFromJsonl(Jsonl);
+  EXPECT_NE(Crash.find("\"lib,v2\",\"path \"\"exp\"\"\",7,"),
+            std::string::npos)
+      << Crash;
+}
+
 //===----------------------------------------------------------------------===//
 // Checkpoint/resume telemetry
 //===----------------------------------------------------------------------===//
 
 /// Samples and metric values must survive kill+resume exactly; events are
 /// excluded (the checkpointed run records CheckpointWritten markers the
-/// uninterrupted reference never sees).
+/// uninterrupted reference never sees), and so are the engine-local
+/// metric families (telemetry::isEngineLocalMetric): a resumed selective
+/// run legitimately replays paths its predecessor already consumed — its
+/// vm.selective.* counters differ while everything observable agrees.
 void expectSameSeries(const CampaignTrace &A, const CampaignTrace &B) {
   EXPECT_EQ(A.Subject, B.Subject);
   EXPECT_EQ(A.Fuzzer, B.Fuzzer);
@@ -457,7 +501,8 @@ void expectSameSeries(const CampaignTrace &A, const CampaignTrace &B) {
     EXPECT_EQ(A.Instances[I].Label, B.Instances[I].Label);
     EXPECT_EQ(A.Instances[I].ExecOffset, B.Instances[I].ExecOffset);
     EXPECT_EQ(A.Instances[I].Samples, B.Instances[I].Samples);
-    EXPECT_TRUE(A.Instances[I].Metrics == B.Instances[I].Metrics);
+    EXPECT_TRUE(telemetry::sameObservableMetrics(A.Instances[I].Metrics,
+                                                 B.Instances[I].Metrics));
   }
 }
 

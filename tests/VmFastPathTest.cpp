@@ -195,18 +195,20 @@ TEST(VmFastPath, RandomizedMirIdentity) {
   }
 }
 
-/// Strip the fast-path-only metric family, the one permitted divergence
-/// between traced interpreter and fast-path campaigns.
-template <typename MapT> MapT withoutFastPathFamily(const MapT &In) {
+/// Strip the engine-local metric families (vm.fastpath.*, vm.selective.*),
+/// the only permitted divergence between traced campaigns run on different
+/// engines. The family list lives in telemetry::isEngineLocalMetric — the
+/// shared definition all identity tests use.
+template <typename MapT> MapT withoutEngineLocalFamilies(const MapT &In) {
   MapT Out;
   for (const auto &KV : In)
-    if (KV.first.rfind("vm.fastpath.", 0) != 0)
+    if (!telemetry::isEngineLocalMetric(KV.first))
       Out.insert(KV);
   return Out;
 }
 
-/// Whole campaigns: byte-identical findings and (minus vm.fastpath.*)
-/// identical telemetry under either engine.
+/// Whole campaigns: byte-identical findings and (minus engine-local
+/// families) identical telemetry under either engine.
 TEST(VmFastPath, CampaignIdentityAndTelemetry) {
   std::vector<Subject> Examples = exampleSubjects();
   const Subject &S = Examples[3]; // tokens: globals + calls + branches
@@ -236,10 +238,12 @@ TEST(VmFastPath, CampaignIdentityAndTelemetry) {
       EXPECT_EQ(A.ExecOffset, B.ExecOffset);
       EXPECT_EQ(A.Samples, B.Samples);
       EXPECT_EQ(A.EventsRecorded, B.EventsRecorded);
-      EXPECT_EQ(withoutFastPathFamily(A.Metrics.counters()),
-                withoutFastPathFamily(B.Metrics.counters()));
-      EXPECT_EQ(withoutFastPathFamily(A.Metrics.gauges()),
-                withoutFastPathFamily(B.Metrics.gauges()));
+      EXPECT_EQ(withoutEngineLocalFamilies(A.Metrics.counters()),
+                withoutEngineLocalFamilies(B.Metrics.counters()));
+      EXPECT_EQ(withoutEngineLocalFamilies(A.Metrics.gauges()),
+                withoutEngineLocalFamilies(B.Metrics.gauges()));
+      EXPECT_TRUE(
+          telemetry::sameObservableMetrics(A.Metrics, B.Metrics));
       // The fast-path campaign must actually carry the family...
       EXPECT_TRUE(B.Metrics.gauges().count("vm.fastpath.image.bytes"));
       // ...and the interpreter campaign must not.
