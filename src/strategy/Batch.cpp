@@ -50,6 +50,19 @@ CampaignResult runOneJob(BuildCache &Cache, const BatchJob &Job,
     // convert a wedged trial into a recorded error.
     Opts.WatchdogExecLimit = 8 * Opts.ExecBudget + 4096;
   }
+  if (Opts.StoreDir.empty()) {
+    // Durable batches: PATHFUZZ_STORE names a store root and every trial
+    // gets its own campaign directory under it, keyed by the trial cell —
+    // subject, fuzzer, seed — so re-running the same batch after a kill
+    // resumes each trial from its newest checkpoint. A per-job StoreDir
+    // wins over the env root. Read per job (not latched): a getenv per
+    // trial is noise next to a campaign, and tests re-point the root.
+    const std::string EnvStoreRoot = envStr("PATHFUZZ_STORE", "");
+    if (!EnvStoreRoot.empty())
+      Opts.StoreDir = EnvStoreRoot + "/" + Job.S->Name + "-" +
+                      fuzzerKindName(Opts.Kind) + "-s" +
+                      std::to_string(Opts.Seed);
+  }
   for (uint32_t Attempt = 1;; ++Attempt) {
     Status.Attempts = Attempt;
     std::shared_ptr<SubjectBuild> B = Cache.get(*Job.S);

@@ -8,6 +8,7 @@
 
 #include "fuzz/Snapshot.h"
 #include "strategy/BuildCache.h"
+#include "strategy/Store.h"
 #include "support/FaultInjection.h"
 #include "support/Rng.h"
 
@@ -258,18 +259,9 @@ uint8_t driverTag(FuzzerKind K) {
   }
 }
 
-void writeCheckpointHeader(ByteWriter &W, const CampaignOptions &Opts) {
-  W.u8(driverTag(Opts.Kind));
-  W.u8(static_cast<uint8_t>(Opts.Kind));
-  W.u64(Opts.ExecBudget);
-  W.u64(Opts.Seed);
-  W.u32(Opts.MapSizeLog2);
-  W.u32(Opts.CullRounds);
-  W.u64(Opts.MaxInputLen);
-  W.u64(Opts.StepLimit);
-  W.u8(static_cast<uint8_t>(Opts.Placement));
-  W.u32(Opts.GrowthSampleInterval);
-}
+// The header is the public writeOptionsFingerprint (Campaign.h): the
+// durable store's manifest pins the same fields, so a checkpoint that
+// matches the manifest necessarily matches the resume options.
 
 bool readCheckpointHeader(ByteReader &Rd, const CampaignOptions &Opts) {
   bool Ok = Rd.u8() == driverTag(Opts.Kind);
@@ -327,7 +319,7 @@ CampaignResult runPlain(SubjectBuild &SB, const CampaignOptions &Opts,
   if (Opts.CheckpointSink && Opts.CheckpointInterval)
     FO.OnCheckpoint = [&Opts](const fuzz::Fuzzer &F) {
       ByteWriter W;
-      writeCheckpointHeader(W, Opts);
+      writeOptionsFingerprint(W, Opts);
       W.blob(F.snapshot());
       Opts.CheckpointSink(fuzz::sealSnapshot(W.take()));
     };
@@ -419,7 +411,7 @@ CampaignResult runCull(SubjectBuild &SB, const CampaignOptions &Opts,
       FO.OnCheckpoint = [&Opts, &R, &CullRng, CT, Round,
                          ExecOffset](const fuzz::Fuzzer &F) {
         ByteWriter W;
-        writeCheckpointHeader(W, Opts);
+        writeOptionsFingerprint(W, Opts);
         W.u32(Round);
         W.u64(ExecOffset);
         writeCampaignResult(W, R);
@@ -528,7 +520,7 @@ CampaignResult runOpp(SubjectBuild &SB, const CampaignOptions &Opts,
     if (Opts.CheckpointSink && Opts.CheckpointInterval)
       FO.OnCheckpoint = [&Opts](const fuzz::Fuzzer &F) {
         ByteWriter W;
-        writeCheckpointHeader(W, Opts);
+        writeOptionsFingerprint(W, Opts);
         W.u8(1); // phase
         W.blob(F.snapshot());
         Opts.CheckpointSink(fuzz::sealSnapshot(W.take()));
@@ -590,7 +582,7 @@ CampaignResult runOpp(SubjectBuild &SB, const CampaignOptions &Opts,
     FO2.OnCheckpoint = [&Opts, Phase1Execs, &Phase1Edges,
                         CT](const fuzz::Fuzzer &F) {
       ByteWriter W;
-      writeCheckpointHeader(W, Opts);
+      writeOptionsFingerprint(W, Opts);
       W.u8(2); // phase
       W.u64(Phase1Execs);
       W.vecU32(Phase1Edges);
@@ -673,6 +665,48 @@ std::vector<uint8_t> serializeCampaignResult(const CampaignResult &R) {
   return W.take();
 }
 
+bool deserializeCampaignResult(const std::vector<uint8_t> &Blob,
+                               CampaignResult &R) {
+  ByteReader Rd(Blob);
+  R = readCampaignResult(Rd);
+  return Rd.done();
+}
+
+void writeOptionsFingerprint(ByteWriter &W, const CampaignOptions &Opts) {
+  W.u8(driverTag(Opts.Kind));
+  W.u8(static_cast<uint8_t>(Opts.Kind));
+  W.u64(Opts.ExecBudget);
+  W.u64(Opts.Seed);
+  W.u32(Opts.MapSizeLog2);
+  W.u32(Opts.CullRounds);
+  W.u64(Opts.MaxInputLen);
+  W.u64(Opts.StepLimit);
+  W.u8(static_cast<uint8_t>(Opts.Placement));
+  W.u32(Opts.GrowthSampleInterval);
+}
+
+bool readOptionsFingerprint(ByteReader &Rd, CampaignOptions &Opts) {
+  uint8_t Tag = Rd.u8();
+  uint8_t Kind = Rd.u8();
+  if (Kind > static_cast<uint8_t>(FuzzerKind::PathAfl))
+    return false;
+  Opts.Kind = static_cast<FuzzerKind>(Kind);
+  if (Tag != driverTag(Opts.Kind))
+    return false;
+  Opts.ExecBudget = Rd.u64();
+  Opts.Seed = Rd.u64();
+  Opts.MapSizeLog2 = Rd.u32();
+  Opts.CullRounds = Rd.u32();
+  Opts.MaxInputLen = Rd.u64();
+  Opts.StepLimit = Rd.u64();
+  uint8_t Placement = Rd.u8();
+  if (Placement > static_cast<uint8_t>(bl::PlacementMode::SpanningTree))
+    return false;
+  Opts.Placement = static_cast<bl::PlacementMode>(Placement);
+  Opts.GrowthSampleInterval = Rd.u32();
+  return Rd.ok();
+}
+
 CampaignResult runCampaign(const Subject &S, const CampaignOptions &Opts,
                            CampaignError *Err) {
   SubjectBuild B(S);
@@ -681,6 +715,10 @@ CampaignResult runCampaign(const Subject &S, const CampaignOptions &Opts,
 
 CampaignResult runCampaign(SubjectBuild &B, const CampaignOptions &Opts,
                            CampaignError *Err) {
+  // Durable campaigns detour through the store layer, which re-enters
+  // here with StoreDir cleared once recovery is resolved.
+  if (!Opts.StoreDir.empty())
+    return runStoredCampaign(B, Opts, Err);
   return dispatch(B, Opts, Err, nullptr, nullptr, nullptr);
 }
 

@@ -40,6 +40,7 @@
 
 #include "fuzz/Fuzzer.h"
 #include "lang/Compile.h"
+#include "support/Bytes.h"
 #include "vm/Image.h"
 
 #include <functional>
@@ -99,6 +100,18 @@ struct CampaignOptions {
   /// batch runner's default (a generous multiple of ExecBudget); the
   /// deterministic analogue of a wall-clock hang detector.
   uint64_t WatchdogExecLimit = 0;
+
+  /// Durable campaign store (strategy/Store.h). When non-empty,
+  /// runCampaign() persists checkpoints under this directory and first
+  /// recovers from the newest valid one already there, so a SIGKILL at
+  /// any instant loses at most one checkpoint interval. The batch runner
+  /// derives per-trial directories from the PATHFUZZ_STORE root for jobs
+  /// that leave this empty. Like the other robustness knobs it never
+  /// perturbs results and is excluded from the checkpoint fingerprint.
+  std::string StoreDir;
+  /// Checkpoint files retained on disk per campaign (oldest rotated out;
+  /// min 1). More files buy deeper fallback when the newest is corrupt.
+  uint32_t StoreKeepLast = 3;
 
   /// Telemetry: when enabled, every fuzzer instance records events,
   /// metrics and time-series samples, folded into CampaignResult::Trace.
@@ -210,6 +223,26 @@ CampaignResult resumeCampaign(const Subject &S, const CampaignOptions &Opts,
 /// for the determinism and checkpoint/resume guarantees (two results are
 /// "byte-identical" iff these blobs compare equal).
 std::vector<uint8_t> serializeCampaignResult(const CampaignResult &R);
+
+/// Inverse of serializeCampaignResult (the durable store persists final
+/// results in this form). Returns false on malformed input, leaving R in
+/// an unspecified state.
+bool deserializeCampaignResult(const std::vector<uint8_t> &Blob,
+                               CampaignResult &R);
+
+/// Serialize the options fingerprint: every option the campaign schedule
+/// depends on (kind, budget, seed, map size, cull rounds, input/step
+/// limits, placement, sampling interval). Checkpoints and the durable
+/// store's manifest both pin resumes to it; the robustness and engine
+/// knobs (checkpoint cadence, watchdog, VmMode, Selective, StoreDir) are
+/// deliberately excluded — they never affect results.
+void writeOptionsFingerprint(ByteWriter &W, const CampaignOptions &Opts);
+
+/// Parse a fingerprint back into Opts (only the pinned fields are
+/// assigned; the rest keep their defaults). Returns false on malformed or
+/// out-of-range input. The supervisor uses this to reconstruct runnable
+/// options from a store manifest.
+bool readOptionsFingerprint(ByteReader &Rd, CampaignOptions &Opts);
 
 } // namespace strategy
 } // namespace pathfuzz

@@ -1,0 +1,152 @@
+//===- Store.h - Durable on-disk campaign store -----------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The durability layer behind CampaignOptions::StoreDir: a per-campaign
+// directory that makes a SIGKILL at any instant lose at most one
+// checkpoint interval. Layout:
+//
+//   <dir>/manifest.pfm        sealSnapshot() envelope over: store format
+//                             version, subject name, the options
+//                             fingerprint (Campaign.h), a status byte and
+//                             — once finished — the final
+//                             serializeCampaignResult blob.
+//   <dir>/ckpt-NNNN.pfsnap    rotating checkpoint files (increasing
+//                             sequence numbers, newest wins), each a
+//                             sealed campaign checkpoint exactly as
+//                             handed to CheckpointSink. Only the last
+//                             StoreKeepLast are retained.
+//   <dir>/quarantine/         torn or corrupt checkpoints moved aside by
+//                             the recovery scan (kept for post-mortems,
+//                             never read again).
+//
+// Every write goes through io::atomicWriteFile, so no file is ever
+// observed half-written; recovery picks the newest checkpoint whose
+// envelope validates and falls back — quarantining as it goes — until
+// one resumes or none are left (fresh start). A manifest whose subject
+// or fingerprint does not match the requested campaign is a hard error:
+// resuming someone else's store silently would corrupt both.
+//
+// The store's own accounting (store.checkpoint.{written,bytes,recovered,
+// quarantined}) is an engine-local telemetry family: resumed and
+// uninterrupted runs legitimately differ in it, and it is folded into the
+// campaign trace as its own "store" instance record when tracing is on.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_STRATEGY_STORE_H
+#define PATHFUZZ_STRATEGY_STORE_H
+
+#include "strategy/Campaign.h"
+#include "telemetry/Metrics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+namespace strategy {
+
+/// Lifecycle state of one on-disk campaign, as the recovery scan sees it.
+enum class StoreState : uint8_t {
+  Fresh,     ///< manifest present, no valid checkpoint yet
+  Resumable, ///< at least one checkpoint with a valid envelope
+  Done,      ///< the manifest carries the final result
+  Corrupt,   ///< manifest missing/unreadable — never silently reused
+};
+
+const char *storeStateName(StoreState S);
+
+/// One campaign directory. Opened (and created) by runStoredCampaign;
+/// exposed for tests and the pathfuzz-resume supervisor.
+class CampaignStore {
+public:
+  /// Open Dir (creating it and its manifest if needed) for a campaign on
+  /// SubjectName with the given options. Fails — returning null with
+  /// *Err set — on IO errors or when an existing manifest pins a
+  /// different subject or options fingerprint.
+  static std::unique_ptr<CampaignStore>
+  open(const std::string &Dir, const std::string &SubjectName,
+       const CampaignOptions &Opts, std::string *Err);
+
+  /// True once markDone() has recorded a final result (possibly in an
+  /// earlier process life).
+  bool done() const { return Done; }
+  /// The stored final result; only meaningful when done().
+  const CampaignResult &finalResult() const { return Final; }
+
+  /// Persist one sealed checkpoint blob as the next ckpt-NNNN.pfsnap and
+  /// rotate out files beyond the retention window. Returns false on IO
+  /// failure (the previous checkpoints are unaffected).
+  bool writeCheckpoint(const std::vector<uint8_t> &Blob,
+                       std::string *Err = nullptr);
+
+  /// Recovery scan: fill Blob with the newest checkpoint whose envelope
+  /// validates, quarantining invalid ones encountered on the way.
+  /// Returns false when no valid checkpoint remains.
+  bool recover(std::vector<uint8_t> &Blob);
+
+  /// Quarantine the checkpoint the last successful recover() returned —
+  /// for corruption only resumeCampaign could detect (valid envelope,
+  /// un-restorable payload). The next recover() proceeds to older files.
+  void quarantineRecovered();
+
+  /// Rewrite the manifest with the final result (atomic; the store then
+  /// reports done() forever).
+  bool markDone(const CampaignResult &R, std::string *Err = nullptr);
+
+  /// Checkpoint files currently on disk (after rotation).
+  uint64_t checkpointsOnDisk() const;
+
+  /// store.checkpoint.* counters accumulated by this handle.
+  const telemetry::MetricsRegistry &metrics() const { return Metrics; }
+
+private:
+  CampaignStore() = default;
+
+  std::string Dir;
+  uint32_t KeepLast = 3;
+  bool Done = false;
+  CampaignResult Final;
+  std::vector<uint8_t> ManifestPrefix; ///< manifest bytes up to the status
+  uint64_t NextSeq = 1;                ///< next checkpoint sequence number
+  std::string LastRecovered;           ///< path recover() last returned
+  telemetry::MetricsRegistry Metrics;
+};
+
+/// One store-root entry as pathfuzz-resume sees it: the manifest parsed
+/// back into runnable options plus the recovery-relevant state.
+struct StoreScanEntry {
+  std::string Dir;     ///< campaign directory
+  std::string Subject; ///< subject name pinned by the manifest
+  CampaignOptions Opts; ///< fingerprint fields reconstructed from it
+  StoreState State = StoreState::Corrupt;
+  uint64_t CheckpointFiles = 0; ///< ckpt-*.pfsnap present (unvalidated)
+  CampaignResult Final;         ///< stored result when State == Done
+  std::string Error;            ///< diagnostic for Corrupt entries
+};
+
+/// Scan a store root: every direct subdirectory holding (or supposed to
+/// hold) a manifest, sorted by directory name for deterministic output.
+std::vector<StoreScanEntry> scanStoreRoot(const std::string &Root);
+
+/// Run a campaign durably under Opts.StoreDir: recover from the newest
+/// valid checkpoint (falling back across corrupt ones, then to a fresh
+/// start), persist a checkpoint every interval — Opts.CheckpointInterval
+/// of 0 defaults to ExecBudget/8 here — and record the final result in
+/// the manifest. A campaign already marked done returns its stored result
+/// without re-executing (and without a Trace). The returned result is
+/// byte-identical (serializeCampaignResult) to an uninterrupted in-memory
+/// run with the same options. runCampaign() calls this itself whenever
+/// StoreDir is set; the supervisor calls it directly.
+CampaignResult runStoredCampaign(SubjectBuild &B, const CampaignOptions &Opts,
+                                 CampaignError *Err = nullptr);
+CampaignResult runStoredCampaign(const Subject &S, const CampaignOptions &Opts,
+                                 CampaignError *Err = nullptr);
+
+} // namespace strategy
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_STRATEGY_STORE_H

@@ -10,6 +10,7 @@
 #include "support/Rng.h"
 
 #include <atomic>
+#include <cstdio>
 #include <map>
 #include <mutex>
 
@@ -66,41 +67,59 @@ void reset() {
   ArmedCount.store(0, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Parse one PATHFUZZ_FAULT_SITES entry (without the trailing '!', which
+/// the caller strips). Numbers go through the strict support parser:
+/// "site@2x" is a typo to reject, not a request to fail on the second
+/// hit. Whitespace anywhere makes the entry malformed, matching
+/// splitSpecU64 — tabs survive envList's space stripping and would
+/// otherwise arm a site under a name no shouldFail() lookup can match.
+bool parseSiteSpec(const std::string &Spec, std::string &Name,
+                   SiteConfig &C) {
+  if (Spec.find_first_of(" \t\n\v\f\r") != std::string::npos)
+    return false;
+  size_t Pct = Spec.find('%');
+  if (Spec.find('@') != std::string::npos)
+    return splitSpecU64(Spec, Name, C.FailOnHit) && C.FailOnHit != 0;
+  if (Pct == std::string::npos)
+    return false;
+  Name = Spec.substr(0, Pct);
+  std::string Rest = Spec.substr(Pct + 1);
+  size_t Tilde = Rest.find('~');
+  if (Tilde != std::string::npos) {
+    if (!parseU64(Rest.substr(Tilde + 1), C.ProbSeed))
+      return false;
+    Rest = Rest.substr(0, Tilde);
+  }
+  uint64_t Permille = 0;
+  if (Name.empty() || !parseU64(Rest, Permille) || Permille == 0 ||
+      Permille > 1000)
+    return false;
+  C.ProbPermille = static_cast<uint32_t>(Permille);
+  return true;
+}
+
+} // namespace
+
 size_t armFromEnv() {
   size_t Armed = 0;
-  for (std::string Spec : envList("PATHFUZZ_FAULT_SITES")) {
+  for (const std::string &Entry : envList("PATHFUZZ_FAULT_SITES")) {
+    std::string Spec = Entry;
     SiteConfig C;
     if (!Spec.empty() && Spec.back() == '!') {
       C.Transient = false;
       Spec.pop_back();
     }
-    // Numbers go through the strict support parser: "site@2x" is a typo
-    // to skip, not a request to fail on the second hit. Whitespace
-    // anywhere makes the entry malformed, matching splitSpecU64 — tabs
-    // survive envList's space stripping and would otherwise arm a site
-    // under a name no shouldFail() lookup can match.
-    if (Spec.find_first_of(" \t\n\v\f\r") != std::string::npos)
-      continue;
-    size_t Pct = Spec.find('%');
     std::string Name;
-    if (Spec.find('@') != std::string::npos) {
-      if (!splitSpecU64(Spec, Name, C.FailOnHit) || C.FailOnHit == 0)
-        continue;
-    } else if (Pct != std::string::npos) {
-      Name = Spec.substr(0, Pct);
-      std::string Rest = Spec.substr(Pct + 1);
-      size_t Tilde = Rest.find('~');
-      if (Tilde != std::string::npos) {
-        if (!parseU64(Rest.substr(Tilde + 1), C.ProbSeed))
-          continue;
-        Rest = Rest.substr(0, Tilde);
-      }
-      uint64_t Permille = 0;
-      if (Name.empty() || !parseU64(Rest, Permille) || Permille == 0 ||
-          Permille > 1000)
-        continue;
-      C.ProbPermille = static_cast<uint32_t>(Permille);
-    } else {
+    if (!parseSiteSpec(Spec, Name, C)) {
+      // A typo'd spec must not silently disarm a robustness drill: say
+      // which entry was dropped (once per entry, to stderr, with the
+      // original text including any '!').
+      std::fprintf(stderr,
+                   "pathfuzz: warning: PATHFUZZ_FAULT_SITES: skipping "
+                   "malformed entry '%s'\n",
+                   Entry.c_str());
       continue;
     }
     armSite(Name, C);

@@ -40,6 +40,12 @@
 //                         the build — exercises the auditor end to end
 //   support.pool.dispatch ThreadPool::trySubmit task dispatch
 //   vm.heap.alloc         VM heap allocation (fails as OutOfMemory)
+//   io.write.fail         atomic file write (support/Io.h): data write error
+//   io.write.short        ... deterministic short write (half the bytes)
+//   io.fsync.fail         ... fsync of the temporary file
+//   io.rename.fail        ... the publishing rename
+//   telemetry.export.fail trace/bench export file write (degrades to a
+//                         warning in the batch runner)
 //
 //===----------------------------------------------------------------------===//
 
@@ -75,7 +81,9 @@ void disarmSite(const std::string &Site);
 void reset();
 
 /// Arm sites from PATHFUZZ_FAULT_SITES (see file comment for the syntax);
-/// returns the number of sites armed. Malformed entries are skipped.
+/// returns the number of sites armed. Malformed entries are skipped with
+/// a one-line stderr warning each, so a typo cannot silently disarm a
+/// drill.
 size_t armFromEnv();
 
 /// Probe a site: records the hit and returns true when this hit fails.

@@ -1,0 +1,70 @@
+//===- Io.h - Crash-safe file primitives ------------------------*- C++ -*-===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The two file primitives the durability layer is built on:
+//
+//   atomicWriteFile — publish a file so that a crash (or SIGKILL) at any
+//     instant leaves either the complete old content or the complete new
+//     content, never a torn mix. The classic POSIX recipe: write to a
+//     temporary in the same directory, fflush + fsync the data, rename()
+//     over the destination (atomic within a filesystem), then fsync the
+//     parent directory so the rename itself is durable. On any failure
+//     the destination is untouched and the temporary is removed.
+//
+//   readFileBounded — whole-file read with an explicit size bound, so a
+//     recovery scan over untrusted on-disk state can never be tricked
+//     into allocating from a corrupt length.
+//
+// Both are wired into the support::fault registry so the robustness suite
+// can drill every failure leg deterministically:
+//
+//   io.write.fail    the data write errors out (disk full analogue)
+//   io.write.short   deterministic short write: only half the bytes land
+//   io.fsync.fail    fsync of the temporary fails
+//   io.rename.fail   the publishing rename fails
+//
+// A failed directory fsync after a successful rename is deliberately not
+// an error: the data file is already complete and checksummed, and the
+// recovery scan treats a missing newest checkpoint exactly like a crash
+// one interval earlier.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PATHFUZZ_SUPPORT_IO_H
+#define PATHFUZZ_SUPPORT_IO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pathfuzz {
+namespace io {
+
+/// Atomically replace Path with Size bytes from Data (see file comment).
+/// Returns false (with *Err set when provided) on failure; the
+/// destination then still holds its previous content, if any.
+bool atomicWriteFile(const std::string &Path, const void *Data, size_t Size,
+                     std::string *Err = nullptr);
+bool atomicWriteFile(const std::string &Path, const std::vector<uint8_t> &Data,
+                     std::string *Err = nullptr);
+bool atomicWriteFile(const std::string &Path, const std::string &Data,
+                     std::string *Err = nullptr);
+
+/// Read Path into Out, refusing files larger than MaxBytes (untrusted
+/// recovery input must not drive allocation). Returns false with *Err set
+/// on open/short-read/oversize failures.
+bool readFileBounded(const std::string &Path, size_t MaxBytes,
+                     std::vector<uint8_t> &Out, std::string *Err = nullptr);
+
+/// Suffix every in-flight temporary carries ("<dest><suffix>"). The store's
+/// open scan uses it to sweep temporaries a crash left behind; they are
+/// never valid recovery input.
+const char *tmpSuffix();
+
+} // namespace io
+} // namespace pathfuzz
+
+#endif // PATHFUZZ_SUPPORT_IO_H

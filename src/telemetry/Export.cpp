@@ -7,9 +7,9 @@
 #include "telemetry/Export.h"
 
 #include "support/FaultInjection.h"
+#include "support/Io.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <sstream>
 
 namespace pathfuzz {
@@ -216,19 +216,10 @@ bool exportFile(const std::string &Path, const std::string &Content,
       *Err = "injected fault at telemetry.export.fail";
     return false;
   }
-  std::FILE *F = std::fopen(Path.c_str(), "wb");
-  if (!F) {
-    if (Err)
-      *Err = "cannot open " + Path + " for writing";
-    return false;
-  }
-  size_t Written = Content.empty()
-                       ? 0
-                       : std::fwrite(Content.data(), 1, Content.size(), F);
-  bool Ok = std::fclose(F) == 0 && Written == Content.size();
-  if (!Ok && Err)
-    *Err = "short write to " + Path;
-  return Ok;
+  // Atomic publish (support/Io.h): a crash mid-export must leave the
+  // previous complete trace, never a half-written JSONL/CSV a downstream
+  // report run would misparse.
+  return io::atomicWriteFile(Path, Content, Err);
 }
 
 } // namespace telemetry

@@ -69,6 +69,9 @@ bool isEngineLocalMetric(const std::string &Name) {
   static const char *const Prefixes[] = {
       "vm.fastpath.",  // snapshot-reset/image accounting of the fast path
       "vm.selective.", // two-tier skip/replay accounting
+      "store.",        // durable-store checkpoint/recovery accounting: a
+                       // resumed campaign legitimately records different
+                       // write/recover counts than an uninterrupted one
   };
   for (const char *P : Prefixes)
     if (Name.rfind(P, 0) == 0)

@@ -114,8 +114,9 @@ bool operator==(const MetricsRegistry &A, const MetricsRegistry &B);
 
 /// Whether a metric name belongs to an *engine-local* family: series that
 /// describe how the execution engine ran (vm.fastpath.* snapshot-reset
-/// accounting, vm.selective.* two-tier replay accounting) rather than what
-/// the campaign observed. The byte-identity contract — interpreter vs fast
+/// accounting, vm.selective.* two-tier replay accounting, store.* durable
+/// checkpoint/recovery accounting) rather than what the campaign
+/// observed. The byte-identity contract — interpreter vs fast
 /// path, selective vs always-instrumented, resumed vs uninterrupted —
 /// covers every other metric; engine-local families legitimately differ
 /// across those settings and must be excluded from equality comparisons.

@@ -111,6 +111,31 @@ TEST(FaultInjection, ArmFromEnvParsesEverySpecForm) {
   EXPECT_FALSE(fault::shouldFail("noform"));
 }
 
+TEST(FaultInjection, ArmFromEnvWarnsOncePerMalformedEntry) {
+  // A typo in a drill spec must not silently disarm it: every skipped
+  // entry earns exactly one stderr warning quoting the original text
+  // (including a trailing '!').
+  // (envList strips plain spaces by design; a tab survives into the spec
+  // and must be rejected rather than armed under an unmatchable name.)
+  fault::ScopedFaultInjection Guard;
+  ::setenv("PATHFUZZ_FAULT_SITES", "ok@1,noform,bad\tsite@2,e%2000!", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(fault::armFromEnv(), 1u);
+  const std::string Errs = ::testing::internal::GetCapturedStderr();
+  ::unsetenv("PATHFUZZ_FAULT_SITES");
+
+  EXPECT_NE(Errs.find("skipping malformed entry 'noform'"), std::string::npos)
+      << Errs;
+  EXPECT_NE(Errs.find("skipping malformed entry 'bad\tsite@2'"),
+            std::string::npos)
+      << Errs;
+  EXPECT_NE(Errs.find("skipping malformed entry 'e%2000!'"), std::string::npos)
+      << Errs;
+  // The valid entry is armed silently.
+  EXPECT_EQ(Errs.find("'ok@1'"), std::string::npos) << Errs;
+  EXPECT_TRUE(fault::shouldFail("ok"));
+}
+
 TEST(FaultInjection, ResetDisarmsEverything) {
   fault::SiteConfig C;
   C.FailOnHit = 1;

@@ -1,0 +1,284 @@
+//===- KillTortureTest.cpp - SIGKILL the campaign, resume, repeat -------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The tentpole durability drill. A child process runs a stored campaign
+// and SIGKILLs itself the instant each new checkpoint is persisted — the
+// harshest schedule the durability contract admits, killing at every
+// checkpoint boundary of every process life. The parent just re-spawns
+// the child until one life reaches the end of the budget. The contract
+// under test:
+//
+//  - every life makes strict forward progress (one checkpoint interval),
+//    so the torture converges well inside the round bound;
+//  - the final result is byte-identical (serializeCampaignResult) to an
+//    uninterrupted in-memory run, across every driver family;
+//  - the final telemetry trace is observably identical to the
+//    uninterrupted run's (the store's own counters excepted);
+//  - a checkpoint corrupted on disk mid-torture is quarantined and the
+//    run falls back to the previous one, still ending byte-identical.
+//
+// The child communicates through its exit status alone (SIGKILL = one
+// more round; 0 = converged and matched; small codes = which contract
+// broke), so no gtest machinery runs after fork().
+//
+//===----------------------------------------------------------------------===//
+
+#include "strategy/Campaign.h"
+#include "strategy/Store.h"
+#include "support/Io.h"
+#include "telemetry/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace pathfuzz;
+using namespace pathfuzz::strategy;
+namespace fs = std::filesystem;
+
+namespace {
+
+// Child exit codes (0 = success; SIGKILL = scheduled death).
+constexpr int ExitCampaignError = 10;
+constexpr int ExitResultMismatch = 11;
+constexpr int ExitTraceMismatch = 12;
+
+Subject smallSubject() {
+  Subject S;
+  S.Name = "small";
+  S.Source = R"ml(
+global tab[8];
+fn step(k, c) {
+  var j;
+  if (k % 3 == 0 && k > 4) { j = 2; } else { j = 0; }
+  if (c == 'z') {
+    tab[k % 7 + j] = 1;  // OOB when k % 7 == 6 and j == 2
+  } else {
+    tab[j] = 1;
+  }
+  return j;
+}
+fn main() {
+  var i = 0;
+  var k = 0;
+  while (i < len()) {
+    var c = in(i);
+    if (c == '.') { step(k, in(i + 1)); k = 0; } else { k = k + 1; }
+    i = i + 1;
+  }
+  return k;
+}
+)ml";
+  const char *Seed = "abc.z def.x";
+  S.Seeds = {fuzz::Input(Seed, Seed + 11)};
+  return S;
+}
+
+CampaignOptions tortureOpts(FuzzerKind Kind) {
+  CampaignOptions Opts;
+  Opts.Kind = Kind;
+  Opts.ExecBudget = 6000;
+  Opts.Seed = 5;
+  Opts.CullRounds = 3;
+  return Opts;
+}
+
+bool sameEvents(const std::vector<telemetry::Event> &A,
+                const std::vector<telemetry::Event> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I].Exec != B[I].Exec || A[I].Kind != B[I].Kind ||
+        A[I].Arg32 != B[I].Arg32 || A[I].Arg64 != B[I].Arg64 ||
+        A[I].Arg8 != B[I].Arg8)
+      return false;
+  return true;
+}
+
+/// Observable-telemetry identity: everything except the store's own
+/// instance record (the uninterrupted run has none) and the engine-local
+/// metric families sameObservableMetrics() already masks.
+bool sameObservableTrace(const telemetry::CampaignTrace &Stored,
+                         const telemetry::CampaignTrace &Ref) {
+  if (Stored.Subject != Ref.Subject || Stored.Fuzzer != Ref.Fuzzer ||
+      Stored.Seed != Ref.Seed)
+    return false;
+  if (!sameEvents(Stored.CampaignEvents, Ref.CampaignEvents))
+    return false;
+  std::vector<const telemetry::InstanceRecord *> A;
+  for (const telemetry::InstanceRecord &R : Stored.Instances)
+    if (R.Label != "store")
+      A.push_back(&R);
+  if (A.size() != Ref.Instances.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I) {
+    const telemetry::InstanceRecord &S = *A[I];
+    const telemetry::InstanceRecord &R = Ref.Instances[I];
+    if (S.Label != R.Label || S.ExecOffset != R.ExecOffset ||
+        S.EventsRecorded != R.EventsRecorded || !sameEvents(S.Events, R.Events))
+      return false;
+    if (!(S.Samples == R.Samples))
+      return false;
+    if (!telemetry::sameObservableMetrics(S.Metrics, R.Metrics))
+      return false;
+  }
+  return true;
+}
+
+/// One process life: run the stored campaign, SIGKILL-ing ourselves the
+/// moment the first new checkpoint of this life hits the disk. Never
+/// returns — only _exit() (gtest must not run in the child).
+[[noreturn]] void childLife(const Subject &S, const CampaignOptions &Base,
+                            const std::string &StoreDir,
+                            const std::vector<uint8_t> &Ref,
+                            const telemetry::CampaignTrace *RefTrace) {
+  CampaignOptions Opts = Base;
+  Opts.StoreDir = StoreDir;
+  Opts.CheckpointInterval = 700;
+  Opts.Trace.Enabled = RefTrace != nullptr;
+  // The store persists each checkpoint BEFORE the sink sees it, so dying
+  // here models SIGKILL "the instant after the write" — the worst legal
+  // moment. A life that emits no checkpoint (the final partial interval)
+  // runs to completion instead.
+  Opts.CheckpointSink = [](const std::vector<uint8_t> &) {
+    ::raise(SIGKILL);
+  };
+  CampaignError Err;
+  CampaignResult R = runStoredCampaign(S, Opts, &Err);
+  if (Err.Failed)
+    ::_exit(ExitCampaignError);
+  if (serializeCampaignResult(R) != Ref)
+    ::_exit(ExitResultMismatch);
+  if (RefTrace) {
+    if (!R.Trace || !sameObservableTrace(*R.Trace, *RefTrace))
+      ::_exit(ExitTraceMismatch);
+  }
+  ::_exit(0);
+}
+
+std::string newestCheckpointFile(const std::string &Dir) {
+  std::string Newest;
+  if (!fs::exists(Dir))
+    return Newest;
+  for (const auto &E : fs::directory_iterator(Dir))
+    if (E.path().extension() == ".pfsnap")
+      Newest = std::max(Newest, E.path().string());
+  return Newest;
+}
+
+size_t filesIn(const std::string &Dir) {
+  if (!fs::exists(Dir))
+    return 0;
+  size_t N = 0;
+  for (const auto &E : fs::directory_iterator(Dir)) {
+    (void)E;
+    ++N;
+  }
+  return N;
+}
+
+class KillTorture : public ::testing::TestWithParam<FuzzerKind> {};
+
+TEST_P(KillTorture, ConvergesByteIdenticalThroughRepeatedSigkill) {
+  const FuzzerKind Kind = GetParam();
+  Subject S = smallSubject();
+  CampaignOptions Base = tortureOpts(Kind);
+
+  // Uninterrupted reference, with the same checkpoint cadence and tracing
+  // so the telemetry comparison is apples to apples (checkpoint events
+  // are part of the trace).
+  CampaignOptions RefOpts = Base;
+  RefOpts.CheckpointInterval = 700;
+  RefOpts.CheckpointSink = [](const std::vector<uint8_t> &) {};
+  RefOpts.Trace.Enabled = true;
+  CampaignError RefErr;
+  CampaignResult RefResult = runCampaign(S, RefOpts, &RefErr);
+  ASSERT_FALSE(RefErr.Failed) << RefErr.Message;
+  const std::vector<uint8_t> Ref = serializeCampaignResult(RefResult);
+  const telemetry::CampaignTrace *RefTrace = RefResult.Trace.get();
+
+  const std::string Root =
+      (fs::temp_directory_path() /
+       ("pathfuzz-torture-" + std::to_string(::getpid()) + "-" +
+        std::string(fuzzerKindName(Kind))))
+          .string();
+  const std::string StoreDir = Root + "/campaign";
+  std::error_code Ec;
+  fs::remove_all(Root, Ec);
+
+  // ~9 lives suffice (budget/interval + corruption drill + final life);
+  // 64 is the divergence alarm, not the expectation.
+  const int MaxRounds = 64;
+  int Kills = 0;
+  bool Converged = false;
+  bool Corrupted = false;
+  for (int Round = 1; Round <= MaxRounds && !Converged; ++Round) {
+    if (Round == 4 && !Corrupted) {
+      // Mid-torture corruption drill: damage the newest checkpoint on
+      // disk; the next life must quarantine it and fall back.
+      std::string Newest = newestCheckpointFile(StoreDir);
+      if (!Newest.empty()) {
+        std::vector<uint8_t> Raw;
+        ASSERT_TRUE(io::readFileBounded(Newest, 1 << 30, Raw));
+        ASSERT_GT(Raw.size(), 2u);
+        Raw[Raw.size() / 2] ^= 0x04;
+        ASSERT_TRUE(io::atomicWriteFile(Newest, Raw));
+        Corrupted = true;
+      }
+    }
+
+    pid_t Pid = ::fork();
+    ASSERT_NE(Pid, -1);
+    if (Pid == 0)
+      childLife(S, Base, StoreDir, Ref, RefTrace); // never returns
+
+    int Status = 0;
+    ASSERT_EQ(::waitpid(Pid, &Status, 0), Pid);
+    if (WIFSIGNALED(Status)) {
+      ASSERT_EQ(WTERMSIG(Status), SIGKILL)
+          << "child died of an unscheduled signal";
+      ++Kills;
+      continue;
+    }
+    ASSERT_TRUE(WIFEXITED(Status));
+    ASSERT_EQ(WEXITSTATUS(Status), 0)
+        << "10=campaign error, 11=result not byte-identical, "
+           "12=telemetry trace diverged";
+    Converged = true;
+  }
+  ASSERT_TRUE(Converged) << "no forward progress: every life was killed "
+                            "without finishing within "
+                         << MaxRounds << " rounds";
+  // The schedule kills after every persisted checkpoint, so the torture
+  // is only meaningful if several lives actually died.
+  EXPECT_GE(Kills, 3) << "torture never actually interrupted the campaign";
+  EXPECT_TRUE(Corrupted) << "corruption drill found no checkpoint to damage";
+  EXPECT_GE(filesIn(StoreDir + "/quarantine"), 1u)
+      << "corrupted checkpoint was not quarantined";
+
+  // The surviving store is Done and replays the same bytes from disk.
+  std::vector<StoreScanEntry> Scan = scanStoreRoot(Root);
+  ASSERT_EQ(Scan.size(), 1u);
+  EXPECT_EQ(Scan[0].State, StoreState::Done);
+  EXPECT_EQ(serializeCampaignResult(Scan[0].Final), Ref);
+
+  fs::remove_all(Root, Ec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Drivers, KillTorture,
+                         ::testing::Values(FuzzerKind::Pcguard,
+                                           FuzzerKind::Cull,
+                                           FuzzerKind::Opp),
+                         [](const auto &Info) {
+                           return std::string(fuzzerKindName(Info.param));
+                         });
+
+} // namespace

@@ -180,6 +180,73 @@ TEST(CheckpointResumeEdge, RejectsCorruptAndMismatchedCheckpoints) {
   EXPECT_TRUE(Err3.Failed);
 }
 
+// Every way a checkpoint blob can rot on disk, against every driver
+// family: the resume must fail cleanly — structured error, no crash, no
+// partially-restored result leaking out — for truncation at any length,
+// bit flips, a foreign magic and an unknown envelope version.
+class ResumeErrorPaths : public ::testing::TestWithParam<FuzzerKind> {};
+
+TEST_P(ResumeErrorPaths, CorruptBlobsFailCleanlyNeverPartially) {
+  const FuzzerKind Kind = GetParam();
+  Subject S = smallSubject();
+  CampaignOptions Opts = baseOpts(Kind, 4000);
+  CampaignOptions WithCkpt = Opts;
+  WithCkpt.CheckpointInterval = 1000;
+  std::vector<std::vector<uint8_t>> Checkpoints;
+  WithCkpt.CheckpointSink = [&Checkpoints](const std::vector<uint8_t> &Blob) {
+    Checkpoints.push_back(Blob);
+  };
+  runCampaign(S, WithCkpt);
+  ASSERT_FALSE(Checkpoints.empty());
+  const std::vector<uint8_t> &Good = Checkpoints.back();
+
+  // Both resume entry points: the Subject overload (the serial driver)
+  // and the SubjectBuild overload (what the batch runner's shared build
+  // cache goes through).
+  BuildCache Cache;
+  std::shared_ptr<SubjectBuild> B = Cache.get(S);
+  auto expectCleanFailure = [&](std::vector<uint8_t> Blob, const char *What) {
+    SCOPED_TRACE(What);
+    for (int Driver = 0; Driver < 2; ++Driver) {
+      SCOPED_TRACE(Driver == 0 ? "serial" : "batch build");
+      CampaignError Err;
+      CampaignResult R = Driver == 0 ? resumeCampaign(S, Opts, Blob, &Err)
+                                     : resumeCampaign(*B, Opts, Blob, &Err);
+      EXPECT_TRUE(Err.Failed);
+      EXPECT_FALSE(Err.Message.empty());
+      // No partial restore escapes: the result is the empty default.
+      EXPECT_EQ(R.Execs, 0u);
+      EXPECT_TRUE(R.EdgeSet.empty());
+      EXPECT_TRUE(R.CrashHashes.empty());
+    }
+  };
+
+  for (size_t Cut :
+       {size_t(0), size_t(3), Good.size() / 4, Good.size() / 2,
+        Good.size() - 1})
+    expectCleanFailure({Good.begin(), Good.begin() + Cut}, "truncated");
+
+  std::vector<uint8_t> Flipped = Good;
+  Flipped[Good.size() / 3] ^= 0x08;
+  expectCleanFailure(Flipped, "bit-flipped payload");
+
+  std::vector<uint8_t> Magic = Good;
+  Magic[0] ^= 0xff; // envelope magic is bytes 0..3
+  expectCleanFailure(Magic, "wrong magic");
+
+  std::vector<uint8_t> Version = Good;
+  Version[4] = 0x7f; // envelope version is bytes 4..7
+  expectCleanFailure(Version, "wrong version");
+}
+
+INSTANTIATE_TEST_SUITE_P(Drivers, ResumeErrorPaths,
+                         ::testing::Values(FuzzerKind::Pcguard,
+                                           FuzzerKind::Cull,
+                                           FuzzerKind::Opp),
+                         [](const auto &Info) {
+                           return std::string(fuzzerKindName(Info.param));
+                         });
+
 //===----------------------------------------------------------------------===//
 // Structured campaign errors
 //===----------------------------------------------------------------------===//

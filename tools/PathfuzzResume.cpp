@@ -1,0 +1,135 @@
+//===- PathfuzzResume.cpp - Durable-store supervisor CLI ---------------------===//
+//
+// Part of the pathfuzz project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Supervisor over a durable campaign store root (strategy/Store.h): scan
+// every campaign directory, report its state, and — with --run — drive
+// the unfinished ones to completion from their newest valid checkpoint.
+//
+//   pathfuzz-resume <store-root>          report one line per campaign
+//   pathfuzz-resume --run <store-root>    ... then finish fresh/resumable
+//                                         campaigns via the store layer
+//
+// The manifest pins each campaign's subject and options fingerprint, so
+// the supervisor needs no other configuration: subjects are looked up in
+// the built-in suite by name. Campaigns whose subject is unknown, whose
+// manifest is corrupt, or that fail to run are reported and reflected in
+// the exit code; they never stop the remaining campaigns.
+//
+// Exit codes: 0 = every campaign done (or store empty), 1 = corrupt /
+// failed / unfinished campaigns remain, 2 = usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "strategy/Store.h"
+#include "targets/Targets.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace pathfuzz;
+using strategy::StoreScanEntry;
+using strategy::StoreState;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: pathfuzz-resume [--run] <store-root>\n"
+               "\n"
+               "  --run   drive fresh/resumable campaigns to completion\n"
+               "          (default: report only)\n");
+}
+
+void reportLine(const StoreScanEntry &E) {
+  if (E.Subject.empty()) {
+    std::printf("%-10s %s (%s)\n", strategy::storeStateName(E.State),
+                E.Dir.c_str(), E.Error.c_str());
+    return;
+  }
+  std::printf("%-10s %-10s %-8s seed=%-6llu budget=%-8llu ckpts=%llu  %s\n",
+              strategy::storeStateName(E.State), E.Subject.c_str(),
+              strategy::fuzzerKindName(E.Opts.Kind),
+              static_cast<unsigned long long>(E.Opts.Seed),
+              static_cast<unsigned long long>(E.Opts.ExecBudget),
+              static_cast<unsigned long long>(E.CheckpointFiles),
+              E.Dir.c_str());
+}
+
+/// Finish one unfinished campaign; returns true on success.
+bool driveCampaign(const StoreScanEntry &E) {
+  const strategy::Subject *S = targets::findSubject(E.Subject);
+  if (!S) {
+    std::fprintf(stderr, "pathfuzz-resume: %s: unknown subject '%s'\n",
+                 E.Dir.c_str(), E.Subject.c_str());
+    return false;
+  }
+  strategy::CampaignOptions Opts = E.Opts;
+  Opts.StoreDir = E.Dir;
+  strategy::CampaignError Err;
+  strategy::CampaignResult R = strategy::runStoredCampaign(*S, Opts, &Err);
+  if (Err.Failed) {
+    std::fprintf(stderr, "pathfuzz-resume: %s: %s\n", E.Dir.c_str(),
+                 Err.Message.c_str());
+    return false;
+  }
+  std::printf("finished   %-10s %-8s seed=%-6llu execs=%llu bugs=%zu "
+              "crashes=%zu\n",
+              E.Subject.c_str(), strategy::fuzzerKindName(E.Opts.Kind),
+              static_cast<unsigned long long>(E.Opts.Seed),
+              static_cast<unsigned long long>(R.Execs), R.BugIds.size(),
+              R.CrashHashes.size());
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Run = false;
+  std::string Root;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--run") == 0) {
+      Run = true;
+    } else if (std::strcmp(Argv[I], "--help") == 0) {
+      usage();
+      return 0;
+    } else if (Argv[I][0] == '-') {
+      usage();
+      return 2;
+    } else if (Root.empty()) {
+      Root = Argv[I];
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (Root.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::vector<StoreScanEntry> Entries = strategy::scanStoreRoot(Root);
+  bool AllDone = true;
+  for (const StoreScanEntry &E : Entries) {
+    reportLine(E);
+    if (E.State == StoreState::Corrupt)
+      AllDone = false;
+  }
+
+  if (Run) {
+    for (const StoreScanEntry &E : Entries) {
+      if (E.State != StoreState::Fresh && E.State != StoreState::Resumable)
+        continue;
+      if (!driveCampaign(E))
+        AllDone = false;
+    }
+  } else {
+    for (const StoreScanEntry &E : Entries)
+      if (E.State == StoreState::Fresh || E.State == StoreState::Resumable)
+        AllDone = false;
+  }
+  return AllDone ? 0 : 1;
+}
